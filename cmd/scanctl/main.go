@@ -1,0 +1,192 @@
+// Command scanctl is the client for scand.
+//
+// Usage:
+//
+//	scanctl [-addr http://localhost:7390] status
+//	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
+//	scanctl jobs
+//	scanctl job <id>
+//	scanctl profiles
+//	scanctl query 'PREFIX scan: <...> SELECT ?app WHERE { ... }'
+//	scanctl export rdfxml
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"scan/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7390", "scand base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	client := rpc.NewClient(*addr)
+	ctx := context.Background()
+	var err error
+	switch args[0] {
+	case "status":
+		err = cmdStatus(ctx, client)
+	case "submit":
+		err = cmdSubmit(ctx, client, args[1:])
+	case "jobs":
+		err = cmdJobs(ctx, client)
+	case "job":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdJob(ctx, client, args[1])
+	case "profiles":
+		err = cmdProfiles(ctx, client)
+	case "query":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdQuery(ctx, client, args[1])
+	case "export":
+		format := "turtle"
+		if len(args) > 1 {
+			format = args[1]
+		}
+		err = cmdExport(ctx, client, format)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|submit|jobs|job ID|profiles|query SPARQL|export [turtle|rdfxml]>")
+	os.Exit(2)
+}
+
+func cmdStatus(ctx context.Context, c *rpc.Client) error {
+	st, err := c.Status(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workers %d  pending %d  running %d  completed %d  failed %d  run-logs %d\n",
+		st.Workers, st.Pending, st.Running, st.Completed, st.Failed, st.RunLogs)
+	return nil
+}
+
+func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	refLen := fs.Int("ref", 20000, "synthetic reference length (bases)")
+	reads := fs.Int("reads", 4000, "simulated read count")
+	snvs := fs.Int("snvs", 12, "planted SNVs")
+	seed := fs.Int64("seed", 1, "dataset seed")
+	shardRecs := fs.Int("shard-records", 0, "records per shard (0 = knowledge base decides)")
+	wait := fs.Bool("wait", false, "block until the job finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := c.Submit(ctx, rpc.SubmitRequest{
+		ReferenceLength: *refLen,
+		Reads:           *reads,
+		SNVs:            *snvs,
+		Seed:            *seed,
+		ShardRecords:    *shardRecs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d submitted (%s)\n", info.ID, info.State)
+	if !*wait {
+		return nil
+	}
+	done, err := c.Wait(ctx, info.ID, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printJob(done)
+	return nil
+}
+
+func cmdJobs(ctx context.Context, c *rpc.Client) error {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		printJob(j)
+	}
+	return nil
+}
+
+func cmdJob(ctx context.Context, c *rpc.Client, idStr string) error {
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return fmt.Errorf("bad job id %q", idStr)
+	}
+	info, err := c.Job(ctx, id)
+	if err != nil {
+		return err
+	}
+	printJob(info)
+	return nil
+}
+
+func printJob(j rpc.JobInfo) {
+	switch j.State {
+	case rpc.StateDone:
+		fmt.Printf("job %d %-8s mapped %d/%d  variants %d  recovered %d/%d  shards %d  %.2fs\n",
+			j.ID, j.State, j.Mapped, j.TotalReads, j.Variants, j.Recovered, j.Planted,
+			j.Shards, j.ElapsedSec)
+	case rpc.StateFailed:
+		fmt.Printf("job %d %-8s error: %s\n", j.ID, j.State, j.Error)
+	default:
+		fmt.Printf("job %d %-8s\n", j.ID, j.State)
+	}
+}
+
+func cmdProfiles(ctx context.Context, c *rpc.Client) error {
+	ps, err := c.Profiles(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %6s %5s %5s %8s\n", "name", "input", "steps", "ram", "cpu", "etime")
+	for _, p := range ps {
+		fmt.Printf("%-10s %10.1f %6d %5d %5d %8.1f\n",
+			p.Name, p.InputFileSize, p.Steps, p.RAM, p.CPU, p.ETime)
+	}
+	return nil
+}
+
+func cmdExport(ctx context.Context, c *rpc.Client, format string) error {
+	doc, err := c.Export(ctx, format)
+	if err != nil {
+		return err
+	}
+	fmt.Print(doc)
+	return nil
+}
+
+func cmdQuery(ctx context.Context, c *rpc.Client, q string) error {
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Vars {
+		fmt.Printf("?%s\t", v)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for _, v := range res.Vars {
+			fmt.Printf("%s\t", row[v])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command scand is the SCAN scheduler daemon: it serves the HTTP RPC
+// interface (jobs, knowledge-base queries, status) and executes submitted
+// analyses on a local worker pool — the Go equivalent of the paper's
+// CherryPy prototype.
+//
+// Usage:
+//
+//	scand [-addr :7390] [-workers N] [-executors N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"scan/internal/core"
+	"scan/internal/rpc"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7390", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline workers per job")
+		executors = flag.Int("executors", 2, "concurrent jobs")
+	)
+	flag.Parse()
+
+	platform := core.NewPlatform(core.Options{Workers: *workers})
+	server := rpc.NewServer(platform, *executors)
+	defer server.Close()
+
+	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "scand: shutting down")
+		_ = httpServer.Close()
+	}()
+	log.Printf("scand: listening on %s (%d workers, %d executors)", *addr, *workers, *executors)
+	if err := httpServer.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("scand: %v", err)
+	}
+}

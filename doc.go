@@ -1,0 +1,13 @@
+// Package scan is a from-scratch Go reproduction of "SCAN: A Smart
+// Application Platform for Empowering Parallelizations of Big Genomic Data
+// Analysis in Clouds" (Xing, Jie, Miller; ICPP 2015).
+//
+// The platform couples a semantic application knowledge base (triple store
+// + SPARQL subset), a Data Broker that shards genomic inputs on record
+// boundaries, and a reward-driven scheduler that hires workers from a
+// hybrid private/public cloud. Two execution surfaces are provided: real
+// parallel analysis on synthetic genomic data (internal/core), and the
+// discrete-event simulation used to regenerate the paper's evaluation
+// (internal/experiment). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package scan

@@ -1,0 +1,87 @@
+// Knowledge-base walkthrough: the semantic layer of the Data Broker.
+//
+// Seeds the paper's GATK1..GATK4 OWL individuals, queries them in SPARQL
+// (as the Data Broker does before sharding), logs synthetic profiling runs,
+// recovers the Table II stage coefficients by regression, and exports the
+// whole base as Turtle.
+//
+//	go run ./examples/knowledgebase
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"scan/internal/gatk"
+	"scan/internal/knowledge"
+)
+
+func main() {
+	kb := knowledge.New()
+	kb.SeedPaperProfiles()
+
+	// 1. The Data Broker's profile query (paper §III-A: "retrieves the
+	// suggested values of those instances of GATK, along with its CPU and
+	// RAM resource attributes", ranked by eTime and input size).
+	res, err := kb.Query(`
+PREFIX scan: <` + knowledge.NS + `>
+SELECT ?app ?size ?cpu ?ram ?time WHERE {
+  ?app a scan:Application ;
+       scan:inputFileSize ?size ;
+       scan:CPU ?cpu ;
+       scan:RAM ?ram ;
+       scan:eTime ?time .
+  FILTER (?time <= 280)
+}
+ORDER BY ?time ?size`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GATK instances ranked for sharding decisions:")
+	fmt.Print(res)
+
+	// 2. Sharding advice for a 25-unit (≈25 GB) job.
+	adv, err := kb.ShardAdvice(25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nData Broker advice for a 25-unit job: shard size %.0f, %d threads (from %s)\n",
+		adv.ShardSize, adv.Threads, adv.BasedOn)
+
+	// 3. Feed profiling runs into the base and recover stage models —
+	// exactly how the paper's knowledge base grows from task logs.
+	rng := rand.New(rand.NewSource(5))
+	model := gatk.DefaultStages()[4] // PrintReads: a=1.03 b=17.86 c=0.91
+	for _, d := range []float64{1, 2, 4, 6, 8} {
+		mustLog(kb, knowledge.RunLog{
+			App: "GATK", Stage: 4, InputSize: d, Threads: 1,
+			ETime: model.SerialTime(d) * (1 + rng.NormFloat64()*0.01),
+		})
+	}
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		mustLog(kb, knowledge.RunLog{
+			App: "GATK", Stage: 4, InputSize: 5, Threads: th,
+			ETime: model.Time(th, 5) * (1 + rng.NormFloat64()*0.01),
+		})
+	}
+	fit, err := kb.FitStageModel("GATK", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstage model recovered from %d run logs: a=%.2f b=%.2f c=%.2f (truth: 1.03 / 17.86 / 0.91)\n",
+		kb.RunCount(), fit.A, fit.B, fit.C)
+
+	// 4. Export the ontology as Turtle, the KB's persistence format.
+	fmt.Println("\nknowledge base export (Turtle):")
+	if err := kb.Export(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustLog(kb *knowledge.Base, l knowledge.RunLog) {
+	if err := kb.LogRun(l); err != nil {
+		log.Fatal(err)
+	}
+}

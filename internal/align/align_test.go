@@ -1,0 +1,217 @@
+package align
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scan/internal/genomics"
+)
+
+func mkAligner(t *testing.T, refLen int, seed int64) (*Aligner, genomics.Sequence, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := genomics.GenerateReference(rng, "chr1", refLen)
+	a, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, ref, rng
+}
+
+func TestAlignExactReads(t *testing.T) {
+	a, ref, rng := mkAligner(t, 5000, 1)
+	reads, err := genomics.SimulateReads(rng, ref, genomics.ReadSimConfig{Count: 200, Length: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alns, mapped := a.AlignAll(reads)
+	if mapped != 200 {
+		t.Fatalf("mapped %d/200 exact reads", mapped)
+	}
+	for _, aln := range alns {
+		if aln.Unmapped() {
+			continue
+		}
+		start := aln.Pos - 1
+		if !bytes.Equal(ref.Seq[start:start+len(aln.Seq)], aln.Seq) {
+			t.Fatalf("read %s placed at %d but sequence differs", aln.QName, aln.Pos)
+		}
+		if aln.NM != 0 {
+			t.Fatalf("exact read has NM=%d", aln.NM)
+		}
+		if aln.CIGAR != "100M" {
+			t.Fatalf("CIGAR = %q", aln.CIGAR)
+		}
+	}
+}
+
+func TestAlignReadsWithErrors(t *testing.T) {
+	a, ref, rng := mkAligner(t, 20000, 2)
+	reads, err := genomics.SimulateReads(rng, ref, genomics.ReadSimConfig{
+		Count: 300, Length: 100, ErrorRate: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mapped := a.AlignAll(reads)
+	// At 1% error over 100 bases, nearly every read has ≤ 6 mismatches and
+	// still seeds (expected mismatches per read = 1).
+	if mapped < 280 {
+		t.Fatalf("mapped only %d/300 noisy reads", mapped)
+	}
+}
+
+func TestAlignReverseComplement(t *testing.T) {
+	a, ref, _ := mkAligner(t, 5000, 3)
+	start := 1234
+	fwd := append([]byte(nil), ref.Seq[start:start+80]...)
+	rc := ReverseComplement(fwd)
+	qual := bytes.Repeat([]byte("I"), 80)
+	aln := a.AlignRead(genomics.Read{ID: "rc-read", Seq: rc, Qual: qual})
+	if aln.Unmapped() {
+		t.Fatal("reverse-complement read unmapped")
+	}
+	if aln.Flag&genomics.FlagReverseStrand == 0 {
+		t.Fatal("reverse strand flag not set")
+	}
+	if aln.Pos != start+1 {
+		t.Fatalf("Pos = %d, want %d", aln.Pos, start+1)
+	}
+	// Stored sequence is the reference-forward orientation.
+	if !bytes.Equal(aln.Seq, fwd) {
+		t.Fatal("stored sequence not re-oriented to forward strand")
+	}
+}
+
+func TestAlignUnmappableRead(t *testing.T) {
+	a, _, rng := mkAligner(t, 5000, 4)
+	// A random read is overwhelmingly unlikely to seed anywhere.
+	junk, err := genomics.SimulateReads(rng,
+		genomics.GenerateReference(rng, "other", 1000),
+		genomics.ReadSimConfig{Count: 5, Length: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmapped := 0
+	for _, r := range junk {
+		if a.AlignRead(r).Unmapped() {
+			unmapped++
+		}
+	}
+	if unmapped < 4 {
+		t.Fatalf("only %d/5 foreign reads unmapped", unmapped)
+	}
+}
+
+func TestAlignRepeatAmbiguityLowersMapQ(t *testing.T) {
+	// Build a reference with an exact tandem repeat: reads inside the
+	// repeat must get MapQ 0.
+	rng := rand.New(rand.NewSource(5))
+	unit := genomics.GenerateReference(rng, "u", 300)
+	seq := append(append([]byte{}, unit.Seq...), unit.Seq...)
+	tail := genomics.GenerateReference(rng, "t", 400)
+	seq = append(seq, tail.Seq...)
+	ref := genomics.Sequence{Name: "chrR", Seq: seq}
+	a, err := New(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := genomics.Read{
+		ID:   "rep",
+		Seq:  append([]byte(nil), unit.Seq[50:150]...),
+		Qual: bytes.Repeat([]byte("I"), 100),
+	}
+	aln := a.AlignRead(read)
+	if aln.Unmapped() {
+		t.Fatal("repeat read unmapped")
+	}
+	if aln.MapQ != 0 {
+		t.Fatalf("repeat read MapQ = %d, want 0", aln.MapQ)
+	}
+	// A unique read keeps high MapQ.
+	uniq := genomics.Read{
+		ID:   "uniq",
+		Seq:  append([]byte(nil), tail.Seq[100:200]...),
+		Qual: bytes.Repeat([]byte("I"), 100),
+	}
+	if got := a.AlignRead(uniq); got.MapQ != 60 {
+		t.Fatalf("unique read MapQ = %d, want 60", got.MapQ)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(genomics.Sequence{Name: "s", Seq: []byte("ACG")}, Config{K: 16}); err != ErrShortReference {
+		t.Fatalf("short reference: err = %v", err)
+	}
+	if _, err := New(genomics.Sequence{Name: "s", Seq: bytes.Repeat([]byte("Z"), 100)}, Config{}); err == nil {
+		t.Fatal("invalid bases accepted")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	if got := ReverseComplement([]byte("ACGTN")); string(got) != "NACGT" {
+		t.Fatalf("ReverseComplement = %q", got)
+	}
+	// Involution on ACGT-only strings.
+	in := []byte("GATTACA")
+	if got := ReverseComplement(ReverseComplement(in)); !bytes.Equal(got, in) {
+		t.Fatalf("double complement = %q", got)
+	}
+}
+
+func TestShortReadUnmapped(t *testing.T) {
+	a, _, _ := mkAligner(t, 1000, 6)
+	aln := a.AlignRead(genomics.Read{ID: "tiny", Seq: []byte("ACGT"), Qual: []byte("IIII")})
+	if !aln.Unmapped() {
+		t.Fatal("read shorter than K must be unmapped")
+	}
+}
+
+// Property: every exact substring of length ≥ K+stride aligns back to its
+// source position (or an identical copy elsewhere).
+func TestAlignExactSubstringProperty(t *testing.T) {
+	a, ref, _ := mkAligner(t, 3000, 7)
+	f := func(startRaw, lenRaw uint16) bool {
+		length := 40 + int(lenRaw%80)
+		if length > ref.Len() {
+			return true
+		}
+		start := int(startRaw) % (ref.Len() - length + 1)
+		read := genomics.Read{
+			ID:   "p",
+			Seq:  append([]byte(nil), ref.Seq[start:start+length]...),
+			Qual: bytes.Repeat([]byte("I"), length),
+		}
+		aln := a.AlignRead(read)
+		if aln.Unmapped() || aln.NM != 0 {
+			return false
+		}
+		// The placement must be sequence-identical to the read.
+		p := aln.Pos - 1
+		return bytes.Equal(ref.Seq[p:p+length], read.Seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAlignRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genomics.GenerateReference(rng, "chr1", 100000)
+	a, err := New(ref, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := genomics.SimulateReads(rng, ref, genomics.ReadSimConfig{
+		Count: 256, Length: 100, ErrorRate: 0.01,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AlignRead(reads[i%len(reads)])
+	}
+}

@@ -1,0 +1,196 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"scan/internal/sim"
+)
+
+func newTestCloud(publicPrice float64) (*sim.Engine, *Cloud) {
+	e := sim.NewEngine()
+	c := New(e, 0.5, DefaultTiers(publicPrice)...)
+	return e, c
+}
+
+func TestHirePrefersPrivateTier(t *testing.T) {
+	_, c := newTestCloud(50)
+	vm, err := c.Hire(-1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.tiers[vm.Tier].Name != "private" {
+		t.Fatalf("hired from %q, want private", c.tiers[vm.Tier].Name)
+	}
+	if vm.ReadyAt != 0.5 {
+		t.Fatalf("ReadyAt = %v, want startup 0.5", vm.ReadyAt)
+	}
+	if c.CoresInUse(0) != 8 || c.ActiveVMs() != 1 {
+		t.Fatal("bookkeeping wrong after hire")
+	}
+}
+
+func TestHireSpillsToPublicWhenPrivateFull(t *testing.T) {
+	_, c := newTestCloud(50)
+	// Fill the 624-core private tier with 39 × 16-core VMs.
+	for i := 0; i < 39; i++ {
+		if _, err := c.Hire(-1, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.FreeCores(0) != 0 {
+		t.Fatalf("private free = %d, want 0", c.FreeCores(0))
+	}
+	vm, err := c.Hire(-1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.tiers[vm.Tier].Name != "public" {
+		t.Fatal("overflow hire did not go public")
+	}
+	// Explicit private hire must fail now.
+	if _, err := c.Hire(0, 1); err != ErrNoCapacity {
+		t.Fatalf("full private hire err = %v", err)
+	}
+}
+
+func TestCostAccrual(t *testing.T) {
+	e, c := newTestCloud(50)
+	vm, err := c.Hire(0, 4) // private @5
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(10, func() {})
+	e.Run() // clock -> 10
+	// 4 cores × 10 TU × 5 CU = 200.
+	if got := c.Cost(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("running cost = %v, want 200", got)
+	}
+	if err := c.Release(vm); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Cost(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("settled cost = %v, want 200", got)
+	}
+	if c.ActiveVMs() != 0 || c.CoresInUse(0) != 0 {
+		t.Fatal("release did not return cores")
+	}
+	// Releasing twice is an error, and cost must not change.
+	if err := c.Release(vm); err != ErrReleased {
+		t.Fatalf("double release err = %v", err)
+	}
+	if got := c.Cost(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("cost after double release = %v", got)
+	}
+}
+
+func TestPublicTierPriceApplied(t *testing.T) {
+	e, c := newTestCloud(110)
+	vm, err := c.Hire(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(3, func() {})
+	e.Run()
+	if err := c.Release(vm); err != nil {
+		t.Fatal(err)
+	}
+	// 2 cores × 3 TU × 110 = 660.
+	if got := c.Cost(); math.Abs(got-660) > 1e-9 {
+		t.Fatalf("cost = %v, want 660", got)
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	e, c := newTestCloud(50)
+	vm, err := c.Hire(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(2, func() {})
+	e.Run()
+	if err := c.Reconfigure(vm, 8); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Cores != 8 || c.CoresInUse(0) != 8 {
+		t.Fatal("resize bookkeeping wrong")
+	}
+	if vm.ReadyAt != 2.5 {
+		t.Fatalf("ReadyAt = %v, want now+startup = 2.5", vm.ReadyAt)
+	}
+	e.Schedule(4, func() {})
+	e.Run()
+	if err := c.Release(vm); err != nil {
+		t.Fatal(err)
+	}
+	// 4 cores × 2 TU × 5 + 8 cores × 2 TU × 5 = 40 + 80 = 120.
+	if got := c.Cost(); math.Abs(got-120) > 1e-9 {
+		t.Fatalf("cost = %v, want 120", got)
+	}
+}
+
+func TestReconfigureValidation(t *testing.T) {
+	_, c := newTestCloud(50)
+	vm, err := c.Hire(0, 620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Growing past capacity fails.
+	if err := c.Reconfigure(vm, 640); err != ErrNoCapacity {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Reconfigure(vm, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if err := c.Release(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconfigure(vm, 4); err != ErrReleased {
+		t.Fatalf("reconfigure after release err = %v", err)
+	}
+}
+
+func TestHireValidation(t *testing.T) {
+	_, c := newTestCloud(50)
+	if _, err := c.Hire(-1, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := c.Hire(7, 1); err == nil {
+		t.Fatal("bad tier accepted")
+	}
+}
+
+func TestCheapestTierWithCapacity(t *testing.T) {
+	_, c := newTestCloud(50)
+	if got := c.CheapestTierWithCapacity(16); got != 0 {
+		t.Fatalf("cheapest = %d, want private", got)
+	}
+	for i := 0; i < 39; i++ {
+		if _, err := c.Hire(0, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CheapestTierWithCapacity(16); got != 1 {
+		t.Fatalf("cheapest when private full = %d, want public", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	_, c := newTestCloud(50)
+	if c.Utilization(0) != 0 {
+		t.Fatal("empty utilization nonzero")
+	}
+	if _, err := c.Hire(0, 312); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Utilization(0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	// Unbounded tiers report zero utilisation.
+	if _, err := c.Hire(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Utilization(1) != 0 {
+		t.Fatal("unbounded tier utilization nonzero")
+	}
+}

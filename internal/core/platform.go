@@ -1,0 +1,282 @@
+// Package core assembles the SCAN platform's public face: the Data Broker
+// (knowledge-base-advised sharding), a pool of SCAN workers, and an
+// executable variant-calling pipeline built from the in-repo substrates
+// (k-mer aligner, pileup caller, format codecs).
+//
+// Two execution surfaces exist: this package runs real analyses on real
+// data with goroutine workers (the paper's prototype, scaled to a
+// laptop), while package experiment runs the discrete-event simulation
+// used for the paper's evaluation figures.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"scan/internal/align"
+	"scan/internal/cloud"
+	"scan/internal/genomics"
+	"scan/internal/knowledge"
+	"scan/internal/shard"
+	"scan/internal/variant"
+	"scan/internal/workflow"
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Workers is the parallel worker count (default: GOMAXPROCS).
+	Workers int
+	// KB is the application knowledge base; a fresh base seeded with the
+	// paper's GATK profiles is created when nil.
+	KB *knowledge.Base
+	// RecordsPerUnit converts the knowledge base's abstract input-size
+	// units (the paper's GB) into read records for the real toolkit
+	// (default 1000 records per unit).
+	RecordsPerUnit int
+}
+
+// Platform is the SCAN application platform.
+type Platform struct {
+	kb             *knowledge.Base
+	workers        int
+	recordsPerUnit int
+}
+
+// NewPlatform builds a platform.
+func NewPlatform(opts Options) *Platform {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.KB == nil {
+		opts.KB = knowledge.New()
+		opts.KB.SeedPaperProfiles()
+		opts.KB.SeedCloudOntology(cloud.DefaultTiers(50))
+		opts.KB.SeedDomainLinks()
+		// The full Figure 1 analysis catalogue, queryable over SPARQL.
+		if err := workflow.DefaultCatalogue().ExportTo(opts.KB); err != nil {
+			panic(err) // static catalogue: failure is a programming error
+		}
+	}
+	if opts.RecordsPerUnit <= 0 {
+		opts.RecordsPerUnit = 1000
+	}
+	return &Platform{
+		kb:             opts.KB,
+		workers:        opts.Workers,
+		recordsPerUnit: opts.RecordsPerUnit,
+	}
+}
+
+// KB exposes the platform's knowledge base.
+func (p *Platform) KB() *knowledge.Base { return p.kb }
+
+// Workers returns the configured worker count.
+func (p *Platform) Workers() int { return p.workers }
+
+// VariantCallingJob is one end-to-end analysis request: align reads to the
+// reference and call variants.
+type VariantCallingJob struct {
+	Reference genomics.Sequence
+	Reads     []genomics.Read
+	// Aligner and Caller configurations; zero values use the package
+	// defaults.
+	Aligner align.Config
+	Caller  variant.Config
+	// ShardRecords overrides the knowledge base's shard-size advice
+	// (records per alignment shard). Zero asks the Data Broker.
+	ShardRecords int
+	// Regions overrides the number of variant-calling scatter regions
+	// (default: the worker count).
+	Regions int
+}
+
+// StageTiming reports one pipeline stage's wall-clock duration.
+type StageTiming struct {
+	Stage   string
+	Shards  int
+	Elapsed time.Duration
+}
+
+// VariantCallingResult carries the pipeline outputs.
+type VariantCallingResult struct {
+	Header     genomics.Header
+	Alignments []genomics.Alignment // coordinate-sorted
+	Variants   []genomics.Variant   // sorted, deduplicated
+	Mapped     int
+	ShardPlan  shard.Plan
+	Timings    []StageTiming
+	// Advice is the Data Broker's recommendation that sized the shards
+	// (zero value when ShardRecords overrode it).
+	Advice knowledge.Advice
+}
+
+// WriteSAM writes the alignments in SAM format.
+func (r *VariantCallingResult) WriteSAM(w io.Writer) error {
+	h := r.Header
+	h.SortOrder = "coordinate"
+	return genomics.WriteSAM(w, h, r.Alignments)
+}
+
+// WriteVCF writes the variant calls in VCF format.
+func (r *VariantCallingResult) WriteVCF(w io.Writer) error {
+	return genomics.WriteVCF(w, "SCAN", r.Variants)
+}
+
+// ErrNoReads is returned for an empty read set.
+var ErrNoReads = errors.New("core: job has no reads")
+
+// RunVariantCalling executes the full scatter-gather pipeline:
+//
+//	shard reads → parallel align → merge → scatter by region →
+//	parallel pileup+call → merge VCF
+//
+// Per-shard stage timings are logged back into the knowledge base, growing
+// it exactly the way the paper describes.
+func (p *Platform) RunVariantCalling(ctx context.Context, job VariantCallingJob) (*VariantCallingResult, error) {
+	if len(job.Reads) == 0 {
+		return nil, ErrNoReads
+	}
+	res := &VariantCallingResult{}
+
+	recordsPerShard := job.ShardRecords
+	if recordsPerShard <= 0 {
+		jobUnits := float64(len(job.Reads)) / float64(p.recordsPerUnit)
+		adv, err := p.kb.ShardAdvice(jobUnits)
+		if err != nil {
+			return nil, fmt.Errorf("core: data broker: %w", err)
+		}
+		res.Advice = adv
+		recordsPerShard = int(adv.ShardSize * float64(p.recordsPerUnit))
+		if recordsPerShard < 1 {
+			recordsPerShard = 1
+		}
+	}
+	plan, err := shard.PlanByRecords(len(job.Reads), recordsPerShard)
+	if err != nil {
+		return nil, err
+	}
+	res.ShardPlan = plan
+
+	aligner, err := align.New(job.Reference, job.Aligner)
+	if err != nil {
+		return nil, err
+	}
+	res.Header = aligner.Header()
+
+	// Stage 1: parallel alignment over read shards.
+	readShards, err := shard.ChunkReads(job.Reads, recordsPerShard)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	alnShards := make([][]genomics.Alignment, len(readShards))
+	mapped := make([]int, len(readShards))
+	err = p.forEach(ctx, len(readShards), func(i int) error {
+		alnShards[i], mapped[i] = aligner.AlignAll(readShards[i])
+		p.logStage("BWA", 0, len(readShards[i]), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Alignments = genomics.MergeSorted(alnShards...)
+	for _, m := range mapped {
+		res.Mapped += m
+	}
+	res.Timings = append(res.Timings, StageTiming{
+		Stage: "align", Shards: len(readShards), Elapsed: time.Since(start),
+	})
+
+	// Stage 2: scatter mapped alignments by genomic region, call variants
+	// per region in parallel, gather into one call set.
+	nRegions := job.Regions
+	if nRegions <= 0 {
+		nRegions = p.workers
+	}
+	regions, err := shard.Regions(job.Reference.Len(), nRegions)
+	if err != nil {
+		return nil, err
+	}
+	// Overlap-aware scatter: a read spanning a region boundary feeds the
+	// pileups of both regions, so boundary positions see full coverage.
+	parts, _ := shard.PartitionByOverlap(res.Alignments, regions)
+	start = time.Now()
+	varShards := make([][]genomics.Variant, len(parts))
+	err = p.forEach(ctx, len(parts), func(i int) error {
+		caller := variant.NewCaller(job.Reference, job.Caller)
+		for _, a := range parts[i] {
+			if err := caller.Add(a); err != nil {
+				return err
+			}
+		}
+		calls := caller.Call()
+		// Keep only calls inside this region so region overlaps cannot
+		// duplicate evidence across shards.
+		kept := calls[:0]
+		for _, v := range calls {
+			if regions[i].Contains(v.Pos) {
+				kept = append(kept, v)
+			}
+		}
+		varShards[i] = kept
+		p.logStage("GATK", 1, len(parts[i]), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Variants = genomics.MergeVariants(varShards...)
+	res.Timings = append(res.Timings, StageTiming{
+		Stage: "call", Shards: len(parts), Elapsed: time.Since(start),
+	})
+	return res, nil
+}
+
+// forEach runs fn(0..n-1) on the worker pool, stopping at the first error
+// or context cancellation.
+func (p *Platform) forEach(ctx context.Context, n int, fn func(int) error) error {
+	if n == 0 {
+		return nil
+	}
+	sem := make(chan struct{}, p.workers)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errCh <- fn(i)
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// logStage feeds an observed stage execution back into the knowledge base;
+// logging failures are deliberately ignored (telemetry must not fail the
+// analysis).
+func (p *Platform) logStage(app string, stage, records int, elapsed time.Duration) {
+	_ = p.kb.LogRun(knowledge.RunLog{
+		App:       app,
+		Stage:     stage,
+		InputSize: float64(records) / float64(p.recordsPerUnit),
+		Threads:   1,
+		ETime:     elapsed.Seconds(),
+	})
+}

@@ -1,0 +1,364 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scan/internal/reward"
+	"scan/internal/scheduler"
+)
+
+// quickCfg shrinks the arrival window so tests stay fast while keeping the
+// workload statistically meaningful.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.SimTime = 400
+	return cfg
+}
+
+// TestDefaultConfigMatchesTableIII is experiment T3: the fixed simulation
+// attributes must be the paper's.
+func TestDefaultConfigMatchesTableIII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SimTime != 10000 {
+		t.Errorf("SimTime = %v, want 10000", cfg.SimTime)
+	}
+	if cfg.PrivatePrice != 5 {
+		t.Errorf("PrivatePrice = %v, want 5", cfg.PrivatePrice)
+	}
+	if cfg.Params.RMax != 400 || cfg.Params.RPenalty != 15 || cfg.Params.RScale != 15000 {
+		t.Errorf("reward params = %+v, want Rmax 400 / Rpenalty 15 / Rscale 15000", cfg.Params)
+	}
+	if cfg.JobsPerArrivalMean != 3 || cfg.JobsPerArrivalVar != 2 {
+		t.Errorf("jobs per arrival = %v/%v, want 3/2", cfg.JobsPerArrivalMean, cfg.JobsPerArrivalVar)
+	}
+	if cfg.JobSizeMean != 5 || cfg.JobSizeVar != 1 {
+		t.Errorf("job size = %v/%v, want 5/1", cfg.JobSizeMean, cfg.JobSizeVar)
+	}
+	if cfg.Startup != 0.5 {
+		t.Errorf("Startup = %v, want 0.5 TU (30 s)", cfg.Startup)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	cfg := quickCfg()
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Metrics.TotalReward != b.Metrics.TotalReward ||
+		a.Metrics.TotalCost != b.Metrics.TotalCost ||
+		a.Metrics.JobsCompleted != b.Metrics.JobsCompleted {
+		t.Fatalf("same seed, different outcomes:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	cfg.Seed = 2
+	c := Run(cfg)
+	if c.Metrics.TotalReward == a.Metrics.TotalReward {
+		t.Fatal("different seeds produced identical rewards (suspicious)")
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	r := Run(quickCfg())
+	if r.Metrics.JobsArrived == 0 {
+		t.Fatal("no jobs arrived")
+	}
+	if r.Metrics.JobsCompleted != r.Metrics.JobsArrived {
+		t.Fatalf("completed %d of %d jobs", r.Metrics.JobsCompleted, r.Metrics.JobsArrived)
+	}
+	if r.DrainTime < r.Config.SimTime {
+		t.Fatalf("drain time %v before arrival window closed", r.DrainTime)
+	}
+}
+
+func TestArrivalRateTracksInterval(t *testing.T) {
+	slow := quickCfg()
+	slow.MeanInterArrival = 3.0
+	fast := quickCfg()
+	fast.MeanInterArrival = 2.0
+	rs := Run(slow)
+	rf := Run(fast)
+	if rf.Metrics.JobsArrived <= rs.Metrics.JobsArrived {
+		t.Fatalf("faster arrivals produced fewer jobs: %d vs %d",
+			rf.Metrics.JobsArrived, rs.Metrics.JobsArrived)
+	}
+	// Sanity: expected jobs ≈ SimTime/interval × batch mean (±40%).
+	expect := 400.0 / 2.0 * 3.0
+	got := float64(rf.Metrics.JobsArrived)
+	if got < expect*0.6 || got > expect*1.4 {
+		t.Fatalf("arrivals %v far from expectation %v", got, expect)
+	}
+}
+
+func TestPrivateUtilizationTracksLoad(t *testing.T) {
+	light := quickCfg()
+	light.MeanInterArrival = 3.0
+	heavy := quickCfg()
+	heavy.MeanInterArrival = 2.0
+	rl := Run(light)
+	rh := Run(heavy)
+	if rl.PrivateUtil.N == 0 || rh.PrivateUtil.N == 0 {
+		t.Fatal("no utilisation samples recorded")
+	}
+	if rh.PrivateUtil.Mean <= rl.PrivateUtil.Mean {
+		t.Fatalf("heavier load should raise utilisation: %.2f vs %.2f",
+			rh.PrivateUtil.Mean, rl.PrivateUtil.Mean)
+	}
+	if rh.PrivateUtil.Max > 1.0+1e-9 {
+		t.Fatalf("utilisation above 1: %v", rh.PrivateUtil.Max)
+	}
+}
+
+func TestRepeatVariesSeeds(t *testing.T) {
+	rs := Repeat(quickCfg(), 3)
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].Metrics.TotalReward == rs[1].Metrics.TotalReward &&
+		rs[1].Metrics.TotalReward == rs[2].Metrics.TotalReward {
+		t.Fatal("repeats did not vary")
+	}
+	s := Summarize(rs, ProfitPerJob)
+	if s.N != 3 || s.Std == 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// TestPredictiveInterpolatesBaselines is experiment C1: the predictive
+// scaler must behave like never-scale under a light workload, dominate the
+// baselines' worst case under a heavy one, and the two baselines must cross
+// inside the swept range (never-scale best at light load, worst at heavy).
+func TestPredictiveInterpolatesBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	// Never-scale's queue divergence at heavy load builds up over time, so
+	// this test needs a longer arrival window than the other small runs.
+	cfg := quickCfg()
+	cfg.SimTime = 2000
+	const repeats = 3
+	profit := func(interval float64, sc scheduler.ScalingPolicy) float64 {
+		c := cfg
+		c.MeanInterArrival = interval
+		c.Scaling = sc
+		return Summarize(Repeat(c, repeats), ProfitPerJob).Mean
+	}
+	neverLight := profit(3.0, scheduler.NeverScale)
+	neverHeavy := profit(2.0, scheduler.NeverScale)
+	alwaysLight := profit(3.0, scheduler.AlwaysScale)
+	alwaysHeavy := profit(2.0, scheduler.AlwaysScale)
+	predLight := profit(3.0, scheduler.PredictiveScale)
+	predHeavy := profit(2.0, scheduler.PredictiveScale)
+
+	// Never-scale degrades sharply with load.
+	if neverLight <= neverHeavy {
+		t.Errorf("never-scale did not degrade: light %v, heavy %v", neverLight, neverHeavy)
+	}
+	// The baselines cross: never wins at light load, always at heavy load.
+	if neverLight <= alwaysLight {
+		t.Errorf("light load: never (%v) should beat always (%v)", neverLight, alwaysLight)
+	}
+	if alwaysHeavy <= neverHeavy {
+		t.Errorf("heavy load: always (%v) should beat never (%v)", alwaysHeavy, neverHeavy)
+	}
+	// Predictive tracks the better baseline at both ends.
+	if predLight < neverLight-300 {
+		t.Errorf("light load: predictive (%v) far below never-scale (%v)", predLight, neverLight)
+	}
+	if predHeavy < alwaysHeavy {
+		t.Errorf("heavy load: predictive (%v) below always-scale (%v)", predHeavy, alwaysHeavy)
+	}
+}
+
+func TestFigure4SmallRun(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 150
+	pts := Figure4(cfg, 2)
+	if len(pts) != 11*3 {
+		t.Fatalf("got %d points, want 33", len(pts))
+	}
+	var sb strings.Builder
+	WriteFigure4(&sb, pts)
+	out := sb.String()
+	for _, want := range []string{"predictive", "always-scale", "never-scale", "2.0", "3.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 4 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure5Plans(t *testing.T) {
+	plans := Figure5Plans(DefaultConfig().Pipeline)
+	if len(plans) != 17 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	if plans[0].CoreStages() != 7 {
+		t.Fatalf("first plan core-stages = %d, want 7 (all serial)", plans[0].CoreStages())
+	}
+	for i, p := range plans {
+		if err := p.Validate(7); err != nil {
+			t.Fatalf("plan %d invalid: %v", i, err)
+		}
+		if i > 0 && p.CoreStages() <= plans[i-1].CoreStages() {
+			t.Fatalf("core-stages not strictly increasing at %d: %d then %d",
+				i, plans[i-1].CoreStages(), p.CoreStages())
+		}
+	}
+}
+
+// TestFigure5Shape is experiments F5 + C3: the reward-to-cost curve must be
+// high near the paper's 3.11 at an interior number of core-stages and fall
+// off for very wide plans.
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	cfg := quickCfg()
+	cfg.SimTime = 600
+	pts := Figure5(cfg, 2)
+	best := BestRatio(pts)
+	if best.Ratio.Mean < 2.3 || best.Ratio.Mean > 4.0 {
+		t.Errorf("peak ratio %v too far from the paper's 3.11", best.Ratio.Mean)
+	}
+	if best.CoreStages < 7 || best.CoreStages > 24 {
+		t.Errorf("peak at %d core-stages, expected within the paper's 6–24 range", best.CoreStages)
+	}
+	widest := pts[len(pts)-1]
+	if widest.Ratio.Mean >= best.Ratio.Mean {
+		t.Errorf("ratio did not fall off for the widest plan: %v >= %v",
+			widest.Ratio.Mean, best.Ratio.Mean)
+	}
+	var sb strings.Builder
+	WriteFigure5(&sb, pts)
+	if !strings.Contains(sb.String(), "paper: 3.11") {
+		t.Fatal("figure 5 table missing paper reference")
+	}
+}
+
+// TestHeterogeneousHelps is experiment C3's mechanism check: with dynamic
+// heterogeneous workers enabled, reconfigurations actually happen under a
+// mixed-width plan.
+func TestHeterogeneousHelps(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 200
+	cfg.Heterogeneous = true
+	r := Run(cfg)
+	if r.Metrics.Reconfigs == 0 {
+		t.Fatal("no reconfigurations despite heterogeneous mode")
+	}
+}
+
+func TestCompareAllocationSmallRun(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 150
+	pts := CompareAllocation(cfg, 1)
+	if len(pts) != 11*4 {
+		t.Fatalf("got %d points, want 44", len(pts))
+	}
+	var sb strings.Builder
+	WriteAllocation(&sb, pts)
+	for _, want := range []string{"best-constant", "greedy", "long-term", "long-term-adaptive"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("allocation table missing %q", want)
+		}
+	}
+}
+
+// TestAdaptiveBeatsConstantSomewhere is experiment C2: at least one point
+// of the sweep has an adaptive allocation policy outperforming the
+// best-constant baseline ("the SCAN outperforms the best-constant baseline
+// algorithm in many circumstances").
+func TestAdaptiveBeatsConstantSomewhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	cfg := quickCfg()
+	cfg.SimTime = 600
+	const repeats = 2
+	wins := 0
+	total := 0
+	for _, interval := range []float64{2.0, 2.4, 2.8} {
+		c := cfg
+		c.MeanInterArrival = interval
+		c.Allocation = scheduler.BestConstant
+		base := Summarize(Repeat(c, repeats), ProfitPerJob).Mean
+		for _, al := range []scheduler.AllocationPolicy{
+			scheduler.Greedy, scheduler.LongTerm, scheduler.LongTermAdaptive,
+		} {
+			c.Allocation = al
+			got := Summarize(Repeat(c, repeats), ProfitPerJob).Mean
+			total++
+			if got > base {
+				wins++
+			}
+		}
+	}
+	if wins == 0 {
+		t.Fatalf("no adaptive policy beat best-constant at any of %d points", total)
+	}
+}
+
+func TestSweepSmallGrid(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 100
+	pts := Sweep(cfg, SweepOptions{
+		Repeats:   1,
+		Intervals: []float64{2.0, 3.0},
+		Costs:     []float64{50},
+	})
+	// 4 allocation × 3 scaling × 2 schemes × 1 cost × 2 intervals.
+	if len(pts) != 48 {
+		t.Fatalf("got %d points, want 48", len(pts))
+	}
+	var sb strings.Builder
+	WriteSweep(&sb, pts)
+	if !strings.Contains(sb.String(), "throughput-based") {
+		t.Fatal("sweep table missing throughput scheme")
+	}
+}
+
+func TestThroughputSchemeRuns(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 200
+	cfg.Scheme = reward.ThroughputBased
+	r := Run(cfg)
+	if r.Metrics.JobsCompleted == 0 {
+		t.Fatal("no jobs under throughput scheme")
+	}
+	if r.Metrics.TotalReward <= 0 {
+		t.Fatal("throughput reward must be positive")
+	}
+}
+
+func TestPublicCostMonotonic(t *testing.T) {
+	// Raising the public price must not increase profit under always-scale.
+	cfg := quickCfg()
+	cfg.SimTime = 300
+	cfg.Scaling = scheduler.AlwaysScale
+	cfg.MeanInterArrival = 2.0
+	var prev float64 = math.Inf(1)
+	for _, price := range []float64{20, 50, 110} {
+		c := cfg
+		c.PublicPrice = price
+		p := Run(c).Metrics.ProfitPerJob()
+		if p > prev+1e-9 {
+			t.Fatalf("profit rose with public price: %v at %v", p, price)
+		}
+		prev = p
+	}
+}
+
+func TestArrivalIntervalsGrid(t *testing.T) {
+	ivs := ArrivalIntervals()
+	if len(ivs) != 11 || ivs[0] != 2.0 || math.Abs(ivs[10]-3.0) > 1e-9 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+}
+
+func BenchmarkRunSession(b *testing.B) {
+	cfg := quickCfg()
+	cfg.SimTime = 200
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		Run(cfg)
+	}
+}

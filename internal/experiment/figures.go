@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"scan/internal/gatk"
+	"scan/internal/reward"
+	"scan/internal/scheduler"
+	"scan/internal/stats"
+)
+
+// ArrivalIntervals is the Table I sweep: 2.0, 2.1, …, 3.0 TU.
+func ArrivalIntervals() []float64 {
+	var out []float64
+	for i := 0; i <= 10; i++ {
+		out = append(out, 2.0+float64(i)*0.1)
+	}
+	return out
+}
+
+// Figure4Point is one (interval, scaling policy) cell of Figure 4.
+type Figure4Point struct {
+	Interval float64
+	Scaling  scheduler.ScalingPolicy
+	Profit   stats.Summary // mean profit per pipeline run ± σ
+}
+
+// Figure4 reproduces the paper's Figure 4: mean profit per pipeline run
+// vs. mean arrival interval for the three horizontal scaling functions,
+// under the time-based reward, public-tier cost 50, and the best-constant
+// allocation plan.
+func Figure4(base Config, repeats int) []Figure4Point {
+	base.Scheme = reward.TimeBased
+	base.PublicPrice = 50
+	base.Allocation = scheduler.BestConstant
+	var out []Figure4Point
+	for _, interval := range ArrivalIntervals() {
+		for _, sc := range []scheduler.ScalingPolicy{
+			scheduler.PredictiveScale, scheduler.AlwaysScale, scheduler.NeverScale,
+		} {
+			cfg := base
+			cfg.MeanInterArrival = interval
+			cfg.Scaling = sc
+			out = append(out, Figure4Point{
+				Interval: interval,
+				Scaling:  sc,
+				Profit:   Summarize(Repeat(cfg, repeats), ProfitPerJob),
+			})
+		}
+	}
+	return out
+}
+
+// Figure5Point is one plan of the Figure 5 series.
+type Figure5Point struct {
+	Plan       gatk.Plan
+	CoreStages int
+	Ratio      stats.Summary // reward-to-cost ratio ± σ
+}
+
+// Figure5Plans generates the plan family swept by Figure 5: starting from
+// the all-serial plan, stages are upgraded to the next instance size in
+// descending order of parallel fraction, yielding a monotone series of
+// total core-stages per pipeline run.
+func Figure5Plans(p gatk.Pipeline) []gatk.Plan {
+	n := len(p.Stages)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Stages[order[a]].C > p.Stages[order[b]].C
+	})
+	plans := []gatk.Plan{gatk.UniformPlan(n, 1)}
+	cur := gatk.UniformPlan(n, 1)
+	// Upgrade each stage one size step at a time, most-parallel first,
+	// until the four most parallel stages reach 16 threads.
+	for step := 0; step < 4; step++ {
+		for _, idx := range order[:4] {
+			next := append([]int(nil), cur.Threads...)
+			next[idx] = gatk.InstanceSizes[step+1]
+			cur = gatk.Plan{Threads: next}
+			plans = append(plans, cur)
+		}
+	}
+	return plans
+}
+
+// Figure5 reproduces the paper's Figure 5: reward-to-cost ratio vs. total
+// core-stages per pipeline run, with dynamic horizontal scaling and
+// heterogeneous workers (idle workers are reconfigured between widths,
+// paying the 30 s startup penalty).
+func Figure5(base Config, repeats int) []Figure5Point {
+	base.Heterogeneous = true
+	base.Scaling = scheduler.PredictiveScale
+	var out []Figure5Point
+	for _, plan := range Figure5Plans(base.Pipeline) {
+		plan := plan
+		cfg := base
+		cfg.FixedPlan = &plan
+		out = append(out, Figure5Point{
+			Plan:       plan,
+			CoreStages: plan.CoreStages(),
+			Ratio:      Summarize(Repeat(cfg, repeats), RewardToCost),
+		})
+	}
+	return out
+}
+
+// BestRatio returns the Figure 5 point with the highest mean ratio (the
+// paper reports 3.11 for the best configuration).
+func BestRatio(points []Figure5Point) Figure5Point {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Ratio.Mean > best.Ratio.Mean {
+			best = p
+		}
+	}
+	return best
+}
+
+// AllocationPoint is one (interval, allocation policy) cell of the
+// allocation-policy comparison (the paper's Section IV-B claim that the
+// adaptive policies often beat the best-constant baseline).
+type AllocationPoint struct {
+	Interval   float64
+	Allocation scheduler.AllocationPolicy
+	Profit     stats.Summary
+}
+
+// CompareAllocation sweeps the four allocation policies across the arrival
+// intervals under predictive scaling.
+func CompareAllocation(base Config, repeats int) []AllocationPoint {
+	base.Scaling = scheduler.PredictiveScale
+	var out []AllocationPoint
+	for _, interval := range ArrivalIntervals() {
+		for _, al := range []scheduler.AllocationPolicy{
+			scheduler.BestConstant, scheduler.Greedy,
+			scheduler.LongTerm, scheduler.LongTermAdaptive,
+		} {
+			cfg := base
+			cfg.MeanInterArrival = interval
+			cfg.Allocation = al
+			out = append(out, AllocationPoint{
+				Interval:   interval,
+				Allocation: al,
+				Profit:     Summarize(Repeat(cfg, repeats), ProfitPerJob),
+			})
+		}
+	}
+	return out
+}
+
+// SweepPoint is one cell of the full Table I cross-product.
+type SweepPoint struct {
+	Allocation scheduler.AllocationPolicy
+	Scaling    scheduler.ScalingPolicy
+	Interval   float64
+	Scheme     string
+	PublicCost float64
+	Profit     stats.Summary
+	Ratio      stats.Summary
+}
+
+// SweepOptions trims the full grid for time-bounded runs.
+type SweepOptions struct {
+	Repeats   int
+	Intervals []float64 // default: ArrivalIntervals()
+	Costs     []float64 // default: 20, 50, 80, 110
+}
+
+// Sweep explores the Table I parameter grid ("We explored all permutations
+// of resource allocation algorithm, horizontal scaling algorithm, reward
+// scheme and workload").
+func Sweep(base Config, opt SweepOptions) []SweepPoint {
+	if opt.Repeats <= 0 {
+		opt.Repeats = 3
+	}
+	if opt.Intervals == nil {
+		opt.Intervals = ArrivalIntervals()
+	}
+	if opt.Costs == nil {
+		opt.Costs = []float64{20, 50, 80, 110}
+	}
+	var out []SweepPoint
+	for _, al := range []scheduler.AllocationPolicy{
+		scheduler.BestConstant, scheduler.Greedy,
+		scheduler.LongTerm, scheduler.LongTermAdaptive,
+	} {
+		for _, sc := range []scheduler.ScalingPolicy{
+			scheduler.AlwaysScale, scheduler.NeverScale, scheduler.PredictiveScale,
+		} {
+			for _, scheme := range []reward.Scheme{reward.TimeBased, reward.ThroughputBased} {
+				for _, cost := range opt.Costs {
+					for _, interval := range opt.Intervals {
+						cfg := base
+						cfg.Allocation = al
+						cfg.Scaling = sc
+						cfg.Scheme = scheme
+						cfg.PublicPrice = cost
+						cfg.MeanInterArrival = interval
+						rs := Repeat(cfg, opt.Repeats)
+						out = append(out, SweepPoint{
+							Allocation: al,
+							Scaling:    sc,
+							Interval:   interval,
+							Scheme:     cfg.Scheme.String(),
+							PublicCost: cost,
+							Profit:     Summarize(rs, ProfitPerJob),
+							Ratio:      Summarize(rs, RewardToCost),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WriteFigure4 renders the Figure 4 series as an aligned table.
+func WriteFigure4(w io.Writer, points []Figure4Point) {
+	fmt.Fprintln(w, "Figure 4: profit vs. mean arrival interval (time-based reward, public cost 50, best-constant plan)")
+	fmt.Fprintf(w, "%-10s %-14s %12s %10s\n", "interval", "scaling", "profit/run", "stddev")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10.1f %-14s %12.1f %10.1f\n",
+			p.Interval, p.Scaling, p.Profit.Mean, p.Profit.Std)
+	}
+}
+
+// WriteFigure5 renders the Figure 5 series as an aligned table.
+func WriteFigure5(w io.Writer, points []Figure5Point) {
+	fmt.Fprintln(w, "Figure 5: reward-to-cost ratio vs. total core-stages per pipeline run (dynamic scaling, heterogeneous workers)")
+	fmt.Fprintf(w, "%-12s %-24s %8s %8s\n", "core-stages", "plan", "ratio", "stddev")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12d %-24v %8.2f %8.2f\n",
+			p.CoreStages, p.Plan.Threads, p.Ratio.Mean, p.Ratio.Std)
+	}
+	best := BestRatio(points)
+	fmt.Fprintf(w, "best ratio: %.2f at %d core-stages (paper: 3.11)\n",
+		best.Ratio.Mean, best.CoreStages)
+}
+
+// WriteAllocation renders the allocation comparison as an aligned table.
+func WriteAllocation(w io.Writer, points []AllocationPoint) {
+	fmt.Fprintln(w, "Allocation policies: profit vs. mean arrival interval (predictive scaling)")
+	fmt.Fprintf(w, "%-10s %-20s %12s %10s\n", "interval", "allocation", "profit/run", "stddev")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10.1f %-20s %12.1f %10.1f\n",
+			p.Interval, p.Allocation, p.Profit.Mean, p.Profit.Std)
+	}
+}
+
+// WriteSweep renders the sweep as an aligned table.
+func WriteSweep(w io.Writer, points []SweepPoint) {
+	fmt.Fprintln(w, "Table I sweep: allocation × scaling × reward × public cost × interval")
+	fmt.Fprintf(w, "%-20s %-14s %-18s %6s %9s %12s %8s\n",
+		"allocation", "scaling", "reward", "cost", "interval", "profit/run", "ratio")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-20s %-14s %-18s %6.0f %9.1f %12.1f %8.2f\n",
+			p.Allocation, p.Scaling, p.Scheme, p.PublicCost, p.Interval,
+			p.Profit.Mean, p.Ratio.Mean)
+	}
+}

@@ -1,0 +1,246 @@
+// Package gatk models the paper's 7-stage GATK variant-calling pipeline:
+// per-stage single-threaded execution time E_i(d) = a_i·d + b_i, and the
+// Amdahl threading model T_i(t,d) = c_i·E_i(d)/t + (1-c_i)·E_i(d), with the
+// per-stage (a, b, c) coefficients of Table II. It also provides execution
+// plans (threads per stage) and the offline "best constant plan" search
+// used as the paper's baseline resource-allocation policy.
+package gatk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StageModel holds one pipeline stage's scalability coefficients.
+type StageModel struct {
+	Name string
+	A    float64 // TU per unit of input data (slope)
+	B    float64 // fixed TU overhead (intercept)
+	C    float64 // parallelisable fraction, in [0, 1]
+}
+
+// SerialTime returns the single-threaded execution time for input size d.
+// The model is clamped below at a small positive floor: Table II's stage 2
+// has b = -0.53, which would go non-physical for tiny shards.
+func (s StageModel) SerialTime(d float64) float64 {
+	t := s.A*d + s.B
+	if t < minStageTime {
+		return minStageTime
+	}
+	return t
+}
+
+// minStageTime is the execution-time floor in raw model units.
+const minStageTime = 0.05
+
+// Time returns the threaded execution time for input size d with t threads,
+// following Amdahl's law with parallel fraction C.
+func (s StageModel) Time(threads int, d float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	e := s.SerialTime(d)
+	return s.C*e/float64(threads) + (1-s.C)*e
+}
+
+// Speedup returns SerialTime/Time for the given thread count.
+func (s StageModel) Speedup(threads int) float64 {
+	return 1 / (s.C/float64(threads) + (1 - s.C))
+}
+
+// Table II of the paper: per-pipeline-stage scalability factors. Stage
+// names follow the canonical GATK DNA-seq variant pipeline the paper
+// evaluates (aligned BAM in, VCF out).
+var tableII = []StageModel{
+	{Name: "MarkDuplicates", A: 0.35, B: 5.38, C: 0.89},
+	{Name: "RealignerTargetCreator", A: 2.70, B: -0.53, C: 0.02},
+	{Name: "IndelRealigner", A: 1.74, B: 3.93, C: 0.69},
+	{Name: "BaseRecalibrator", A: 3.35, B: 0.53, C: 0.79},
+	{Name: "PrintReads", A: 1.03, B: 17.86, C: 0.91},
+	{Name: "UnifiedGenotyper", A: 0.02, B: 0.39, C: 0.25},
+	{Name: "VariantFiltration", A: 0.01, B: 5.10, C: 0.02},
+}
+
+// DefaultStages returns a copy of the Table II stage models.
+func DefaultStages() []StageModel {
+	out := make([]StageModel, len(tableII))
+	copy(out, tableII)
+	return out
+}
+
+// NumStages is the length of the paper's evaluation pipeline.
+const NumStages = 7
+
+// InstanceSizes are the possible worker shapes in cores (Table III).
+var InstanceSizes = []int{1, 2, 4, 8, 16}
+
+// Pipeline couples the stage models with the time-unit calibration.
+//
+// TimeScale converts the raw Table II profile units into simulation TUs
+// (stage time in TU = raw/TimeScale). The paper does not state the
+// profile's time unit; TimeScale is the main calibration constant of
+// this reproduction, chosen (3.0) so that the best configuration's
+// reward-to-cost ratio lands near the paper's reported 3.11 under the
+// Table III reward parameters. See EXPERIMENTS.md.
+type Pipeline struct {
+	Stages    []StageModel
+	TimeScale float64
+}
+
+// DefaultTimeScale is the calibrated raw-units-per-TU factor.
+const DefaultTimeScale = 3.0
+
+// NewPipeline returns the Table II pipeline under the default calibration.
+func NewPipeline() Pipeline {
+	return Pipeline{Stages: DefaultStages(), TimeScale: DefaultTimeScale}
+}
+
+// StageTime returns the simulation-TU execution time of stage i on an
+// input shard of size d with the given thread count.
+func (p Pipeline) StageTime(i, threads int, d float64) float64 {
+	return p.Stages[i].Time(threads, d) / p.TimeScale
+}
+
+// SerialStageTime returns the single-threaded TU time of stage i for size d.
+func (p Pipeline) SerialStageTime(i int, d float64) float64 {
+	return p.Stages[i].SerialTime(d) / p.TimeScale
+}
+
+// TotalTime returns the end-to-end latency of one shard of size d under
+// plan (no queueing).
+func (p Pipeline) TotalTime(plan Plan, d float64) float64 {
+	var sum float64
+	for i := range p.Stages {
+		sum += p.StageTime(i, plan.Threads[i], d)
+	}
+	return sum
+}
+
+// CoreTime returns the total core·TU consumed by one shard of size d under
+// plan (threads × time summed over stages) — the quantity billed by the
+// cloud cost function.
+func (p Pipeline) CoreTime(plan Plan, d float64) float64 {
+	var sum float64
+	for i := range p.Stages {
+		sum += float64(plan.Threads[i]) * p.StageTime(i, plan.Threads[i], d)
+	}
+	return sum
+}
+
+// Plan assigns a thread count to each pipeline stage ("the degree of
+// multi-threading must be chosen when the stage starts execution ... but
+// can differ from pipeline stage to stage").
+type Plan struct {
+	Threads []int
+}
+
+// UniformPlan gives every stage the same thread count.
+func UniformPlan(stages, threads int) Plan {
+	t := make([]int, stages)
+	for i := range t {
+		t[i] = threads
+	}
+	return Plan{Threads: t}
+}
+
+// CoreStages returns the paper's Figure 5 x-axis quantity: the total
+// core-stages per pipeline run (threads summed over stages).
+func (p Plan) CoreStages() int {
+	sum := 0
+	for _, t := range p.Threads {
+		sum += t
+	}
+	return sum
+}
+
+// Validate checks the plan against a pipeline and the permitted instance
+// sizes.
+func (p Plan) Validate(stages int) error {
+	if len(p.Threads) != stages {
+		return fmt.Errorf("gatk: plan has %d stages, pipeline has %d", len(p.Threads), stages)
+	}
+	for i, t := range p.Threads {
+		if !validSize(t) {
+			return fmt.Errorf("gatk: stage %d thread count %d is not an instance size", i, t)
+		}
+	}
+	return nil
+}
+
+func validSize(t int) bool {
+	for _, s := range InstanceSizes {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrNoStages is returned when optimising an empty pipeline.
+var ErrNoStages = errors.New("gatk: pipeline has no stages")
+
+// PlanObjective captures the economic context of a plan decision: the
+// per-TU latency penalty borne by the job's owner and the per-core-TU
+// price of compute.
+type PlanObjective struct {
+	// LatencyCostPerTU is the reward lost per TU of added latency
+	// (d·Rpenalty under the time-oriented scheme).
+	LatencyCostPerTU float64
+	// PricePerCoreTU is the compute price used to cost threads.
+	PricePerCoreTU float64
+	// Shards is the number of parallel data shards per stage (each shard
+	// occupies its own worker, so stage cost scales with Shards while
+	// stage latency does not).
+	Shards int
+	// OverheadTU is the billed-but-idle worker time per stage-task
+	// (startup penalty plus expected idle tail). Charging it in the
+	// objective keeps the optimiser from picking very wide plans whose
+	// per-hire overheads would swamp their latency savings.
+	OverheadTU float64
+}
+
+// OptimalConstantPlan performs the paper's "best constant plan" search:
+// for each stage, pick the thread count minimising
+//
+//	LatencyCostPerTU·T_i(t) + PricePerCoreTU·Shards·t·(T_i(t) + OverheadTU)
+//
+// Because stage latencies and costs are additive, per-stage minimisation is
+// globally optimal for the time-oriented reward (see DESIGN.md).
+func (p Pipeline) OptimalConstantPlan(shardSize float64, obj PlanObjective) (Plan, error) {
+	if len(p.Stages) == 0 {
+		return Plan{}, ErrNoStages
+	}
+	threads := make([]int, len(p.Stages))
+	for i := range p.Stages {
+		best, bestCost := InstanceSizes[0], 0.0
+		for k, t := range InstanceSizes {
+			cost := p.stageObjective(i, t, shardSize, obj)
+			if k == 0 || cost < bestCost {
+				best, bestCost = t, cost
+			}
+		}
+		threads[i] = best
+	}
+	return Plan{Threads: threads}, nil
+}
+
+// stageObjective is one stage's contribution to the plan objective.
+func (p Pipeline) stageObjective(i, t int, shardSize float64, obj PlanObjective) float64 {
+	shards := obj.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	ti := p.StageTime(i, t, shardSize)
+	return obj.LatencyCostPerTU*ti +
+		obj.PricePerCoreTU*float64(shards*t)*(ti+obj.OverheadTU)
+}
+
+// PlanCost evaluates the objective for a whole plan (used by tests and the
+// allocation policies to compare plans).
+func (p Pipeline) PlanCost(plan Plan, shardSize float64, obj PlanObjective) float64 {
+	var sum float64
+	for i := range p.Stages {
+		sum += p.stageObjective(i, plan.Threads[i], shardSize, obj)
+	}
+	return sum
+}

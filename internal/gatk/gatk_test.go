@@ -1,0 +1,206 @@
+package gatk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIIValues(t *testing.T) {
+	stages := DefaultStages()
+	if len(stages) != NumStages {
+		t.Fatalf("got %d stages, want %d", len(stages), NumStages)
+	}
+	// Spot-check the Table II rows.
+	if stages[0].A != 0.35 || stages[0].B != 5.38 || stages[0].C != 0.89 {
+		t.Fatalf("stage 1 = %+v", stages[0])
+	}
+	if stages[1].A != 2.70 || stages[1].B != -0.53 || stages[1].C != 0.02 {
+		t.Fatalf("stage 2 = %+v", stages[1])
+	}
+	if stages[6].A != 0.01 || stages[6].B != 5.10 || stages[6].C != 0.02 {
+		t.Fatalf("stage 7 = %+v", stages[6])
+	}
+	// Mutating the copy must not affect the table.
+	stages[0].A = 99
+	if DefaultStages()[0].A != 0.35 {
+		t.Fatal("DefaultStages returns a shared slice")
+	}
+}
+
+func TestSerialTimeLinearAndClamped(t *testing.T) {
+	s := StageModel{A: 2.70, B: -0.53, C: 0.02}
+	if got := s.SerialTime(5); math.Abs(got-12.97) > 1e-12 {
+		t.Fatalf("SerialTime(5) = %v", got)
+	}
+	// At tiny d the raw model is negative; must clamp to the floor.
+	if got := s.SerialTime(0.1); got != minStageTime {
+		t.Fatalf("SerialTime(0.1) = %v, want floor %v", got, minStageTime)
+	}
+}
+
+func TestAmdahlBounds(t *testing.T) {
+	for _, s := range DefaultStages() {
+		e := s.SerialTime(5)
+		for _, th := range InstanceSizes {
+			tt := s.Time(th, 5)
+			if tt > e+1e-12 {
+				t.Fatalf("%s: threading slowed execution: T(%d)=%v > E=%v", s.Name, th, tt, e)
+			}
+			if tt < e/float64(th)-1e-12 {
+				t.Fatalf("%s: superlinear speedup: T(%d)=%v < E/t=%v", s.Name, th, tt, e/float64(th))
+			}
+		}
+	}
+}
+
+// Property: speedup is monotone nondecreasing in threads and bounded by
+// Amdahl's limit 1/(1-c).
+func TestSpeedupProperty(t *testing.T) {
+	f := func(cRaw uint8, dRaw uint8) bool {
+		c := float64(cRaw%100) / 100
+		s := StageModel{A: 1, B: 1, C: c}
+		prev := 0.0
+		for _, th := range InstanceSizes {
+			sp := s.Speedup(th)
+			if sp < prev-1e-12 {
+				return false
+			}
+			if c < 1 && sp > 1/(1-c)+1e-9 {
+				return false
+			}
+			prev = sp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadsBelowOneClamped(t *testing.T) {
+	s := StageModel{A: 1, B: 0, C: 0.5}
+	if s.Time(0, 10) != s.Time(1, 10) {
+		t.Fatal("thread count below 1 not clamped")
+	}
+}
+
+func TestPipelineTotalAndCoreTime(t *testing.T) {
+	p := NewPipeline()
+	plan := UniformPlan(NumStages, 1)
+	total := p.TotalTime(plan, 5)
+	// Serial total at d=5 is 78.66 raw units; divided by TimeScale 3.0.
+	want := 78.66 / 3.0
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("TotalTime = %v, want %v", total, want)
+	}
+	// With one thread, core time equals total time.
+	if ct := p.CoreTime(plan, 5); math.Abs(ct-total) > 1e-9 {
+		t.Fatalf("CoreTime = %v, want %v", ct, total)
+	}
+	// More threads: latency drops, core time rises.
+	plan16 := UniformPlan(NumStages, 16)
+	if p.TotalTime(plan16, 5) >= total {
+		t.Fatal("16 threads did not reduce latency")
+	}
+	if p.CoreTime(plan16, 5) <= p.CoreTime(plan, 5) {
+		t.Fatal("16 threads did not increase core time")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := UniformPlan(NumStages, 8).Validate(NumStages); err != nil {
+		t.Fatal(err)
+	}
+	if err := UniformPlan(3, 8).Validate(NumStages); err == nil {
+		t.Fatal("wrong stage count accepted")
+	}
+	bad := UniformPlan(NumStages, 8)
+	bad.Threads[2] = 3
+	if err := bad.Validate(NumStages); err == nil {
+		t.Fatal("non-instance-size thread count accepted")
+	}
+}
+
+func TestCoreStages(t *testing.T) {
+	p := Plan{Threads: []int{8, 1, 4, 4, 8, 1, 1}}
+	if got := p.CoreStages(); got != 27 {
+		t.Fatalf("CoreStages = %d, want 27", got)
+	}
+}
+
+func TestOptimalConstantPlan(t *testing.T) {
+	p := NewPipeline()
+	obj := PlanObjective{LatencyCostPerTU: 75, PricePerCoreTU: 5, Shards: 3}
+	plan, err := p.OptimalConstantPlan(5.0/3, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(NumStages); err != nil {
+		t.Fatal(err)
+	}
+	// Nearly-serial stages (c=0.02) must stay single-threaded: threading
+	// them costs cores and saves almost nothing.
+	if plan.Threads[1] != 1 || plan.Threads[6] != 1 {
+		t.Fatalf("serial stages got threads: %v", plan.Threads)
+	}
+	// Highly parallel stages (c≈0.9) must be multithreaded.
+	if plan.Threads[0] < 2 || plan.Threads[4] < 2 {
+		t.Fatalf("parallel stages under-threaded: %v", plan.Threads)
+	}
+	// The optimum must beat every uniform plan under the same objective.
+	bestCost := p.PlanCost(plan, 5.0/3, obj)
+	for _, th := range InstanceSizes {
+		if c := p.PlanCost(UniformPlan(NumStages, th), 5.0/3, obj); c < bestCost-1e-9 {
+			t.Fatalf("uniform %d-thread plan (%v) beats 'optimal' (%v)", th, c, bestCost)
+		}
+	}
+}
+
+// Property: OptimalConstantPlan is exact — no plan drawn from the instance
+// sizes has lower objective cost.
+func TestOptimalConstantPlanProperty(t *testing.T) {
+	p := NewPipeline()
+	f := func(latRaw, priceRaw uint8, altRaw [NumStages]uint8) bool {
+		obj := PlanObjective{
+			LatencyCostPerTU: 1 + float64(latRaw),
+			PricePerCoreTU:   1 + float64(priceRaw%120),
+			Shards:           1 + int(latRaw%4),
+		}
+		opt, err := p.OptimalConstantPlan(2, obj)
+		if err != nil {
+			return false
+		}
+		alt := Plan{Threads: make([]int, NumStages)}
+		for i, a := range altRaw {
+			alt.Threads[i] = InstanceSizes[int(a)%len(InstanceSizes)]
+		}
+		return p.PlanCost(opt, 2, obj) <= p.PlanCost(alt, 2, obj)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherPriceNarrowsPlan(t *testing.T) {
+	p := NewPipeline()
+	cheap, err := p.OptimalConstantPlan(2, PlanObjective{LatencyCostPerTU: 75, PricePerCoreTU: 5, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := p.OptimalConstantPlan(2, PlanObjective{LatencyCostPerTU: 75, PricePerCoreTU: 110, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.CoreStages() > cheap.CoreStages() {
+		t.Fatalf("expensive cores widened the plan: cheap=%v dear=%v",
+			cheap.Threads, dear.Threads)
+	}
+}
+
+func TestOptimalPlanEmptyPipeline(t *testing.T) {
+	p := Pipeline{TimeScale: 1}
+	if _, err := p.OptimalConstantPlan(2, PlanObjective{}); err != ErrNoStages {
+		t.Fatalf("err = %v", err)
+	}
+}

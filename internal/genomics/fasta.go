@@ -1,0 +1,122 @@
+// Package genomics implements the genomic data formats and synthetic data
+// generation that stand in for the paper's NGS inputs: FASTA references,
+// FASTQ reads, SAM alignments, VCF variant calls, and SBAM — a simplified
+// binary alignment container replacing BAM (length-prefixed binary records
+// without BGZF compression; see DESIGN.md, substitutions).
+//
+// The synthetic generator produces seeded, reproducible references and
+// reads with configurable sequencing error and planted mutations, so the
+// full SCAN data path (shard → align → call variants → merge) can run
+// without proprietary sequencing data.
+package genomics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sequence is a named nucleotide sequence (a FASTA record).
+type Sequence struct {
+	Name string
+	Seq  []byte
+}
+
+// Len returns the sequence length in bases.
+func (s Sequence) Len() int { return len(s.Seq) }
+
+// ReadFASTA parses all records from r. Sequence lines may be wrapped at any
+// width; blank lines are ignored.
+func ReadFASTA(r io.Reader) ([]Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var out []Sequence
+	var cur *Sequence
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			name := strings.TrimSpace(strings.TrimPrefix(text, ">"))
+			if name == "" {
+				return nil, fmt.Errorf("genomics: line %d: empty FASTA header", line)
+			}
+			out = append(out, Sequence{Name: firstField(name)})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("genomics: line %d: sequence data before FASTA header", line)
+		}
+		cur.Seq = append(cur.Seq, []byte(text)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("genomics: empty FASTA input")
+	}
+	return out, nil
+}
+
+// WriteFASTA writes records to w, wrapping sequence lines at width columns
+// (60 when width <= 0).
+func WriteFASTA(w io.Writer, seqs []Sequence, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name); err != nil {
+			return err
+		}
+		for i := 0; i < len(s.Seq); i += width {
+			end := i + width
+			if end > len(s.Seq) {
+				end = len(s.Seq)
+			}
+			if _, err := bw.Write(s.Seq[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// firstField returns the header text up to the first whitespace, matching
+// how aligners treat FASTA description lines.
+func firstField(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// ValidateBases reports the first non-ACGTN byte in seq, if any.
+func ValidateBases(seq []byte) error {
+	for i, b := range seq {
+		switch b {
+		case 'A', 'C', 'G', 'T', 'N', 'a', 'c', 'g', 't', 'n':
+		default:
+			return fmt.Errorf("genomics: invalid base %q at offset %d", b, i)
+		}
+	}
+	return nil
+}
+
+// Upper returns seq with lowercase bases folded to uppercase, allocating
+// only when needed.
+func Upper(seq []byte) []byte {
+	if !bytes.ContainsAny(seq, "acgtn") {
+		return seq
+	}
+	return bytes.ToUpper(seq)
+}

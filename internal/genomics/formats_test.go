@@ -1,0 +1,542 @@
+package genomics
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFASTARoundTrip(t *testing.T) {
+	seqs := []Sequence{
+		{Name: "chr1", Seq: []byte("ACGTACGTACGTACGTACGT")},
+		{Name: "chr2", Seq: []byte("TTTT")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, seqs, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "chr1" || string(got[0].Seq) != "ACGTACGTACGTACGTACGT" ||
+		got[1].Name != "chr2" || string(got[1].Seq) != "TTTT" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFASTAHeaderDescriptionTrimmed(t *testing.T) {
+	src := ">chr1 some description here\nACGT\n"
+	got, err := ReadFASTA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name != "chr1" {
+		t.Fatalf("Name = %q, want chr1", got[0].Name)
+	}
+}
+
+func TestFASTAErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":    "ACGT\n",
+		"empty header": ">\nACGT\n",
+		"empty input":  "",
+	}
+	for name, src := range cases {
+		if _, err := ReadFASTA(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestValidateBases(t *testing.T) {
+	if err := ValidateBases([]byte("ACGTNacgtn")); err != nil {
+		t.Fatalf("valid bases rejected: %v", err)
+	}
+	if err := ValidateBases([]byte("ACGX")); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+func TestUpper(t *testing.T) {
+	if got := Upper([]byte("acGt")); string(got) != "ACGT" {
+		t.Fatalf("Upper = %q", got)
+	}
+	in := []byte("ACGT")
+	if got := Upper(in); &got[0] != &in[0] {
+		t.Fatal("Upper copied an already-upper sequence")
+	}
+}
+
+func TestFASTQRoundTrip(t *testing.T) {
+	reads := []Read{
+		{ID: "r1", Seq: []byte("ACGT"), Qual: []byte("IIII")},
+		{ID: "r2", Seq: []byte("GGCC"), Qual: []byte("!!!!")},
+	}
+	var buf bytes.Buffer
+	if err := WriteAllFASTQ(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "r1" || string(got[1].Seq) != "GGCC" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFASTQErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "r1\nACGT\n+\nIIII\n",
+		"bad separator":   "@r1\nACGT\nIIII\n@r2\n",
+		"length mismatch": "@r1\nACGT\n+\nII\n",
+		"truncated":       "@r1\nACGT\n+\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadAllFASTQ(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFASTQCount(t *testing.T) {
+	var buf bytes.Buffer
+	reads := make([]Read, 37)
+	for i := range reads {
+		reads[i] = Read{ID: "r", Seq: []byte("AC"), Qual: []byte("II")}
+	}
+	if err := WriteAllFASTQ(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountFASTQ(&buf)
+	if err != nil || n != 37 {
+		t.Fatalf("CountFASTQ = %d, %v", n, err)
+	}
+}
+
+func TestFASTQWriterRejectsMismatch(t *testing.T) {
+	fw := NewFASTQWriter(&bytes.Buffer{})
+	if err := fw.Write(Read{ID: "x", Seq: []byte("ACGT"), Qual: []byte("I")}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func sampleHeader() Header {
+	return NewHeader(RefInfo{Name: "chr1", Length: 1000}, RefInfo{Name: "chr2", Length: 500})
+}
+
+func sampleAlignments() []Alignment {
+	return []Alignment{
+		{QName: "r1", Flag: 0, RName: "chr1", Pos: 10, MapQ: 60, CIGAR: "4M",
+			Seq: []byte("ACGT"), Qual: []byte("IIII"), NM: 0},
+		{QName: "r2", Flag: FlagReverseStrand, RName: "chr2", Pos: 99, MapQ: 30, CIGAR: "4M",
+			Seq: []byte("GGCC"), Qual: []byte("FFFF"), NM: 2},
+		{QName: "r3", Flag: FlagUnmapped, Pos: 0, MapQ: 0,
+			Seq: []byte("TTTT"), Qual: []byte("!!!!"), NM: -1},
+	}
+}
+
+func TestSAMRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSAM(&buf, sampleHeader(), sampleAlignments()); err != nil {
+		t.Fatal(err)
+	}
+	h, alns, err := ReadSAM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Refs) != 2 || h.Refs[0].Name != "chr1" || h.Refs[0].Length != 1000 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	if len(alns) != 3 {
+		t.Fatalf("got %d records", len(alns))
+	}
+	if alns[0].QName != "r1" || alns[0].Pos != 10 || alns[0].NM != 0 {
+		t.Fatalf("record 0 mismatch: %+v", alns[0])
+	}
+	if alns[1].Flag != FlagReverseStrand || alns[1].NM != 2 {
+		t.Fatalf("record 1 mismatch: %+v", alns[1])
+	}
+	if !alns[2].Unmapped() || alns[2].RName != "" || alns[2].NM != -1 {
+		t.Fatalf("record 2 mismatch: %+v", alns[2])
+	}
+}
+
+func TestSAMParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"short record":    "r1\t0\tchr1\n",
+		"bad flag":        "r1\tx\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n",
+		"bad pos":         "r1\t0\tchr1\tx\t60\t4M\t*\t0\t0\tACGT\tIIII\n",
+		"bad sq":          "@SQ\tSN:chr1\tLN:abc\n",
+		"sq without name": "@SQ\tLN:100\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ReadSAM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSortAlignmentsOrder(t *testing.T) {
+	alns := []Alignment{
+		{QName: "d", Flag: FlagUnmapped},
+		{QName: "c", RName: "chr2", Pos: 5},
+		{QName: "b", RName: "chr1", Pos: 100},
+		{QName: "a", RName: "chr1", Pos: 7},
+	}
+	SortAlignments(alns)
+	order := []string{"a", "b", "c", "d"}
+	for i, want := range order {
+		if alns[i].QName != want {
+			t.Fatalf("position %d = %q, want %q (%+v)", i, alns[i].QName, want, alns)
+		}
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	a := []Alignment{{QName: "x", RName: "chr1", Pos: 1}, {QName: "y", RName: "chr1", Pos: 50}}
+	b := []Alignment{{QName: "z", RName: "chr1", Pos: 25}}
+	merged := MergeSorted(a, b)
+	if len(merged) != 3 || merged[1].QName != "z" {
+		t.Fatalf("merge order wrong: %+v", merged)
+	}
+}
+
+func TestAlignmentEnd(t *testing.T) {
+	a := Alignment{RName: "chr1", Pos: 10, Seq: []byte("ACGTA")}
+	if a.End() != 14 {
+		t.Fatalf("End = %d, want 14", a.End())
+	}
+	u := Alignment{Flag: FlagUnmapped}
+	if u.End() != 0 {
+		t.Fatal("unmapped End must be 0")
+	}
+}
+
+func TestSBAMRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSBAM(&buf, sampleHeader(), sampleAlignments()); err != nil {
+		t.Fatal(err)
+	}
+	h, alns, err := ReadSBAM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Refs) != 2 || h.Refs[1].Name != "chr2" || h.Refs[1].Length != 500 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	want := sampleAlignments()
+	if len(alns) != len(want) {
+		t.Fatalf("got %d records, want %d", len(alns), len(want))
+	}
+	for i := range want {
+		g, w := alns[i], want[i]
+		if g.QName != w.QName || g.Flag != w.Flag || g.RName != w.RName ||
+			g.Pos != w.Pos || g.MapQ != w.MapQ || g.NM != w.NM ||
+			string(g.Seq) != string(w.Seq) || string(g.Qual) != string(w.Qual) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+func TestSBAMErrors(t *testing.T) {
+	// Bad magic.
+	if _, _, err := ReadSBAM(strings.NewReader("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	var buf bytes.Buffer
+	if err := WriteSBAM(&buf, sampleHeader(), sampleAlignments()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, err := ReadSBAM(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Unknown reference in record.
+	var buf2 bytes.Buffer
+	err := WriteSBAM(&buf2, NewHeader(RefInfo{Name: "chr1", Length: 10}),
+		[]Alignment{{QName: "r", RName: "chrX", Seq: []byte("A"), Qual: []byte("I")}})
+	if err == nil {
+		t.Fatal("unknown reference accepted")
+	}
+}
+
+// Property: SBAM round-trips arbitrary well-formed alignment sets.
+func TestSBAMRoundTripProperty(t *testing.T) {
+	f := func(recs []struct {
+		Name uint16
+		Flag uint8
+		Pos  uint16
+		Len  uint8
+	}) bool {
+		h := NewHeader(RefInfo{Name: "c", Length: 1 << 20})
+		rng := rand.New(rand.NewSource(1))
+		var alns []Alignment
+		for i, r := range recs {
+			n := int(r.Len%20) + 1
+			seq := make([]byte, n)
+			qual := make([]byte, n)
+			for j := range seq {
+				seq[j] = bases[rng.Intn(4)]
+				qual[j] = '!' + byte(rng.Intn(40))
+			}
+			a := Alignment{
+				QName: "q" + itoa(i) + "-" + itoa(int(r.Name)),
+				Flag:  int(r.Flag),
+				Pos:   int(r.Pos),
+				MapQ:  int(r.Flag % 61),
+				NM:    int(r.Len%5) - 1,
+				Seq:   seq, Qual: qual,
+			}
+			if a.Flag&FlagUnmapped == 0 {
+				a.RName = "c"
+				a.CIGAR = itoa(n) + "M"
+			}
+			alns = append(alns, a)
+		}
+		var buf bytes.Buffer
+		if err := WriteSBAM(&buf, h, alns); err != nil {
+			return false
+		}
+		_, got, err := ReadSBAM(&buf)
+		if err != nil || len(got) != len(alns) {
+			return false
+		}
+		for i := range alns {
+			if got[i].QName != alns[i].QName || got[i].Pos != alns[i].Pos ||
+				string(got[i].Seq) != string(alns[i].Seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func TestVCFRoundTrip(t *testing.T) {
+	vars := []Variant{
+		{Chrom: "chr1", Pos: 100, Ref: "A", Alt: "T", Qual: 55.5, Info: "DP=30"},
+		{Chrom: "chr1", Pos: 250, ID: "rs1", Ref: "G", Alt: "C", Qual: 12.0, Filter: "LowQual"},
+	}
+	var buf bytes.Buffer
+	if err := WriteVCF(&buf, "scan-test", vars); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVCF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d variants", len(got))
+	}
+	if got[0].Pos != 100 || got[0].Alt != "T" || got[0].Qual != 55.5 || got[0].Info != "DP=30" {
+		t.Fatalf("variant 0 mismatch: %+v", got[0])
+	}
+	if got[1].ID != "rs1" || got[1].Filter != "LowQual" {
+		t.Fatalf("variant 1 mismatch: %+v", got[1])
+	}
+}
+
+func TestVCFErrors(t *testing.T) {
+	cases := map[string]string{
+		"no fileformat": "chr1\t1\t.\tA\tT\t5.0\tPASS\t.\n",
+		"short record":  "##fileformat=VCFv4.2\nchr1\t1\t.\tA\n",
+		"bad pos":       "##fileformat=VCFv4.2\nchr1\tx\t.\tA\tT\t5.0\tPASS\t.\n",
+		"bad qual":      "##fileformat=VCFv4.2\nchr1\t1\t.\tA\tT\tabc\tPASS\t.\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadVCF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMergeVariantsDedupe(t *testing.T) {
+	a := []Variant{{Chrom: "chr1", Pos: 10, Ref: "A", Alt: "T", Qual: 20}}
+	b := []Variant{
+		{Chrom: "chr1", Pos: 10, Ref: "A", Alt: "T", Qual: 35},
+		{Chrom: "chr1", Pos: 5, Ref: "G", Alt: "C", Qual: 10},
+	}
+	merged := MergeVariants(a, b)
+	if len(merged) != 2 {
+		t.Fatalf("got %d variants, want 2", len(merged))
+	}
+	if merged[0].Pos != 5 {
+		t.Fatal("merge not sorted")
+	}
+	if merged[1].Qual != 35 {
+		t.Fatalf("dedupe kept lower quality: %+v", merged[1])
+	}
+}
+
+func TestGenerateReferenceDeterministic(t *testing.T) {
+	a := GenerateReference(rand.New(rand.NewSource(9)), "chr1", 500)
+	b := GenerateReference(rand.New(rand.NewSource(9)), "chr1", 500)
+	if string(a.Seq) != string(b.Seq) {
+		t.Fatal("same seed produced different references")
+	}
+	if err := ValidateBases(a.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 500 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestPlantSNVs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := GenerateReference(rng, "chr1", 1000)
+	mut, muts := PlantSNVs(rng, ref, 25)
+	if len(muts) != 25 {
+		t.Fatalf("planted %d mutations", len(muts))
+	}
+	diff := 0
+	for i := range ref.Seq {
+		if ref.Seq[i] != mut.Seq[i] {
+			diff++
+		}
+	}
+	if diff != 25 {
+		t.Fatalf("%d bases differ, want 25", diff)
+	}
+	for i, m := range muts {
+		if ref.Seq[m.Pos] != m.Ref || mut.Seq[m.Pos] != m.Alt || m.Ref == m.Alt {
+			t.Fatalf("mutation %d inconsistent: %+v", i, m)
+		}
+		if i > 0 && muts[i-1].Pos >= m.Pos {
+			t.Fatal("mutations not sorted by position")
+		}
+	}
+	// Original reference untouched.
+	if &ref.Seq[0] == &mut.Seq[0] {
+		t.Fatal("PlantSNVs aliased the reference")
+	}
+}
+
+func TestPlantSNVsCountClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := GenerateReference(rng, "c", 10)
+	_, muts := PlantSNVs(rng, ref, 100)
+	if len(muts) != 10 {
+		t.Fatalf("planted %d, want clamp to 10", len(muts))
+	}
+}
+
+func TestSimulateReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genome := GenerateReference(rng, "chr1", 2000)
+	reads, err := SimulateReads(rng, genome, ReadSimConfig{Count: 100, Length: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 100 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 50 || len(r.Qual) != 50 {
+			t.Fatalf("bad read shape: %+v", r)
+		}
+		// With zero error rate every read must be an exact substring.
+		if !bytes.Contains(genome.Seq, r.Seq) {
+			t.Fatalf("read %s not a substring of the genome", r.ID)
+		}
+	}
+}
+
+func TestSimulateReadsWithErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genome := GenerateReference(rng, "chr1", 5000)
+	reads, err := SimulateReads(rng, genome, ReadSimConfig{Count: 200, Length: 80, ErrorRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	for _, r := range reads {
+		if bytes.Contains(genome.Seq, r.Seq) {
+			exact++
+		}
+	}
+	// At 5% per-base error over 80 bases, an error-free read has p ≈ 1.6%.
+	if exact > 40 {
+		t.Fatalf("%d/200 reads error-free; error injection looks broken", exact)
+	}
+}
+
+func TestSimulateReadsInvalidConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genome := GenerateReference(rng, "c", 100)
+	if _, err := SimulateReads(rng, genome, ReadSimConfig{Count: 1, Length: 0}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := SimulateReads(rng, genome, ReadSimConfig{Count: 1, Length: 200}); err == nil {
+		t.Fatal("length > genome accepted")
+	}
+}
+
+func BenchmarkFASTQScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	genome := GenerateReference(rng, "chr1", 10000)
+	reads, _ := SimulateReads(rng, genome, ReadSimConfig{Count: 1000, Length: 100})
+	var buf bytes.Buffer
+	if err := WriteAllFASTQ(&buf, reads); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CountFASTQ(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSBAMEncode(b *testing.B) {
+	h := sampleHeader()
+	alns := make([]Alignment, 0, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		seq := make([]byte, 100)
+		qual := make([]byte, 100)
+		for j := range seq {
+			seq[j] = bases[rng.Intn(4)]
+			qual[j] = 'I'
+		}
+		alns = append(alns, Alignment{
+			QName: "r" + itoa(i), RName: "chr1", Pos: i + 1, MapQ: 60,
+			CIGAR: "100M", Seq: seq, Qual: qual, NM: 0,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteSBAM(&buf, h, alns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"scan/internal/cloud"
+	"scan/internal/gatk"
+	"scan/internal/ontology"
+)
+
+// This file implements the paper's Section II-C semantic model: the SCAN
+// ontology is the union of a domain ontology (DO — applications, data
+// types; see knowledge.go), a cloud ontology (CO — tiers, instance types,
+// prices, capacities) and the SCAN linker, which relates domain
+// requirements to cloud resources (the paper's example: the class
+// AlignedGenomicData has a property CPU that is requiredBy GATK workflows).
+
+// Cloud-ontology classes and properties.
+const (
+	ClassCloudTier    = "CloudTier"
+	ClassInstanceType = "InstanceType"
+	ClassDataType     = "DataType"
+
+	PropPricePerCoreTU = "pricePerCoreTU"
+	PropCapacityCores  = "capacityCores"
+	PropCores          = "cores"
+	PropRequiredBy     = "requiredBy"
+	PropRequiresData   = "requiresData"
+	PropProducesData   = "producesData"
+)
+
+// SeedCloudOntology loads the cloud tiers and the Table III instance sizes
+// as CO individuals, so SPARQL queries can join application requirements
+// against purchasable resources.
+func (b *Base) SeedCloudOntology(tiers []cloud.Tier) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.graph
+	g.DeclareClass(iri(ClassCloudTier))
+	g.DeclareClass(iri(ClassInstanceType))
+	g.DeclareDataProperty(iri(PropPricePerCoreTU))
+	g.DeclareDataProperty(iri(PropCapacityCores))
+	g.DeclareDataProperty(iri(PropCores))
+	for _, t := range tiers {
+		props := map[ontology.Term]ontology.Term{
+			iri(PropPricePerCoreTU): ontology.NewFloat(t.PricePerCoreTU),
+		}
+		if t.Cores != cloud.Unbounded {
+			props[iri(PropCapacityCores)] = ontology.NewInt(int64(t.Cores))
+		}
+		g.AddIndividual(iri("tier-"+t.Name), iri(ClassCloudTier), props)
+	}
+	for _, size := range gatk.InstanceSizes {
+		g.AddIndividual(iri(fmt.Sprintf("instance-%dcore", size)), iri(ClassInstanceType),
+			map[ontology.Term]ontology.Term{
+				iri(PropCores): ontology.NewInt(int64(size)),
+			})
+	}
+}
+
+// SeedDomainLinks records the SCAN linker triples for the GATK workflow:
+// the data types it consumes and produces, and the resource property the
+// paper's prototype declares ("the class AlignedGenomicData ... has a
+// property CPU that is requiredBy GATK workflows").
+func (b *Base) SeedDomainLinks() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.graph
+	g.DeclareClass(iri(ClassDataType))
+	g.DeclareObjectProperty(iri(PropRequiredBy))
+	g.DeclareObjectProperty(iri(PropRequiresData))
+	g.DeclareObjectProperty(iri(PropProducesData))
+	for _, dt := range []string{"FASTQ", "AlignedGenomicData", "VCF"} {
+		g.AddIndividual(iri(dt), iri(ClassDataType), nil)
+	}
+	g.DeclareClass(iri("GATKWorkflow"))
+	g.AddIndividual(iri("GATKPipeline"), iri("GATKWorkflow"), map[ontology.Term]ontology.Term{
+		iri(PropRequiresData): iri("AlignedGenomicData"),
+		iri(PropProducesData): iri("VCF"),
+	})
+	g.Add(ontology.Triple{S: iri("AlignedGenomicData"), P: iri(PropRequiredBy), O: iri("GATKPipeline")})
+	g.AddIndividual(iri("BWAAligner"), iri("GATKWorkflow"), map[ontology.Term]ontology.Term{
+		iri(PropRequiresData): iri("FASTQ"),
+		iri(PropProducesData): iri("AlignedGenomicData"),
+	})
+}
+
+// CheapestTierFor returns the lowest-price tier individual able to host an
+// instance of the given width, answering through SPARQL the scheduler's
+// resource question ("what cloud resources to hire").
+func (b *Base) CheapestTierFor(cores int) (name string, price float64, err error) {
+	res, err := b.Query(fmt.Sprintf(`
+PREFIX scan: <%s>
+SELECT ?tier ?price ?cap WHERE {
+  ?tier a scan:CloudTier ;
+        scan:pricePerCoreTU ?price .
+  OPTIONAL { ?tier scan:capacityCores ?cap . }
+  FILTER (!BOUND(?cap) || ?cap >= %d)
+}
+ORDER BY ?price LIMIT 1`, NS, cores))
+	if err != nil {
+		return "", 0, err
+	}
+	if res.Len() == 0 {
+		return "", 0, ErrNoKnowledge
+	}
+	row := res.Rows[0]
+	price, _ = row["price"].AsFloat()
+	return localName(row["tier"]), price, nil
+}
+
+// AddWorkflowIndividual records one analysis workflow as a GenomeAnalysis
+// individual (package workflow exports its catalogue through this).
+func (b *Base) AddWorkflowIndividual(name, family string, steps int, consumes, produces string) error {
+	if name == "" {
+		return fmt.Errorf("knowledge: workflow needs a name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.graph
+	g.DeclareClass(iri(ClassDataType))
+	g.DeclareObjectProperty(iri(PropRequiresData))
+	g.DeclareObjectProperty(iri(PropProducesData))
+	g.AddIndividual(iri(name), iri(ClassGenomeAnalysis), map[ontology.Term]ontology.Term{
+		iri(PropSteps):        ontology.NewInt(int64(steps)),
+		iri("family"):         ontology.NewString(family),
+		iri(PropRequiresData): iri(consumes),
+		iri(PropProducesData): iri(produces),
+	})
+	return nil
+}
+
+// Workflows returns the GenomeAnalysis individual names.
+func (b *Base) Workflows() ([]string, error) {
+	res, err := b.Query(fmt.Sprintf(`
+PREFIX scan: <%s>
+SELECT ?wf WHERE { ?wf a scan:%s . } ORDER BY ?wf`, NS, ClassGenomeAnalysis))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, res.Len())
+	for _, row := range res.Rows {
+		out = append(out, localName(row["wf"]))
+	}
+	return out, nil
+}
+
+// PipelineForData returns the workflow individuals consuming the given
+// data type — the linker query the Data Broker runs when new data arrives.
+func (b *Base) PipelineForData(dataType string) ([]string, error) {
+	res, err := b.Query(fmt.Sprintf(`
+PREFIX scan: <%s>
+SELECT ?wf WHERE {
+  ?wf scan:requiresData scan:%s .
+} ORDER BY ?wf`, NS, dataType))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, res.Len())
+	for _, row := range res.Rows {
+		out = append(out, localName(row["wf"]))
+	}
+	return out, nil
+}

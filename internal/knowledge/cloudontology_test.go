@@ -1,0 +1,114 @@
+package knowledge
+
+import (
+	"bytes"
+	"testing"
+
+	"scan/internal/cloud"
+)
+
+func seededBase() *Base {
+	b := New()
+	b.SeedPaperProfiles()
+	b.SeedCloudOntology(cloud.DefaultTiers(50))
+	b.SeedDomainLinks()
+	return b
+}
+
+func TestSeedCloudOntology(t *testing.T) {
+	b := seededBase()
+	res, err := b.Query(`
+PREFIX scan: <` + NS + `>
+SELECT ?tier ?price WHERE {
+  ?tier a scan:CloudTier ;
+        scan:pricePerCoreTU ?price .
+} ORDER BY ?price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("got %d tiers", res.Len())
+	}
+	if p, _ := res.Rows[0]["price"].AsFloat(); p != 5 {
+		t.Fatalf("cheapest tier price = %v", p)
+	}
+	// All five Table III instance types present.
+	res, err = b.Query(`
+PREFIX scan: <` + NS + `>
+SELECT ?i WHERE { ?i a scan:InstanceType . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("got %d instance types, want 5", res.Len())
+	}
+}
+
+func TestCheapestTierFor(t *testing.T) {
+	b := seededBase()
+	name, price, err := b.CheapestTierFor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tier-private" || price != 5 {
+		t.Fatalf("cheapest = %s @ %v", name, price)
+	}
+	// Wider than the private capacity: only the unbounded public tier
+	// qualifies.
+	name, price, err = b.CheapestTierFor(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tier-public" || price != 50 {
+		t.Fatalf("cheapest for 1000 cores = %s @ %v", name, price)
+	}
+	// No tiers at all.
+	empty := New()
+	if _, _, err := empty.CheapestTierFor(1); err != ErrNoKnowledge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPipelineForData(t *testing.T) {
+	b := seededBase()
+	wfs, err := b.PipelineForData("AlignedGenomicData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wfs) != 1 || wfs[0] != "GATKPipeline" {
+		t.Fatalf("workflows = %v", wfs)
+	}
+	wfs, err = b.PipelineForData("FASTQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wfs) != 1 || wfs[0] != "BWAAligner" {
+		t.Fatalf("workflows = %v", wfs)
+	}
+	// The paper's linker triple: AlignedGenomicData requiredBy GATK.
+	res, err := b.Query(`
+PREFIX scan: <` + NS + `>
+SELECT ?wf WHERE { scan:AlignedGenomicData scan:requiredBy ?wf . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("requiredBy rows = %d", res.Len())
+	}
+}
+
+func TestCloudOntologySurvivesExport(t *testing.T) {
+	b := seededBase()
+	var buf bytes.Buffer
+	if err := b.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2 := New()
+	if err := b2.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	name, _, err := b2.CheapestTierFor(4)
+	if err != nil || name != "tier-private" {
+		t.Fatalf("after round trip: %s, %v", name, err)
+	}
+}

@@ -1,0 +1,378 @@
+// Package knowledge implements SCAN's application knowledge base: an
+// OWL-style ontology of applications, data formats, cloud resources and
+// profiled runs, queried through SPARQL by the Data Broker to decide shard
+// sizes, thread counts and worker shapes (Section III-A1 of the paper).
+//
+// The knowledge base is seeded by profiling ("initially created by
+// profiling some of the most common genome applications") and then grows
+// from the run logs of every task executed on the platform; regression over
+// the accumulated observations recovers the per-stage (a, b, c) performance
+// coefficients the scheduler's estimators use.
+package knowledge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"scan/internal/gatk"
+	"scan/internal/ontology"
+	"scan/internal/sparql"
+	"scan/internal/stats"
+)
+
+// NS is the SCAN ontology namespace (the paper's scan-ontology IRI).
+const NS = "http://www.semanticweb.org/wxing/ontologies/scan-ontology#"
+
+// Ontology property and class local names.
+const (
+	ClassApplication    = "Application"
+	ClassGenomeAnalysis = "GenomeAnalysis"
+	ClassRunLog         = "RunLog"
+
+	PropInputFileSize = "inputFileSize"
+	PropSteps         = "steps"
+	PropRAM           = "RAM"
+	PropCPU           = "CPU"
+	PropETime         = "eTime"
+	PropPerformance   = "performance"
+	PropApplication   = "application"
+	PropStage         = "stage"
+	PropThreads       = "threads"
+	PropFormat        = "inputFormat"
+	PropShardSize     = "preferredShardSize"
+)
+
+// Base wraps the ontology graph with typed accessors and a lock, making it
+// safe for the platform's concurrent workers to log runs.
+type Base struct {
+	mu    sync.RWMutex
+	graph *ontology.Graph
+	seq   int // run-log individual counter
+}
+
+// New returns an empty knowledge base with the SCAN namespaces registered
+// and the core classes declared.
+func New() *Base {
+	g := ontology.NewGraph()
+	g.SetPrefix("scan", NS)
+	g.SetPrefix("owl", "http://www.w3.org/2002/07/owl#")
+	g.SetPrefix("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+	g.SetPrefix("rdfs", "http://www.w3.org/2000/01/rdf-schema#")
+	g.DeclareClass(iri(ClassApplication))
+	g.DeclareSubClass(iri(ClassGenomeAnalysis), iri(ClassApplication))
+	g.DeclareClass(iri(ClassRunLog))
+	for _, p := range []string{
+		PropInputFileSize, PropSteps, PropRAM, PropCPU, PropETime,
+		PropPerformance, PropStage, PropThreads, PropFormat, PropShardSize,
+	} {
+		g.DeclareDataProperty(iri(p))
+	}
+	g.DeclareObjectProperty(iri(PropApplication))
+	return &Base{graph: g}
+}
+
+func iri(local string) ontology.Term { return ontology.NewIRI(NS + local) }
+
+// AppProfile is one profiled application configuration — the paper's GATK1,
+// GATK2, … individuals.
+type AppProfile struct {
+	Name          string // individual local name, e.g. "GATK1"
+	InputFileSize float64
+	Steps         int
+	RAM           int
+	CPU           int
+	ETime         float64
+	Performance   string // optional annotation, e.g. "good"
+}
+
+// AddProfile records an application profile as a named individual.
+func (b *Base) AddProfile(p AppProfile) error {
+	if p.Name == "" {
+		return errors.New("knowledge: profile needs a name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	props := map[ontology.Term]ontology.Term{
+		iri(PropInputFileSize): ontology.NewFloat(p.InputFileSize),
+		iri(PropSteps):         ontology.NewInt(int64(p.Steps)),
+		iri(PropRAM):           ontology.NewInt(int64(p.RAM)),
+		iri(PropCPU):           ontology.NewInt(int64(p.CPU)),
+		iri(PropETime):         ontology.NewFloat(p.ETime),
+	}
+	if p.Performance != "" {
+		props[iri(PropPerformance)] = ontology.NewString(p.Performance)
+	}
+	b.graph.AddIndividual(iri(p.Name), iri(ClassApplication), props)
+	return nil
+}
+
+// SeedPaperProfiles loads the four GATK individuals from the paper's
+// Section III-A1 RDF/OWL listings (inputFileSize, steps, RAM, eTime, CPU).
+func (b *Base) SeedPaperProfiles() {
+	for _, p := range []AppProfile{
+		{Name: "GATK1", InputFileSize: 10, Steps: 1, RAM: 4, ETime: 180, CPU: 8},
+		{Name: "GATK2", InputFileSize: 5, Steps: 1, RAM: 4, ETime: 200, CPU: 8},
+		{Name: "GATK3", InputFileSize: 20, Steps: 1, RAM: 4, ETime: 280, CPU: 8},
+		{Name: "GATK4", InputFileSize: 4, Steps: 1, RAM: 4, ETime: 80, CPU: 8},
+	} {
+		// Seed profiles are well-formed by construction.
+		if err := b.AddProfile(p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RunLog is one observed task execution, fed back into the knowledge base
+// ("the knowledge base will be expanded by using information from logs of
+// each task running on the SCAN platform").
+type RunLog struct {
+	App       string
+	Stage     int
+	InputSize float64
+	Threads   int
+	ETime     float64
+}
+
+// LogRun appends a run observation as a RunLog individual.
+func (b *Base) LogRun(l RunLog) error {
+	if l.App == "" || l.Threads < 1 || l.ETime < 0 {
+		return fmt.Errorf("knowledge: malformed run log %+v", l)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	name := fmt.Sprintf("run%06d", b.seq)
+	b.seq++
+	b.graph.AddIndividual(iri(name), iri(ClassRunLog), map[ontology.Term]ontology.Term{
+		iri(PropApplication):   iri(l.App),
+		iri(PropStage):         ontology.NewInt(int64(l.Stage)),
+		iri(PropInputFileSize): ontology.NewFloat(l.InputSize),
+		iri(PropThreads):       ontology.NewInt(int64(l.Threads)),
+		iri(PropETime):         ontology.NewFloat(l.ETime),
+	})
+	return nil
+}
+
+// RunCount returns the number of logged runs.
+func (b *Base) RunCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.seq
+}
+
+// Query evaluates a SPARQL query against the knowledge base.
+func (b *Base) Query(src string) (*sparql.Results, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return sparql.Eval(b.graph, src)
+}
+
+// Profiles returns all application profiles, sorted by eTime then input
+// size — the ranking the paper's Data Broker uses ("ranked according to the
+// values of their execution time and the size of input files").
+func (b *Base) Profiles() ([]AppProfile, error) {
+	res, err := b.Query(`
+PREFIX scan: <` + NS + `>
+SELECT ?app ?size ?steps ?ram ?cpu ?time WHERE {
+  ?app a scan:Application ;
+       scan:inputFileSize ?size ;
+       scan:steps ?steps ;
+       scan:RAM ?ram ;
+       scan:CPU ?cpu ;
+       scan:eTime ?time .
+}
+ORDER BY ?time ?size`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AppProfile, 0, res.Len())
+	for _, row := range res.Rows {
+		var p AppProfile
+		p.Name = localName(row["app"])
+		p.InputFileSize, _ = row["size"].AsFloat()
+		if v, ok := row["steps"].AsInt(); ok {
+			p.Steps = int(v)
+		}
+		if v, ok := row["ram"].AsInt(); ok {
+			p.RAM = int(v)
+		}
+		if v, ok := row["cpu"].AsInt(); ok {
+			p.CPU = int(v)
+		}
+		p.ETime, _ = row["time"].AsFloat()
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func localName(t ontology.Term) string {
+	if len(t.Value) > len(NS) && t.Value[:len(NS)] == NS {
+		return t.Value[len(NS):]
+	}
+	return t.Value
+}
+
+// Advice is the Data Broker's sharding recommendation for one task.
+type Advice struct {
+	// ShardSize is the preferred input chunk size.
+	ShardSize float64
+	// Threads is the recommended per-task thread count.
+	Threads int
+	// BasedOn is the profile the recommendation derives from.
+	BasedOn string
+}
+
+// ErrNoKnowledge is returned when no profile covers the request.
+var ErrNoKnowledge = errors.New("knowledge: no applicable profile")
+
+// ShardAdvice picks the best-throughput profile whose input size does not
+// exceed the job's and recommends its configuration ("The Data Broker will
+// query the SCAN knowledge-base to decide the suitable chunk size of input
+// files of tasks whenever there is a new GATK task").
+func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
+	profiles, err := b.Profiles()
+	if err != nil {
+		return Advice{}, err
+	}
+	if len(profiles) == 0 {
+		return Advice{}, ErrNoKnowledge
+	}
+	// Rank by throughput (size per unit time): the profile that processed
+	// its input fastest per byte defines the sweet-spot chunk size.
+	best := -1
+	bestThroughput := 0.0
+	for i, p := range profiles {
+		if p.ETime <= 0 || p.InputFileSize <= 0 {
+			continue
+		}
+		if p.InputFileSize > jobSize {
+			continue // chunk larger than the whole job is useless
+		}
+		tp := p.InputFileSize / p.ETime
+		if best < 0 || tp > bestThroughput {
+			best, bestThroughput = i, tp
+		}
+	}
+	if best < 0 {
+		// Every profile is larger than the job: shard size = whole job,
+		// configuration from the overall fastest profile.
+		sort.SliceStable(profiles, func(i, j int) bool {
+			return profiles[i].ETime < profiles[j].ETime
+		})
+		p := profiles[0]
+		return Advice{ShardSize: jobSize, Threads: p.CPU, BasedOn: p.Name}, nil
+	}
+	p := profiles[best]
+	return Advice{ShardSize: p.InputFileSize, Threads: p.CPU, BasedOn: p.Name}, nil
+}
+
+// FitStageModel recovers a stage's (a, b, c) coefficients from the logged
+// runs of one application stage — experiment T2's regression. Single-thread
+// runs at varied input sizes fit E(d) = a·d + b; multi-thread runs at a
+// fixed size fit the Amdahl fraction c.
+func (b *Base) FitStageModel(app string, stage int) (gatk.StageModel, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	res, err := sparql.Eval(b.graph, fmt.Sprintf(`
+PREFIX scan: <%s>
+SELECT ?size ?threads ?time WHERE {
+  ?run a scan:RunLog ;
+       scan:application scan:%s ;
+       scan:stage %d ;
+       scan:inputFileSize ?size ;
+       scan:threads ?threads ;
+       scan:eTime ?time .
+}`, NS, app, stage))
+	if err != nil {
+		return gatk.StageModel{}, err
+	}
+	var xs, ys []float64 // single-thread size→time
+	var threads []int
+	var times []float64 // threading samples
+	sizeCount := map[float64]int{}
+	for _, row := range res.Rows {
+		size, _ := row["size"].AsFloat()
+		th64, _ := row["threads"].AsInt()
+		tm, _ := row["time"].AsFloat()
+		th := int(th64)
+		if th == 1 {
+			xs = append(xs, size)
+			ys = append(ys, tm)
+		}
+		sizeCount[size]++
+		threads = append(threads, th)
+		times = append(times, tm)
+	}
+	line, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return gatk.StageModel{}, fmt.Errorf("knowledge: fitting E(d) for %s stage %d: %w", app, stage, err)
+	}
+	// For the Amdahl fit use the most-sampled input size only, so the size
+	// variation does not alias into the thread dimension.
+	bestSize, bestN := 0.0, 0
+	for s, n := range sizeCount {
+		if n > bestN {
+			bestSize, bestN = s, n
+		}
+	}
+	var fth []int
+	var ftm []float64
+	for i, th := range threads {
+		rowSize := 0.0
+		if i < len(res.Rows) {
+			rowSize, _ = res.Rows[i]["size"].AsFloat()
+		}
+		if rowSize == bestSize {
+			fth = append(fth, th)
+			ftm = append(ftm, times[i])
+		}
+	}
+	c, err := stats.FitAmdahl(fth, ftm)
+	if err != nil {
+		return gatk.StageModel{}, fmt.Errorf("knowledge: fitting c for %s stage %d: %w", app, stage, err)
+	}
+	return gatk.StageModel{
+		Name: fmt.Sprintf("%s-stage%d", app, stage),
+		A:    line.Slope,
+		B:    line.Intercept,
+		C:    c,
+	}, nil
+}
+
+// Export writes the knowledge base in the Turtle subset.
+func (b *Base) Export(w io.Writer) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.Encode(w)
+}
+
+// ExportRDFXML writes the knowledge base in the paper's RDF/XML listing
+// style (owl:NamedIndividual elements with &scan-ontology; entity refs).
+func (b *Base) ExportRDFXML(w io.Writer) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.EncodeRDFXML(w)
+}
+
+// Import merges a Turtle document into the knowledge base.
+func (b *Base) Import(r io.Reader) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.graph.Decode(r)
+}
+
+// Len returns the number of triples stored.
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.Len()
+}
+
+// Describe renders one individual (by local name) for inspection.
+func (b *Base) Describe(local string) string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.DescribeIndividual(iri(local))
+}

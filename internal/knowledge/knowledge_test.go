@@ -1,0 +1,239 @@
+package knowledge
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"scan/internal/gatk"
+)
+
+func TestSeedPaperProfiles(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	ps, err := b.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 4 {
+		t.Fatalf("got %d profiles, want 4", len(ps))
+	}
+	// Sorted by eTime: GATK4 (80) first, GATK3 (280) last.
+	if ps[0].Name != "GATK4" || ps[3].Name != "GATK3" {
+		t.Fatalf("order = %v", []string{ps[0].Name, ps[1].Name, ps[2].Name, ps[3].Name})
+	}
+	if ps[0].CPU != 8 || ps[0].RAM != 4 || ps[0].InputFileSize != 4 {
+		t.Fatalf("GATK4 = %+v", ps[0])
+	}
+}
+
+func TestAddProfileValidation(t *testing.T) {
+	b := New()
+	if err := b.AddProfile(AppProfile{}); err == nil {
+		t.Fatal("unnamed profile accepted")
+	}
+}
+
+func TestSPARQLOverKB(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	res, err := b.Query(`
+PREFIX scan: <` + NS + `>
+SELECT ?app WHERE {
+  ?app scan:eTime ?t .
+  FILTER (?t < 200)
+} ORDER BY ?t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // GATK4 (80), GATK1 (180)
+		t.Fatalf("got %d rows", res.Len())
+	}
+}
+
+func TestShardAdvice(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	// Throughputs: GATK1 10/180=0.056, GATK2 5/200=0.025, GATK3 20/280=0.071,
+	// GATK4 4/80=0.05. For a 25-unit job every profile fits; GATK3 wins.
+	adv, err := b.ShardAdvice(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.BasedOn != "GATK3" || adv.ShardSize != 20 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	// For a 6-unit job, GATK3 (20) and GATK1 (10) are too big; best of the
+	// rest is GATK4 (0.05 > 0.025).
+	adv, err = b.ShardAdvice(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.BasedOn != "GATK4" || adv.ShardSize != 4 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	// For a job smaller than every profile, shard = whole job, config from
+	// the fastest profile.
+	adv, err = b.ShardAdvice(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.ShardSize != 2 || adv.BasedOn != "GATK4" {
+		t.Fatalf("advice = %+v", adv)
+	}
+	if adv.Threads != 8 {
+		t.Fatalf("threads = %d", adv.Threads)
+	}
+}
+
+func TestShardAdviceEmptyKB(t *testing.T) {
+	b := New()
+	if _, err := b.ShardAdvice(10); err != ErrNoKnowledge {
+		t.Fatalf("err = %v, want ErrNoKnowledge", err)
+	}
+}
+
+func TestLogRunValidation(t *testing.T) {
+	b := New()
+	if err := b.LogRun(RunLog{App: "", Threads: 1}); err == nil {
+		t.Fatal("empty app accepted")
+	}
+	if err := b.LogRun(RunLog{App: "GATK", Threads: 0}); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if err := b.LogRun(RunLog{App: "GATK", Threads: 1, ETime: -1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := b.LogRun(RunLog{App: "GATK", Stage: 1, InputSize: 2, Threads: 1, ETime: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if b.RunCount() != 1 {
+		t.Fatalf("RunCount = %d", b.RunCount())
+	}
+}
+
+// TestFitStageModelRecoversTableII is experiment T2: profile a synthetic
+// stage with the Table II coefficients (plus noise), log the runs, and
+// verify the regression recovers (a, b, c).
+func TestFitStageModelRecoversTableII(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := New()
+	stages := gatk.DefaultStages()
+	for si, model := range stages {
+		// Size sweep at one thread.
+		for _, d := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+			tm := model.SerialTime(d) * (1 + rng.NormFloat64()*0.01)
+			if err := b.LogRun(RunLog{
+				App: "GATK", Stage: si, InputSize: d, Threads: 1, ETime: tm,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Thread sweep at the fixed profiling size 5.
+		for _, th := range []int{1, 2, 4, 8, 16} {
+			tm := model.Time(th, 5) * (1 + rng.NormFloat64()*0.01)
+			if err := b.LogRun(RunLog{
+				App: "GATK", Stage: si, InputSize: 5, Threads: th, ETime: tm,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for si, want := range stages {
+		got, err := b.FitStageModel("GATK", si)
+		if err != nil {
+			t.Fatalf("stage %d: %v", si, err)
+		}
+		if math.Abs(got.A-want.A) > 0.12 {
+			t.Errorf("stage %d: a = %v, want %v", si, got.A, want.A)
+		}
+		if math.Abs(got.B-want.B) > 0.6 {
+			t.Errorf("stage %d: b = %v, want %v", si, got.B, want.B)
+		}
+		if math.Abs(got.C-want.C) > 0.08 {
+			t.Errorf("stage %d: c = %v, want %v", si, got.C, want.C)
+		}
+	}
+}
+
+func TestFitStageModelInsufficientData(t *testing.T) {
+	b := New()
+	if _, err := b.FitStageModel("GATK", 0); err == nil {
+		t.Fatal("fit with no data succeeded")
+	}
+	// One run is not enough for a line.
+	if err := b.LogRun(RunLog{App: "GATK", Stage: 0, InputSize: 5, Threads: 1, ETime: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.FitStageModel("GATK", 0); err == nil {
+		t.Fatal("fit with one observation succeeded")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	if err := b.LogRun(RunLog{App: "GATK1", Stage: 2, InputSize: 5, Threads: 4, ETime: 12.5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2 := New()
+	if err := b2.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != b.Len() {
+		t.Fatalf("triples: got %d, want %d", b2.Len(), b.Len())
+	}
+	ps, err := b2.Profiles()
+	if err != nil || len(ps) != 4 {
+		t.Fatalf("profiles after import: %d, %v", len(ps), err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	desc := b.Describe("GATK1")
+	if !strings.Contains(desc, "scan:GATK1") || !strings.Contains(desc, "scan:eTime") {
+		t.Fatalf("Describe output:\n%s", desc)
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = b.LogRun(RunLog{
+					App: "GATK1", Stage: i % 7, InputSize: float64(i%9) + 1,
+					Threads: 1 << (i % 4), ETime: float64(i),
+				})
+				_, _ = b.ShardAdvice(float64(i%20) + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.RunCount() != 400 {
+		t.Fatalf("RunCount = %d, want 400", b.RunCount())
+	}
+}
+
+func BenchmarkShardAdvice(b *testing.B) {
+	kb := New()
+	kb.SeedPaperProfiles()
+	for i := 0; i < b.N; i++ {
+		if _, err := kb.ShardAdvice(25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package ontology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const scanNS = "http://www.semanticweb.org/wxing/ontologies/scan-ontology#"
+
+func tr(s, p, o string) Triple {
+	return Triple{NewIRI(scanNS + s), NewIRI(scanNS + p), NewIRI(scanNS + o)}
+}
+
+func TestGraphAddHasRemove(t *testing.T) {
+	g := NewGraph()
+	tt := tr("GATK1", "performance", "good")
+	if !g.Add(tt) {
+		t.Fatal("first Add returned false")
+	}
+	if g.Add(tt) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if g.Len() != 1 || !g.Has(tt) {
+		t.Fatal("triple missing after Add")
+	}
+	if !g.Remove(tt) {
+		t.Fatal("Remove returned false")
+	}
+	if g.Remove(tt) {
+		t.Fatal("second Remove returned true")
+	}
+	if g.Len() != 0 || g.Has(tt) {
+		t.Fatal("triple present after Remove")
+	}
+}
+
+func TestGraphMatchPatterns(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("GATK1", "requires", "CPU"))
+	g.Add(tr("GATK1", "requires", "RAM"))
+	g.Add(tr("GATK2", "requires", "CPU"))
+	g.Add(tr("BWA", "produces", "SAM"))
+
+	s := NewIRI(scanNS + "GATK1")
+	p := NewIRI(scanNS + "requires")
+	o := NewIRI(scanNS + "CPU")
+
+	if got := len(g.Match(&s, nil, nil)); got != 2 {
+		t.Fatalf("S** match = %d, want 2", got)
+	}
+	if got := len(g.Match(nil, &p, nil)); got != 3 {
+		t.Fatalf("*P* match = %d, want 3", got)
+	}
+	if got := len(g.Match(nil, nil, &o)); got != 2 {
+		t.Fatalf("**O match = %d, want 2", got)
+	}
+	if got := len(g.Match(&s, &p, nil)); got != 2 {
+		t.Fatalf("SP* match = %d, want 2", got)
+	}
+	if got := len(g.Match(nil, &p, &o)); got != 2 {
+		t.Fatalf("*PO match = %d, want 2", got)
+	}
+	if got := len(g.Match(&s, &p, &o)); got != 1 {
+		t.Fatalf("SPO match = %d, want 1", got)
+	}
+	if got := len(g.Match(nil, nil, nil)); got != 4 {
+		t.Fatalf("*** match = %d, want 4", got)
+	}
+}
+
+func TestGraphForEachEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.Add(tr("s", "p", string(rune('a'+i))))
+	}
+	count := 0
+	g.ForEachMatch(nil, nil, nil, func(Triple) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop failed: visited %d", count)
+	}
+}
+
+func TestObjectsSubjectsSorted(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("app", "supports", "c"))
+	g.Add(tr("app", "supports", "a"))
+	g.Add(tr("app", "supports", "b"))
+	got := g.Objects(NewIRI(scanNS+"app"), NewIRI(scanNS+"supports"))
+	if len(got) != 3 {
+		t.Fatalf("got %d objects", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatal("objects not sorted")
+		}
+	}
+}
+
+func TestObjectSingle(t *testing.T) {
+	g := NewGraph()
+	s := NewIRI(scanNS + "GATK1")
+	p := NewIRI(scanNS + "eTime")
+	if _, ok := g.Object(s, p); ok {
+		t.Fatal("Object on empty graph returned ok")
+	}
+	g.Add(Triple{s, p, NewInt(180)})
+	v, ok := g.Object(s, p)
+	if !ok {
+		t.Fatal("Object not found")
+	}
+	if i, _ := v.AsInt(); i != 180 {
+		t.Fatalf("Object = %v", v)
+	}
+	g.Add(Triple{s, p, NewInt(200)})
+	if _, ok := g.Object(s, p); ok {
+		t.Fatal("Object with two values returned ok")
+	}
+}
+
+func TestTermLiterals(t *testing.T) {
+	if v, ok := NewInt(42).AsInt(); !ok || v != 42 {
+		t.Fatal("AsInt round-trip failed")
+	}
+	if v, ok := NewFloat(2.5).AsFloat(); !ok || v != 2.5 {
+		t.Fatal("AsFloat round-trip failed")
+	}
+	if v, ok := NewInt(7).AsFloat(); !ok || v != 7 {
+		t.Fatal("integer AsFloat failed")
+	}
+	if v, ok := NewBool(true).AsBool(); !ok || !v {
+		t.Fatal("AsBool round-trip failed")
+	}
+	if _, ok := NewString("x").AsInt(); ok {
+		t.Fatal("string AsInt should fail")
+	}
+	if _, ok := NewIRI("x").AsFloat(); ok {
+		t.Fatal("IRI AsFloat should fail")
+	}
+}
+
+func TestTermCompareNumeric(t *testing.T) {
+	if NewInt(2).Compare(NewFloat(10)) >= 0 {
+		t.Fatal("2 should sort before 10.0 numerically")
+	}
+	if NewString("2").Compare(NewString("10")) <= 0 {
+		t.Fatal("strings sort lexically")
+	}
+	if NewIRI("a").Compare(NewString("a")) >= 0 {
+		t.Fatal("IRIs sort before literals")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := map[string]Term{
+		"<http://x/y>": NewIRI("http://x/y"),
+		`"hi"`:         NewString("hi"),
+		"42":           NewInt(42),
+		"true":         NewBool(true),
+		"_:b0":         NewBlank("b0"),
+	}
+	for want, term := range cases {
+		if got := term.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPrefixExpandCompact(t *testing.T) {
+	g := NewGraph()
+	g.SetPrefix("scan", scanNS)
+	term := g.Expand("scan:GATK1")
+	if term.Value != scanNS+"GATK1" {
+		t.Fatalf("Expand = %v", term)
+	}
+	if got := g.Compact(term); got != "scan:GATK1" {
+		t.Fatalf("Compact = %q", got)
+	}
+	// Unknown prefix passes through as IRI.
+	raw := g.Expand("urn:x")
+	if raw.Value != "urn:x" {
+		t.Fatalf("unknown prefix Expand = %v", raw)
+	}
+	// IRI outside every namespace stays in <> form.
+	if got := g.Compact(NewIRI("http://other/ns#z")); got != "<http://other/ns#z>" {
+		t.Fatalf("Compact = %q", got)
+	}
+	// Local names with illegal characters must not compact.
+	if got := g.Compact(NewIRI(scanNS + "a b")); got != "<"+scanNS+"a b>" {
+		t.Fatalf("Compact = %q", got)
+	}
+	if names := g.sortedPrefixNames(); len(names) != 1 || names[0] != "scan" {
+		t.Fatalf("prefixes = %v", names)
+	}
+}
+
+func TestIndividualsAndIsA(t *testing.T) {
+	g := NewGraph()
+	app := NewIRI(scanNS + "Application")
+	genomeApp := NewIRI(scanNS + "GenomeAnalysis")
+	g.DeclareSubClass(genomeApp, app)
+	g.AddIndividual(NewIRI(scanNS+"GATK1"), genomeApp, map[Term]Term{
+		NewIRI(scanNS + "eTime"): NewInt(180),
+	})
+	g.AddIndividual(NewIRI(scanNS+"BWA1"), app, nil)
+
+	if got := g.Individuals(genomeApp); len(got) != 1 {
+		t.Fatalf("Individuals(GenomeAnalysis) = %d, want 1", len(got))
+	}
+	if got := g.Individuals(app); len(got) != 1 {
+		t.Fatalf("Individuals(Application) = %d, want 1 (direct only)", len(got))
+	}
+	if !g.IsA(NewIRI(scanNS+"GATK1"), app) {
+		t.Fatal("IsA should follow subClassOf")
+	}
+	if g.IsA(NewIRI(scanNS+"BWA1"), genomeApp) {
+		t.Fatal("IsA must not invent subclass relations")
+	}
+}
+
+func TestIsACycleTolerant(t *testing.T) {
+	g := NewGraph()
+	a, b := NewIRI(scanNS+"A"), NewIRI(scanNS+"B")
+	g.DeclareSubClass(a, b)
+	g.DeclareSubClass(b, a)
+	g.AddIndividual(NewIRI(scanNS+"x"), a, nil)
+	if !g.IsA(NewIRI(scanNS+"x"), b) {
+		t.Fatal("cycle traversal failed")
+	}
+	if g.IsA(NewIRI(scanNS+"x"), NewIRI(scanNS+"C")) {
+		t.Fatal("false positive in cyclic hierarchy")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := NewGraph()
+	g.SetPrefix("scan", scanNS)
+	g.Add(tr("a", "b", "c"))
+	g.Add(Triple{NewIRI(scanNS + "a"), NewIRI(scanNS + "v"), NewInt(5)})
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(tr("x", "y", "z"))
+	if g.Equal(c) {
+		t.Fatal("graphs with different sizes equal")
+	}
+	g.Add(tr("x", "y", "w"))
+	if g.Equal(c) {
+		t.Fatal("graphs with same size but different triples equal")
+	}
+}
+
+// Property: after any interleaving of adds and removes, Has/Len agree with a
+// reference map implementation.
+func TestGraphMatchesReferenceProperty(t *testing.T) {
+	f := func(ops []struct {
+		S, P, O uint8
+		Del     bool
+	}) bool {
+		g := NewGraph()
+		ref := map[Triple]bool{}
+		for _, op := range ops {
+			tt := Triple{
+				NewIRI(string(rune('a' + op.S%5))),
+				NewIRI(string(rune('p' + op.P%3))),
+				NewInt(int64(op.O % 7)),
+			}
+			if op.Del {
+				delete(ref, tt)
+				g.Remove(tt)
+			} else {
+				ref[tt] = true
+				g.Add(tt)
+			}
+		}
+		if g.Len() != len(ref) {
+			return false
+		}
+		for tt := range ref {
+			if !g.Has(tt) {
+				return false
+			}
+		}
+		// All three indexes agree with a full scan.
+		return len(g.Match(nil, nil, nil)) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGraphMatchPO(b *testing.B) {
+	g := NewGraph()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		g.Add(Triple{
+			NewIRI(scanNS + "s" + string(rune('a'+r.Intn(26)))),
+			NewIRI(scanNS + "p" + string(rune('a'+r.Intn(5)))),
+			NewInt(int64(r.Intn(50))),
+		})
+	}
+	p := NewIRI(scanNS + "pa")
+	o := NewInt(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ForEachMatch(nil, &p, &o, func(Triple) bool { return true })
+	}
+}

@@ -1,0 +1,78 @@
+package ontology
+
+// This file provides thin OWL-flavoured helpers over the raw triple API:
+// declaring classes and named individuals the way the paper's knowledge base
+// does (owl:NamedIndividual instances of scan-ontology classes with data
+// properties such as inputFileSize, CPU, RAM, eTime).
+
+// DeclareClass asserts class rdf:type owl:Class.
+func (g *Graph) DeclareClass(class Term) {
+	g.Add(Triple{class, NewIRI(RDFType), NewIRI(OWLClass)})
+}
+
+// DeclareSubClass asserts sub rdfs:subClassOf super (declaring both classes).
+func (g *Graph) DeclareSubClass(sub, super Term) {
+	g.DeclareClass(sub)
+	g.DeclareClass(super)
+	g.Add(Triple{sub, NewIRI(RDFSSubClassOf), super})
+}
+
+// DeclareObjectProperty asserts p rdf:type owl:ObjectProperty.
+func (g *Graph) DeclareObjectProperty(p Term) {
+	g.Add(Triple{p, NewIRI(RDFType), NewIRI(OWLObjectProperty)})
+}
+
+// DeclareDataProperty asserts p rdf:type owl:DatatypeProperty.
+func (g *Graph) DeclareDataProperty(p Term) {
+	g.Add(Triple{p, NewIRI(RDFType), NewIRI(OWLDataProperty)})
+}
+
+// AddIndividual declares iri as an owl:NamedIndividual of the given class
+// and attaches the property/value pairs. It mirrors the paper's RDF/OWL
+// snippets, e.g. the GATK1 individual with inputFileSize 10, steps 1,
+// RAM 4, eTime 180, CPU 8.
+func (g *Graph) AddIndividual(iri, class Term, props map[Term]Term) {
+	g.Add(Triple{iri, NewIRI(RDFType), NewIRI(OWLNamedIndividual)})
+	g.Add(Triple{iri, NewIRI(RDFType), class})
+	for p, o := range props {
+		g.Add(Triple{iri, p, o})
+	}
+}
+
+// Individuals returns all owl:NamedIndividual subjects that are also typed
+// with the given class.
+func (g *Graph) Individuals(class Term) []Term {
+	named := NewIRI(OWLNamedIndividual)
+	var out []Term
+	for _, s := range g.SubjectsOfType(class) {
+		if g.Has(Triple{s, NewIRI(RDFType), named}) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IsA reports whether s has rdf:type class, following rdfs:subClassOf
+// upward (a small transitive closure; cycles are tolerated).
+func (g *Graph) IsA(s, class Term) bool {
+	typeIRI := NewIRI(RDFType)
+	subIRI := NewIRI(RDFSSubClassOf)
+	seen := map[Term]bool{}
+	var stack []Term
+	for _, t := range g.Objects(s, typeIRI) {
+		stack = append(stack, t)
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if c == class {
+			return true
+		}
+		stack = append(stack, g.Objects(c, subIRI)...)
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EncodeRDFXML writes the graph in the RDF/XML style of the paper's
+// knowledge-base listings:
+//
+//	<owl:NamedIndividual rdf:about="&scan-ontology;GATK1">
+//	    <rdf:type rdf:resource="&scan-ontology;Application"/>
+//	    <scan-ontology:inputFileSize>10</scan-ontology:inputFileSize>
+//	    ...
+//	</owl:NamedIndividual>
+//
+// Subjects typed owl:NamedIndividual render as individual elements with
+// their data and object properties nested; remaining triples render as
+// rdf:Description elements. Entity references (&prefix;local) are emitted
+// for every registered namespace, matching the paper's notation.
+func (g *Graph) EncodeRDFXML(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, `<?xml version="1.0"?>`); err != nil {
+		return err
+	}
+	// DOCTYPE entities for registered prefixes, as Protégé emits.
+	if len(g.order) > 0 {
+		fmt.Fprintln(bw, `<!DOCTYPE rdf:RDF [`)
+		for _, p := range g.order {
+			fmt.Fprintf(bw, "    <!ENTITY %s \"%s\" >\n", xmlPrefixName(p), g.prefixes[p])
+		}
+		fmt.Fprintln(bw, `]>`)
+	}
+	fmt.Fprint(bw, `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"`)
+	for _, p := range g.order {
+		fmt.Fprintf(bw, "\n         xmlns:%s=\"%s\"", xmlPrefixName(p), g.prefixes[p])
+	}
+	fmt.Fprintln(bw, ">")
+
+	named := NewIRI(OWLNamedIndividual)
+	typeIRI := NewIRI(RDFType)
+	individuals := g.Subjects(typeIRI, named)
+	isIndividual := make(map[Term]bool, len(individuals))
+	for _, s := range individuals {
+		isIndividual[s] = true
+	}
+
+	for _, s := range individuals {
+		fmt.Fprintf(bw, "\n    <!-- %s -->\n", s.Value)
+		fmt.Fprintf(bw, "    <owl:NamedIndividual rdf:about=\"%s\">\n", g.entityRef(s))
+		for _, t := range g.sortedProps(s) {
+			if t.P == typeIRI && t.O == named {
+				continue // implied by the element name
+			}
+			g.writeXMLProp(bw, t)
+		}
+		fmt.Fprintln(bw, "    </owl:NamedIndividual>")
+	}
+
+	// Everything that is not an individual's triple: plain descriptions.
+	var rest []Triple
+	g.ForEachMatch(nil, nil, nil, func(t Triple) bool {
+		if !isIndividual[t.S] {
+			rest = append(rest, t)
+		}
+		return true
+	})
+	sort.Slice(rest, func(i, j int) bool {
+		if c := rest[i].S.Compare(rest[j].S); c != 0 {
+			return c < 0
+		}
+		if c := rest[i].P.Compare(rest[j].P); c != 0 {
+			return c < 0
+		}
+		return rest[i].O.Compare(rest[j].O) < 0
+	})
+	for i := 0; i < len(rest); {
+		s := rest[i].S
+		fmt.Fprintf(bw, "\n    <rdf:Description rdf:about=\"%s\">\n", g.entityRef(s))
+		for ; i < len(rest) && rest[i].S == s; i++ {
+			g.writeXMLProp(bw, rest[i])
+		}
+		fmt.Fprintln(bw, "    </rdf:Description>")
+	}
+
+	fmt.Fprintln(bw, "</rdf:RDF>")
+	return bw.Flush()
+}
+
+// sortedProps returns s's triples ordered by predicate then object.
+func (g *Graph) sortedProps(s Term) []Triple {
+	var out []Triple
+	g.ForEachMatch(&s, nil, nil, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].P.Compare(out[j].P); c != 0 {
+			return c < 0
+		}
+		return out[i].O.Compare(out[j].O) < 0
+	})
+	return out
+}
+
+// writeXMLProp renders one property: object properties as rdf:resource
+// references, literals as element text.
+func (g *Graph) writeXMLProp(bw *bufio.Writer, t Triple) {
+	name := g.xmlPropName(t.P)
+	if t.O.Kind == IRI || t.O.Kind == Blank {
+		fmt.Fprintf(bw, "        <%s rdf:resource=\"%s\"/>\n", name, g.entityRef(t.O))
+		return
+	}
+	fmt.Fprintf(bw, "        <%s>%s</%s>\n", name, xmlEscape(t.O.Value), name)
+}
+
+// entityRef renders an IRI using the &prefix;local entity notation when a
+// registered namespace matches (the paper's "&scan-ontology;GATK1" form).
+func (g *Graph) entityRef(t Term) string {
+	if t.Kind != IRI {
+		return xmlEscape(t.Value)
+	}
+	for _, p := range g.order {
+		ns := g.prefixes[p]
+		if strings.HasPrefix(t.Value, ns) && len(t.Value) > len(ns) {
+			return "&" + xmlPrefixName(p) + ";" + xmlEscape(t.Value[len(ns):])
+		}
+	}
+	return xmlEscape(t.Value)
+}
+
+// xmlPropName renders a predicate as prefix:local, falling back to rdf
+// vocabulary names.
+func (g *Graph) xmlPropName(p Term) string {
+	if p.Value == RDFType {
+		return "rdf:type"
+	}
+	for _, pre := range g.order {
+		ns := g.prefixes[pre]
+		if strings.HasPrefix(p.Value, ns) && len(p.Value) > len(ns) {
+			return xmlPrefixName(pre) + ":" + p.Value[len(ns):]
+		}
+	}
+	return p.Value // raw IRI; rare, but better than dropping the triple
+}
+
+// xmlPrefixName maps a registered prefix to its XML namespace prefix. The
+// paper uses "scan-ontology" as the XML prefix for the scan namespace.
+func xmlPrefixName(p string) string {
+	if p == "scan" {
+		return "scan-ontology"
+	}
+	return p
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,67 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeRDFXMLPaperStyle(t *testing.T) {
+	g := NewGraph()
+	g.SetPrefix("scan", scanNS)
+	g.SetPrefix("owl", "http://www.w3.org/2002/07/owl#")
+	g.AddIndividual(NewIRI(scanNS+"GATK1"), NewIRI(scanNS+"Application"), map[Term]Term{
+		NewIRI(scanNS + "inputFileSize"): NewInt(10),
+		NewIRI(scanNS + "steps"):         NewInt(1),
+		NewIRI(scanNS + "RAM"):           NewInt(4),
+		NewIRI(scanNS + "eTime"):         NewInt(180),
+		NewIRI(scanNS + "CPU"):           NewInt(8),
+	})
+	var buf bytes.Buffer
+	if err := g.EncodeRDFXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The exact constructs of the paper's Section III-A listing.
+	for _, want := range []string{
+		`<owl:NamedIndividual rdf:about="&scan-ontology;GATK1">`,
+		`<rdf:type rdf:resource="&scan-ontology;Application"/>`,
+		`<scan-ontology:inputFileSize>10</scan-ontology:inputFileSize>`,
+		`<scan-ontology:eTime>180</scan-ontology:eTime>`,
+		`<scan-ontology:CPU>8</scan-ontology:CPU>`,
+		`<!ENTITY scan-ontology "` + scanNS + `" >`,
+		`</owl:NamedIndividual>`,
+		`</rdf:RDF>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RDF/XML missing %q:\n%s", want, out)
+		}
+	}
+	// The redundant owl:NamedIndividual type triple must not be repeated
+	// inside the element.
+	if strings.Contains(out, `rdf:resource="&owl;NamedIndividual"`) {
+		t.Error("NamedIndividual type repeated inside element")
+	}
+}
+
+func TestEncodeRDFXMLDescriptions(t *testing.T) {
+	g := NewGraph()
+	g.SetPrefix("s", "urn:s#")
+	g.Add(Triple{NewIRI("urn:s#a"), NewIRI("urn:s#knows"), NewIRI("urn:s#b")})
+	g.Add(Triple{NewIRI("urn:s#a"), NewIRI("urn:s#label"), NewString(`x <&> "y"`)})
+	var buf bytes.Buffer
+	if err := g.EncodeRDFXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `<rdf:Description rdf:about="&s;a">`) {
+		t.Errorf("missing description element:\n%s", out)
+	}
+	if !strings.Contains(out, `<s:knows rdf:resource="&s;b"/>`) {
+		t.Errorf("missing object property:\n%s", out)
+	}
+	// Literal content must be XML-escaped.
+	if !strings.Contains(out, `x &lt;&amp;&gt; &quot;y&quot;`) {
+		t.Errorf("literal not escaped:\n%s", out)
+	}
+}

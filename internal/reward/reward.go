@@ -1,0 +1,82 @@
+// Package reward implements the paper's reward and cost functions: the
+// time-oriented scheme R(d,t) = d·(Rmax − t·Rpenalty), the throughput-
+// oriented scheme R(d,t) = d·Rscale/t, and the delay-cost of Equation 1
+// that drives the predictive scaling decisions.
+package reward
+
+import (
+	"fmt"
+)
+
+// Scheme selects the reward formula.
+type Scheme uint8
+
+// Reward schemes (Table I: "Task completion reward function").
+const (
+	TimeBased Scheme = iota
+	ThroughputBased
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case TimeBased:
+		return "time-based"
+	case ThroughputBased:
+		return "throughput-based"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// Params holds the reward constants of Table III.
+type Params struct {
+	RMax     float64 // CUs per unit data (time-based ceiling)
+	RPenalty float64 // CUs per unit data per TU of latency
+	RScale   float64 // CUs·TU per unit data (throughput scheme)
+}
+
+// DefaultParams returns the Table III values: Rmax 400, Rpenalty 15,
+// Rscale 15000.
+func DefaultParams() Params {
+	return Params{RMax: 400, RPenalty: 15, RScale: 15000}
+}
+
+// Reward returns the payment for completing a pipeline over input size d
+// with end-to-end latency t (Section II-D). The time-based scheme may go
+// negative: users penalise late results beyond the reward ceiling.
+func (p Params) Reward(s Scheme, d, t float64) float64 {
+	switch s {
+	case ThroughputBased:
+		if t <= 0 {
+			t = 1e-9
+		}
+		return d * p.RScale / t
+	default:
+		return d * (p.RMax - t*p.RPenalty)
+	}
+}
+
+// MarginalDelayCost returns R(d, t) − R(d, t+delay): the reward lost by
+// delaying one job whose estimated total time is t by delay TUs — one term
+// of Equation 1's sum.
+func (p Params) MarginalDelayCost(s Scheme, d, t, delay float64) float64 {
+	return p.Reward(s, d, t) - p.Reward(s, d, t+delay)
+}
+
+// JobEstimate is one queued job's contribution to a delay-cost query: its
+// input size and its estimated total time ETT(j) (Equation 2).
+type JobEstimate struct {
+	Size float64
+	ETT  float64
+}
+
+// DelayCost implements Equation 1: the total reward lost by delaying every
+// job in the queue by delay TUs.
+func (p Params) DelayCost(s Scheme, queue []JobEstimate, delay float64) float64 {
+	var sum float64
+	for _, j := range queue {
+		sum += p.MarginalDelayCost(s, j.Size, j.ETT, delay)
+	}
+	return sum
+}

@@ -1,0 +1,95 @@
+package reward
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeBasedReward(t *testing.T) {
+	p := DefaultParams()
+	// R(d, t) = d(Rmax − t·Rpenalty): 5 × (400 − 10×15) = 1250.
+	if got := p.Reward(TimeBased, 5, 10); got != 1250 {
+		t.Fatalf("Reward = %v, want 1250", got)
+	}
+	// Past the break-even latency the reward goes negative.
+	if got := p.Reward(TimeBased, 5, 30); got >= 0 {
+		t.Fatalf("late reward = %v, want negative", got)
+	}
+}
+
+func TestThroughputReward(t *testing.T) {
+	p := DefaultParams()
+	// R = d·Rscale/t: 5 × 15000 / 10 = 7500.
+	if got := p.Reward(ThroughputBased, 5, 10); got != 7500 {
+		t.Fatalf("Reward = %v, want 7500", got)
+	}
+	// Zero latency must not divide by zero.
+	if got := p.Reward(ThroughputBased, 5, 0); math.IsInf(got, 0) || math.IsNaN(got) {
+		// A large finite value is acceptable; Inf/NaN is not.
+		t.Fatalf("Reward at t=0 = %v", got)
+	}
+}
+
+// Property: both schemes are monotone nonincreasing in latency and
+// nondecreasing in data size (for positive sizes).
+func TestRewardMonotonicityProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(dRaw, t1Raw, dtRaw uint16) bool {
+		d := 0.1 + float64(dRaw)/100
+		t1 := 0.1 + float64(t1Raw)/100
+		dt := float64(dtRaw) / 100
+		for _, s := range []Scheme{TimeBased, ThroughputBased} {
+			if p.Reward(s, d, t1+dt) > p.Reward(s, d, t1)+1e-9 {
+				return false
+			}
+			if p.Reward(s, d+1, t1) < p.Reward(s, d, t1)-1e-9 && p.Reward(s, d, t1) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarginalDelayCost(t *testing.T) {
+	p := DefaultParams()
+	// Time-based: delaying d=5 by 2 TU costs d·Rpenalty·delay = 150,
+	// independent of the current ETT.
+	if got := p.MarginalDelayCost(TimeBased, 5, 10, 2); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("time-based delay cost = %v, want 150", got)
+	}
+	if got := p.MarginalDelayCost(TimeBased, 5, 50, 2); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("delay cost depends on ETT under time scheme: %v", got)
+	}
+	// Throughput: delay hurts more when the job is almost done (small ETT).
+	early := p.MarginalDelayCost(ThroughputBased, 5, 2, 1)
+	late := p.MarginalDelayCost(ThroughputBased, 5, 20, 1)
+	if early <= late {
+		t.Fatalf("throughput delay cost: early=%v late=%v, want early > late", early, late)
+	}
+}
+
+func TestDelayCostSumsQueue(t *testing.T) {
+	p := DefaultParams()
+	q := []JobEstimate{{Size: 5, ETT: 10}, {Size: 3, ETT: 4}}
+	got := p.DelayCost(TimeBased, q, 2)
+	want := 5.0*15*2 + 3.0*15*2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DelayCost = %v, want %v", got, want)
+	}
+	if p.DelayCost(TimeBased, nil, 2) != 0 {
+		t.Fatal("empty queue must cost nothing")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if TimeBased.String() != "time-based" || ThroughputBased.String() != "throughput-based" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme must still render")
+	}
+}

@@ -1,0 +1,148 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a scand instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the given base URL (e.g.
+// "http://localhost:7390").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("rpc: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("rpc: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job and returns its initial record.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &info)
+	return info, err
+}
+
+// Job fetches one job's record.
+func (c *Client) Job(ctx context.Context, id int) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d", id), nil, &info)
+	return info, err
+}
+
+// Jobs lists all jobs in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Wait polls until the job leaves the pending/running states or the
+// context expires.
+func (c *Client) Wait(ctx context.Context, id int, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.State == StateDone || info.State == StateFailed {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Query runs a SPARQL query on the daemon's knowledge base.
+func (c *Client) Query(ctx context.Context, query string) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/kb/query", QueryRequest{Query: query}, &out)
+	return out, err
+}
+
+// Profiles lists the knowledge base's application profiles.
+func (c *Client) Profiles(ctx context.Context) ([]ProfileInfo, error) {
+	var out []ProfileInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/kb/profiles", nil, &out)
+	return out, err
+}
+
+// Export fetches the daemon's knowledge base as text in the given format
+// ("turtle" or "rdfxml").
+func (c *Client) Export(ctx context.Context, format string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/api/v1/kb/export?format="+format, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("rpc: export: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
+
+// Status fetches daemon statistics.
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	var out StatusResponse
+	err := c.do(ctx, http.MethodGet, "/api/v1/status", nil, &out)
+	return out, err
+}

@@ -1,0 +1,203 @@
+package rpc
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scan/internal/core"
+	"scan/internal/knowledge"
+)
+
+func testServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	p := core.NewPlatform(core.Options{Workers: 2})
+	s := NewServer(p, 2)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return NewClient(ts.URL), s
+}
+
+func TestSubmitAndWait(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	info, err := c.Submit(ctx, SubmitRequest{
+		ReferenceLength: 4000, Reads: 800, SNVs: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StatePending {
+		t.Fatalf("state = %q", info.State)
+	}
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	done, err := c.Wait(ctx, info.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("final state = %q (%s)", done.State, done.Error)
+	}
+	if done.Mapped == 0 || done.TotalReads != 800 {
+		t.Fatalf("result = %+v", done)
+	}
+	if done.Recovered < done.Planted-1 {
+		t.Fatalf("recovered %d/%d", done.Recovered, done.Planted)
+	}
+	if done.ElapsedSec <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c, _ := testServer(t)
+	if _, err := c.Submit(context.Background(), SubmitRequest{ReferenceLength: 10, Reads: 0}); err == nil {
+		t.Fatal("invalid submission accepted")
+	}
+}
+
+func TestJobsListAndLookup(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	a, err := c.Submit(ctx, SubmitRequest{ReferenceLength: 2000, Reads: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Submit(ctx, SubmitRequest{ReferenceLength: 2000, Reads: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != a.ID || jobs[1].ID != b.ID {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	if _, err := c.Job(ctx, 999); err == nil {
+		t.Fatal("lookup of unknown job succeeded")
+	}
+	if !strings.Contains(err999(c), "no job 999") {
+		t.Fatal("error message should carry server detail")
+	}
+}
+
+func err999(c *Client) string {
+	_, err := c.Job(context.Background(), 999)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestKBQueryEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	res, err := c.Query(ctx, `
+PREFIX scan: <`+knowledge.NS+`>
+SELECT ?app ?t WHERE { ?app scan:eTime ?t . } ORDER BY ?t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 seeded profiles", len(res.Rows))
+	}
+	if res.Rows[0]["t"] != "80" {
+		t.Fatalf("first row = %v", res.Rows[0])
+	}
+	// Malformed SPARQL is a client error, not a crash.
+	if _, err := c.Query(ctx, "SELECT garbage"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestProfilesEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ps, err := c.Profiles(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 4 || ps[0].Name != "GATK1" {
+		t.Fatalf("profiles = %+v", ps)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers < 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	info, err := c.Submit(ctx, SubmitRequest{ReferenceLength: 2000, Reads: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if _, err := c.Wait(wctx, info.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+	if st.RunLogs == 0 {
+		t.Fatal("daemon did not log runs to the KB")
+	}
+}
+
+func TestExportEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	turtle, err := c.Export(ctx, "turtle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(turtle, "@prefix scan:") || !strings.Contains(turtle, "scan:GATK1") {
+		t.Fatalf("turtle export:\n%.300s", turtle)
+	}
+	rdfxml, err := c.Export(ctx, "rdfxml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rdfxml, `<owl:NamedIndividual rdf:about="&scan-ontology;GATK1">`) {
+		t.Fatalf("rdfxml export:\n%.300s", rdfxml)
+	}
+	if _, err := c.Export(ctx, "bogus"); err == nil {
+		t.Fatal("bogus format accepted")
+	}
+}
+
+func TestMethodValidation(t *testing.T) {
+	p := core.NewPlatform(core.Options{Workers: 1})
+	s := NewServer(p, 1)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, tc := range []struct{ method, path string }{
+		{"DELETE", "/api/v1/jobs"},
+		{"POST", "/api/v1/status"},
+		{"GET", "/api/v1/kb/query"},
+		{"POST", "/api/v1/kb/profiles"},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, nil)
+		rw := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rw, req)
+		if rw.Code != 405 {
+			t.Errorf("%s %s: code %d, want 405", tc.method, tc.path, rw.Code)
+		}
+	}
+}

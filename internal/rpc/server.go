@@ -1,0 +1,332 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scan/internal/core"
+	"scan/internal/genomics"
+	"scan/internal/variant"
+)
+
+// Server exposes a core.Platform over HTTP and runs submitted jobs on a
+// bounded worker pool (the SCAN Workers of the prototype).
+type Server struct {
+	platform *core.Platform
+	now      func() time.Time
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[int]*jobRecord
+	order  []int
+
+	queue chan int
+	wg    sync.WaitGroup
+	stop  context.CancelFunc
+}
+
+type jobRecord struct {
+	info JobInfo
+	req  SubmitRequest
+}
+
+// NewServer starts a server around the platform with the given number of
+// concurrent job executors. Call Close to stop them.
+func NewServer(p *core.Platform, executors int) *Server {
+	if executors <= 0 {
+		executors = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		platform: p,
+		now:      time.Now,
+		jobs:     make(map[int]*jobRecord),
+		queue:    make(chan int, 1024),
+		stop:     cancel,
+	}
+	for i := 0; i < executors; i++ {
+		s.wg.Add(1)
+		go s.executor(ctx)
+	}
+	return s
+}
+
+// Close stops the executors after their current job.
+func (s *Server) Close() {
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP routing for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("/api/v1/status", s.handleStatus)
+	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/api/v1/kb/query", s.handleQuery)
+	mux.HandleFunc("/api/v1/kb/profiles", s.handleProfiles)
+	mux.HandleFunc("/api/v1/kb/export", s.handleExport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	resp := StatusResponse{Workers: s.platform.Workers(), RunLogs: s.platform.KB().RunCount()}
+	for _, rec := range s.jobs {
+		switch rec.info.State {
+		case StatePending:
+			resp.Pending++
+		case StateRunning:
+			resp.Running++
+		case StateDone:
+			resp.Completed++
+		case StateFailed:
+			resp.Failed++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if req.ReferenceLength < 200 || req.Reads < 1 {
+			writeError(w, http.StatusBadRequest,
+				"reference_length must be >= 200 and reads >= 1")
+			return
+		}
+		info := s.enqueue(req)
+		writeJSON(w, http.StatusAccepted, info)
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]JobInfo, 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, s.jobs[id].info)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", idStr)
+		return
+	}
+	s.mu.Lock()
+	rec, ok := s.jobs[id]
+	var info JobInfo
+	if ok {
+		info = rec.info
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := s.platform.KB().Query(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query failed: %v", err)
+		return
+	}
+	resp := QueryResponse{Vars: res.Vars}
+	for _, row := range res.Rows {
+		m := make(map[string]string, len(row))
+		for v, term := range row {
+			m[v] = term.String()
+		}
+		resp.Rows = append(resp.Rows, m)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	ps, err := s.platform.KB().Profiles()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "profiles: %v", err)
+		return
+	}
+	out := make([]ProfileInfo, len(ps))
+	for i, p := range ps {
+		out[i] = ProfileInfo{
+			Name: p.Name, InputFileSize: p.InputFileSize, Steps: p.Steps,
+			RAM: p.RAM, CPU: p.CPU, ETime: p.ETime,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExport streams the knowledge base as Turtle (default) or RDF/XML
+// (?format=rdfxml), the paper's listing format.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "turtle":
+		w.Header().Set("Content-Type", "text/turtle")
+		if err := s.platform.KB().Export(w); err != nil {
+			writeError(w, http.StatusInternalServerError, "export: %v", err)
+		}
+	case "rdfxml":
+		w.Header().Set("Content-Type", "application/rdf+xml")
+		if err := s.platform.KB().ExportRDFXML(w); err != nil {
+			writeError(w, http.StatusInternalServerError, "export: %v", err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
+	}
+}
+
+func (s *Server) enqueue(req SubmitRequest) JobInfo {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	info := JobInfo{ID: id, State: StatePending, Submitted: s.now()}
+	s.jobs[id] = &jobRecord{info: info, req: req}
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.queue <- id
+	return info
+}
+
+func (s *Server) executor(ctx context.Context) {
+	defer s.wg.Done()
+	for id := range s.queue {
+		if ctx.Err() != nil {
+			return
+		}
+		s.runJob(ctx, id)
+	}
+}
+
+func (s *Server) runJob(ctx context.Context, id int) {
+	s.mu.Lock()
+	rec := s.jobs[id]
+	rec.info.State = StateRunning
+	req := rec.req
+	s.mu.Unlock()
+
+	start := time.Now()
+	info, err := s.execute(ctx, req)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info.ID = id
+	info.Submitted = rec.info.Submitted
+	info.ElapsedSec = time.Since(start).Seconds()
+	if err != nil {
+		info.State = StateFailed
+		info.Error = err.Error()
+	} else {
+		info.State = StateDone
+	}
+	rec.info = info
+}
+
+// execute generates the synthetic dataset and runs the pipeline.
+func (s *Server) execute(ctx context.Context, req SubmitRequest) (JobInfo, error) {
+	readLen := req.ReadLength
+	if readLen <= 0 {
+		readLen = 100
+	}
+	errRate := req.ErrorRate
+	if errRate <= 0 {
+		errRate = 0.002
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	ref := genomics.GenerateReference(rng, "chr1", req.ReferenceLength)
+	mutated, planted := genomics.PlantSNVs(rng, ref, req.SNVs)
+	reads, err := genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
+		Count: req.Reads, Length: readLen, ErrorRate: errRate,
+	})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	res, err := s.platform.RunVariantCalling(ctx, core.VariantCallingJob{
+		Reference:    ref,
+		Reads:        reads,
+		Caller:       variant.Config{MinDepth: 8, MinAltFraction: 0.6},
+		ShardRecords: req.ShardRecords,
+	})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	calledAt := map[int]genomics.Variant{}
+	for _, v := range res.Variants {
+		calledAt[v.Pos-1] = v
+	}
+	recovered := 0
+	for _, m := range planted {
+		if v, ok := calledAt[m.Pos]; ok && v.Alt == string(m.Alt) {
+			recovered++
+		}
+	}
+	return JobInfo{
+		Mapped:     res.Mapped,
+		TotalReads: len(reads),
+		Variants:   len(res.Variants),
+		Recovered:  recovered,
+		Planted:    len(planted),
+		Shards:     res.ShardPlan.NumShards,
+	}, nil
+}

@@ -1,0 +1,92 @@
+// Package rpc implements the SCAN scheduler's HTTP interface — the
+// equivalent of the paper's CherryPy prototype ("The scheduler is
+// implemented in Python, using the CherryPy web framework to process HTTP
+// requests. Its interface is realized using HTTP RPCs."). scand serves it;
+// scanctl talks to it.
+package rpc
+
+import "time"
+
+// JobState is a submitted job's lifecycle phase.
+type JobState string
+
+// Job states.
+const (
+	StatePending JobState = "pending"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// SubmitRequest asks the daemon to run one synthetic variant-calling
+// analysis. The daemon generates the data (seeded, reproducible) and runs
+// the full shard → align → call → merge pipeline.
+type SubmitRequest struct {
+	// ReferenceLength is the synthetic genome size in bases.
+	ReferenceLength int `json:"reference_length"`
+	// Reads is the number of simulated reads.
+	Reads int `json:"reads"`
+	// ReadLength is the simulated read length (default 100).
+	ReadLength int `json:"read_length,omitempty"`
+	// SNVs is the number of planted mutations.
+	SNVs int `json:"snvs"`
+	// ErrorRate is the per-base sequencing error (default 0.002).
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// Seed makes the synthetic data reproducible.
+	Seed int64 `json:"seed"`
+	// ShardRecords overrides the Data Broker's shard sizing when > 0.
+	ShardRecords int `json:"shard_records,omitempty"`
+}
+
+// JobInfo summarises one job.
+type JobInfo struct {
+	ID        int       `json:"id"`
+	State     JobState  `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Error     string    `json:"error,omitempty"`
+
+	// Result summary (populated when State == done).
+	Mapped     int     `json:"mapped,omitempty"`
+	TotalReads int     `json:"total_reads,omitempty"`
+	Variants   int     `json:"variants,omitempty"`
+	Recovered  int     `json:"recovered,omitempty"`
+	Planted    int     `json:"planted,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+}
+
+// QueryRequest is a SPARQL query against the daemon's knowledge base.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResponse carries query results as rows of var → rendered term.
+type QueryResponse struct {
+	Vars []string            `json:"vars"`
+	Rows []map[string]string `json:"rows"`
+}
+
+// ProfileInfo mirrors knowledge.AppProfile over the wire.
+type ProfileInfo struct {
+	Name          string  `json:"name"`
+	InputFileSize float64 `json:"input_file_size"`
+	Steps         int     `json:"steps"`
+	RAM           int     `json:"ram"`
+	CPU           int     `json:"cpu"`
+	ETime         float64 `json:"etime"`
+}
+
+// StatusResponse is the daemon health/statistics snapshot.
+type StatusResponse struct {
+	Workers   int `json:"workers"`
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	RunLogs   int `json:"run_logs"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

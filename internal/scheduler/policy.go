@@ -1,0 +1,97 @@
+// Package scheduler implements the SCAN Scheduler: per-stage work queues,
+// worker pools serviced by an elastic two-tier cloud, the reward-driven
+// horizontal-scaling decision of Section III-A2 (Equations 1 and 2), and
+// the resource-allocation policies of Table I (greedy, long-term,
+// long-term adaptive, best constant).
+package scheduler
+
+import "fmt"
+
+// ScalingPolicy decides whether to hire a new worker when a task reaches
+// the front of a queue and no suitable worker is idle (Table I,
+// "Horizontal scaling algorithm").
+type ScalingPolicy uint8
+
+// Scaling policies.
+const (
+	// AlwaysScale hires immediately — private tier first, public overflow.
+	AlwaysScale ScalingPolicy = iota
+	// NeverScale hires only from the private tier and otherwise queues.
+	NeverScale
+	// PredictiveScale hires from the private tier freely; when it is full,
+	// it hires from the public tier only if the delay cost of queueing
+	// (Equation 1) exceeds the cost of the hire.
+	PredictiveScale
+)
+
+// String names the policy as in Figure 4's legend.
+func (p ScalingPolicy) String() string {
+	switch p {
+	case AlwaysScale:
+		return "always-scale"
+	case NeverScale:
+		return "never-scale"
+	case PredictiveScale:
+		return "predictive"
+	default:
+		return fmt.Sprintf("scaling(%d)", uint8(p))
+	}
+}
+
+// AllocationPolicy chooses each job's execution plan — the per-stage
+// multithreading degree (Table I, "Resource allocation algorithm").
+type AllocationPolicy uint8
+
+// Allocation policies.
+const (
+	// BestConstant uses one offline-optimised plan for every job,
+	// assuming private-tier pricing (the paper's baseline).
+	BestConstant AllocationPolicy = iota
+	// Greedy re-plans each stage as it starts, using the price of the
+	// tier that would actually supply cores right now.
+	Greedy
+	// LongTerm plans the whole pipeline at admission using a price
+	// blended by current private-tier utilisation.
+	LongTerm
+	// LongTermAdaptive re-plans at every stage boundary with the live
+	// blended price and the observed queue-delay estimates.
+	LongTermAdaptive
+)
+
+// String names the policy as in Table I.
+func (p AllocationPolicy) String() string {
+	switch p {
+	case BestConstant:
+		return "best-constant"
+	case Greedy:
+		return "greedy"
+	case LongTerm:
+		return "long-term"
+	case LongTermAdaptive:
+		return "long-term-adaptive"
+	default:
+		return fmt.Sprintf("allocation(%d)", uint8(p))
+	}
+}
+
+// ewma is an exponentially weighted moving average used for the EQT_i
+// (estimated queueing time) estimators of Equation 2.
+type ewma struct {
+	v     float64
+	alpha float64
+	n     int
+}
+
+func newEWMA(alpha float64) ewma { return ewma{alpha: alpha} }
+
+func (e *ewma) Add(x float64) {
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v = e.alpha*x + (1-e.alpha)*e.v
+	}
+	e.n++
+}
+
+func (e *ewma) Value() float64 { return e.v }
+func (e *ewma) Samples() int   { return e.n }

@@ -1,0 +1,361 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scan/internal/cloud"
+	"scan/internal/gatk"
+	"scan/internal/reward"
+	"scan/internal/sim"
+)
+
+// rig builds an engine + cloud + scheduler with the given knobs.
+func rig(t *testing.T, privateCores int, publicPrice float64, cfg Config) (*sim.Engine, *cloud.Cloud, *Scheduler) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cloud.New(eng, 0.5,
+		cloud.Tier{Name: "private", PricePerCoreTU: 5, Cores: privateCores},
+		cloud.Tier{Name: "public", PricePerCoreTU: publicPrice, Cores: cloud.Unbounded},
+	)
+	if cfg.Pipeline.Stages == nil {
+		cfg.Pipeline = gatk.NewPipeline()
+	}
+	if cfg.RewardParams == (reward.Params{}) {
+		cfg.RewardParams = reward.DefaultParams()
+	}
+	s, err := New(eng, cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cl, s
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cloud.New(eng, 0.5, cloud.DefaultTiers(50)...)
+	if _, err := New(eng, cl, Config{}); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	bad := gatk.UniformPlan(3, 8)
+	if _, err := New(eng, cl, Config{Pipeline: gatk.NewPipeline(), FixedPlan: &bad}); err == nil {
+		t.Fatal("mismatched fixed plan accepted")
+	}
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	eng, cl, s := rig(t, 624, 50, Config{})
+	j := s.Submit(5)
+	if j.Shards != 3 {
+		t.Fatalf("Shards = %d, want ceil(5/2)=3", j.Shards)
+	}
+	if math.Abs(j.ShardSize-5.0/3) > 1e-12 {
+		t.Fatalf("ShardSize = %v", j.ShardSize)
+	}
+	eng.Run()
+	if !j.Done {
+		t.Fatal("job did not complete")
+	}
+	// Latency: boot (0.5) + per-stage times (plus stage-boundary boots).
+	min := s.cfg.Pipeline.TotalTime(j.Plan, j.ShardSize)
+	if j.Latency() < min {
+		t.Fatalf("latency %v below physical floor %v", j.Latency(), min)
+	}
+	wantReward := reward.DefaultParams().Reward(reward.TimeBased, 5, j.Latency())
+	if math.Abs(j.Reward-wantReward) > 1e-9 {
+		t.Fatalf("reward = %v, want %v", j.Reward, wantReward)
+	}
+	m := s.Metrics()
+	if m.JobsCompleted != 1 || m.JobsArrived != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.TotalCost <= 0 {
+		t.Fatal("no cost accrued")
+	}
+	s.Drain()
+	if cl.ActiveVMs() != 0 {
+		t.Fatalf("%d VMs still hired after drain", cl.ActiveVMs())
+	}
+}
+
+func TestStageBarrier(t *testing.T) {
+	// With one shard per stage and a fixed single-thread plan, stages must
+	// execute strictly sequentially: total ≥ Σ stage times.
+	plan := gatk.UniformPlan(gatk.NumStages, 1)
+	eng, _, s := rig(t, 624, 50, Config{FixedPlan: &plan, ShardSize: 10})
+	j := s.Submit(4) // one shard
+	eng.Run()
+	if !j.Done {
+		t.Fatal("job did not complete")
+	}
+	want := s.cfg.Pipeline.TotalTime(plan, 4)
+	if j.Latency() < want-1e-9 {
+		t.Fatalf("latency %v < serial floor %v: stages overlapped", j.Latency(), want)
+	}
+}
+
+func TestNeverScaleStaysPrivate(t *testing.T) {
+	eng, cl, s := rig(t, 16, 50, Config{Scaling: NeverScale})
+	for i := 0; i < 8; i++ {
+		s.Submit(5)
+	}
+	eng.Run()
+	m := s.Metrics()
+	if m.PublicHires != 0 {
+		t.Fatalf("never-scale hired %d public workers", m.PublicHires)
+	}
+	if m.JobsCompleted != 8 {
+		t.Fatalf("completed %d/8 (starvation?)", m.JobsCompleted)
+	}
+	if cl.CoresInUse(1) != 0 {
+		t.Fatal("public cores in use under never-scale")
+	}
+}
+
+func TestAlwaysScaleSpillsToPublic(t *testing.T) {
+	eng, _, s := rig(t, 4, 50, Config{Scaling: AlwaysScale})
+	for i := 0; i < 8; i++ {
+		s.Submit(5)
+	}
+	eng.Run()
+	m := s.Metrics()
+	if m.PublicHires == 0 {
+		t.Fatal("always-scale never went public despite a 4-core private tier")
+	}
+	if m.JobsCompleted != 8 {
+		t.Fatalf("completed %d/8", m.JobsCompleted)
+	}
+}
+
+func TestPredictiveQuietStaysPrivate(t *testing.T) {
+	// A single job on an empty system must not trigger public hires.
+	eng, _, s := rig(t, 64, 50, Config{Scaling: PredictiveScale})
+	s.Submit(5)
+	eng.Run()
+	if m := s.Metrics(); m.PublicHires != 0 {
+		t.Fatalf("predictive hired %d public workers on an idle system", m.PublicHires)
+	}
+}
+
+func TestPredictiveHiresUnderBacklog(t *testing.T) {
+	// A tiny private tier and a flood of simultaneous jobs must push the
+	// delay cost over the hire cost.
+	eng, _, s := rig(t, 2, 50, Config{Scaling: PredictiveScale})
+	for i := 0; i < 30; i++ {
+		s.Submit(5)
+	}
+	eng.Run()
+	m := s.Metrics()
+	if m.PublicHires == 0 {
+		t.Fatal("predictive never hired public under heavy backlog")
+	}
+	if m.JobsCompleted != 30 {
+		t.Fatalf("completed %d/30", m.JobsCompleted)
+	}
+}
+
+func TestWorkerReuseAcrossJobs(t *testing.T) {
+	// Two identical jobs offset by one TU: the second must ride the warm
+	// pool of the first instead of doubling the hires.
+	solo, _, s1 := rig(t, 624, 50, Config{})
+	s1.Submit(5)
+	solo.Run()
+	soloHires := s1.Metrics().PrivateHires
+
+	eng, _, s2 := rig(t, 624, 50, Config{})
+	s2.Submit(5)
+	eng.Schedule(1, func() { s2.Submit(5) })
+	eng.Run()
+	pairHires := s2.Metrics().PrivateHires
+	if pairHires >= 2*soloHires {
+		t.Fatalf("no reuse: one job hires %d, two staggered jobs hired %d", soloHires, pairHires)
+	}
+}
+
+func TestIdleWorkersReleasedAfterWindow(t *testing.T) {
+	eng, cl, s := rig(t, 624, 50, Config{})
+	s.Submit(5)
+	eng.Run() // completes job, then idle-release events fire
+	if cl.ActiveVMs() != 0 {
+		t.Fatalf("%d workers still hired after idle windows expired", cl.ActiveVMs())
+	}
+	_ = s
+}
+
+func TestHeterogeneousReconfigures(t *testing.T) {
+	// Plan alternates widths; with a private tier big enough for only one
+	// worker at a time, the scheduler must resize rather than queue
+	// forever.
+	plan := gatk.Plan{Threads: []int{4, 1, 8, 1, 4, 1, 1}}
+	eng, _, s := rig(t, 8, 5000, Config{
+		FixedPlan:            &plan,
+		ShardSize:            10,
+		Scaling:              NeverScale,
+		HeterogeneousWorkers: true,
+	})
+	j := s.Submit(4)
+	eng.Run()
+	if !j.Done {
+		t.Fatal("job did not complete")
+	}
+	if s.Metrics().Reconfigs == 0 {
+		t.Fatal("no reconfigurations under heterogeneous mode with a tight tier")
+	}
+}
+
+func TestStaticPoolsDoNotReconfigure(t *testing.T) {
+	plan := gatk.Plan{Threads: []int{4, 1, 8, 1, 4, 1, 1}}
+	eng, _, s := rig(t, 32, 50, Config{
+		FixedPlan: &plan,
+		ShardSize: 10,
+	})
+	j := s.Submit(4)
+	eng.Run()
+	if !j.Done {
+		t.Fatal("job did not complete")
+	}
+	if s.Metrics().Reconfigs != 0 {
+		t.Fatal("reconfigured without heterogeneous mode")
+	}
+}
+
+func TestAllocationPoliciesProduceValidPlans(t *testing.T) {
+	for _, al := range []AllocationPolicy{BestConstant, Greedy, LongTerm, LongTermAdaptive} {
+		eng, _, s := rig(t, 624, 50, Config{Allocation: al})
+		j := s.Submit(5)
+		if err := j.Plan.Validate(gatk.NumStages); err != nil {
+			t.Fatalf("%v: invalid plan: %v", al, err)
+		}
+		eng.Run()
+		if !j.Done {
+			t.Fatalf("%v: job did not complete", al)
+		}
+	}
+}
+
+func TestGreedyNarrowsWhenOnlyPublicLeft(t *testing.T) {
+	// When the private tier is exhausted, greedy re-plans against the
+	// public price, which must never widen the plan.
+	eng, cl, s := rig(t, 624, 110, Config{Allocation: Greedy})
+	cheap := s.Submit(5)
+	// Exhaust the private tier so the next stage re-plan sees public price.
+	hog, err := cl.Hire(0, 624-cl.CoresInUse(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := cl.Release(hog); err != nil {
+		t.Fatal(err)
+	}
+	if !cheap.Done {
+		t.Fatal("job starved")
+	}
+	if cheap.Plan.CoreStages() > s.ConstantPlan().CoreStages() {
+		t.Fatalf("greedy widened the plan under public pricing: %v > %v",
+			cheap.Plan.Threads, s.ConstantPlan().Threads)
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	m := Metrics{JobsCompleted: 4, TotalReward: 1000, TotalCost: 250}
+	if got := m.ProfitPerJob(); got != 187.5 {
+		t.Fatalf("ProfitPerJob = %v", got)
+	}
+	if got := m.RewardToCost(); got != 4 {
+		t.Fatalf("RewardToCost = %v", got)
+	}
+	empty := Metrics{}
+	if empty.ProfitPerJob() != 0 || empty.RewardToCost() != 0 {
+		t.Fatal("zero-guard broken")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := newEWMA(0.5)
+	if e.Samples() != 0 || e.Value() != 0 {
+		t.Fatal("zero state wrong")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample: %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+// Property: every admitted job completes once arrivals stop, no cores leak,
+// and total reward equals the sum over completed jobs — for any workload
+// mix and policy combination.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizes []uint8, scRaw, alRaw uint8) bool {
+		if len(sizes) > 24 {
+			sizes = sizes[:24]
+		}
+		sc := ScalingPolicy(scRaw % 3)
+		al := AllocationPolicy(alRaw % 4)
+		eng := sim.NewEngine()
+		cl := cloud.New(eng, 0.5,
+			cloud.Tier{Name: "private", PricePerCoreTU: 5, Cores: 48},
+			cloud.Tier{Name: "public", PricePerCoreTU: 50, Cores: cloud.Unbounded},
+		)
+		s, err := New(eng, cl, Config{
+			Pipeline:     gatk.NewPipeline(),
+			RewardParams: reward.DefaultParams(),
+			Scaling:      sc,
+			Allocation:   al,
+		})
+		if err != nil {
+			return false
+		}
+		var jobs []*Job
+		for i, raw := range sizes {
+			size := 0.5 + float64(raw%40)/4
+			at := float64(i) * 0.3
+			eng.Schedule(at, func() { jobs = append(jobs, s.Submit(size)) })
+		}
+		eng.Run()
+		s.Drain()
+		m := s.Metrics()
+		if m.JobsCompleted != len(sizes) || m.JobsArrived != len(sizes) {
+			return false
+		}
+		var sum float64
+		for _, j := range jobs {
+			if !j.Done {
+				return false
+			}
+			sum += j.Reward
+		}
+		if math.Abs(sum-m.TotalReward) > 1e-6 {
+			return false
+		}
+		return cl.ActiveVMs() == 0 && cl.CoresInUse(0) == 0 && cl.CoresInUse(1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cl := cloud.New(eng, 0.5, cloud.DefaultTiers(50)...)
+		s, err := New(eng, cl, Config{
+			Pipeline:     gatk.NewPipeline(),
+			RewardParams: reward.DefaultParams(),
+			Scaling:      PredictiveScale,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 100; k++ {
+			at := float64(k) * 0.5
+			eng.Schedule(at, func() { s.Submit(5) })
+		}
+		eng.Run()
+		s.Drain()
+	}
+}

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"fmt"
+
+	"scan/internal/genomics"
+)
+
+// Region is a 1-based inclusive interval on a reference sequence, the unit
+// of GATK-style scatter-gather over coordinate-sorted alignments.
+type Region struct {
+	Start, End int
+}
+
+// Len returns the number of positions covered.
+func (r Region) Len() int { return r.End - r.Start + 1 }
+
+// String renders the region as "start-end".
+func (r Region) String() string { return fmt.Sprintf("%d-%d", r.Start, r.End) }
+
+// Contains reports whether the 1-based position lies inside the region.
+func (r Region) Contains(pos int) bool { return pos >= r.Start && pos <= r.End }
+
+// Regions divides a reference of refLen bases into n contiguous regions
+// whose sizes differ by at most one base.
+func Regions(refLen, n int) ([]Region, error) {
+	if n <= 0 {
+		return nil, ErrBadShardSize
+	}
+	if refLen <= 0 {
+		return nil, fmt.Errorf("shard: non-positive reference length %d", refLen)
+	}
+	if n > refLen {
+		n = refLen
+	}
+	out := make([]Region, 0, n)
+	base := refLen / n
+	rem := refLen % n
+	start := 1
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Region{Start: start, End: start + size - 1})
+		start += size
+	}
+	return out, nil
+}
+
+// PartitionByRegion assigns each mapped alignment to the region containing
+// its start position (so every record lands in exactly one shard) and
+// returns per-region slices plus the unmapped remainder.
+func PartitionByRegion(alns []genomics.Alignment, regions []Region) (parts [][]genomics.Alignment, unmapped []genomics.Alignment) {
+	parts = make([][]genomics.Alignment, len(regions))
+	for _, a := range alns {
+		if a.Unmapped() {
+			unmapped = append(unmapped, a)
+			continue
+		}
+		idx := findRegion(regions, a.Pos)
+		if idx < 0 {
+			// Outside every region (shouldn't happen with full coverage);
+			// treat as unmapped so no data is silently dropped.
+			unmapped = append(unmapped, a)
+			continue
+		}
+		parts[idx] = append(parts[idx], a)
+	}
+	return parts, unmapped
+}
+
+// PartitionByOverlap assigns each mapped alignment to every region it
+// overlaps (not just the one containing its start), so a pileup built per
+// region sees full coverage at region boundaries. A caller that emits
+// variants only inside its own region still produces each call exactly
+// once, with no evidence lost to the boundary — the correct GATK-style
+// scatter. Unmapped records are returned separately.
+func PartitionByOverlap(alns []genomics.Alignment, regions []Region) (parts [][]genomics.Alignment, unmapped []genomics.Alignment) {
+	parts = make([][]genomics.Alignment, len(regions))
+	for _, a := range alns {
+		if a.Unmapped() {
+			unmapped = append(unmapped, a)
+			continue
+		}
+		first := findRegion(regions, a.Pos)
+		if first < 0 {
+			unmapped = append(unmapped, a)
+			continue
+		}
+		end := a.End()
+		for i := first; i < len(regions) && regions[i].Start <= end; i++ {
+			parts[i] = append(parts[i], a)
+		}
+	}
+	return parts, unmapped
+}
+
+// findRegion locates the region containing pos by binary search; regions
+// must be sorted and non-overlapping (as produced by Regions).
+func findRegion(regions []Region, pos int) int {
+	lo, hi := 0, len(regions)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r := regions[mid]
+		switch {
+		case pos < r.Start:
+			hi = mid - 1
+		case pos > r.End:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}

@@ -1,0 +1,179 @@
+// Package shard implements SCAN's Data Sharders: record-boundary-aware
+// splitting and merging for each genomic data format, so a large input can
+// be fanned out to parallel analysis subtasks and the per-shard outputs
+// gathered back (the paper's example: divide a 100 GB FASTQ file into 25
+// 4 GB files and create 25 subtasks; merge small files for gather stages
+// such as VariantsToVCF).
+//
+// The shard size itself is chosen by the knowledge base (package
+// knowledge); this package is the mechanical layer.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"scan/internal/genomics"
+)
+
+// ErrBadShardSize is returned for non-positive shard sizing parameters.
+var ErrBadShardSize = errors.New("shard: shard size must be positive")
+
+// Plan describes how one input will be fragmented.
+type Plan struct {
+	TotalRecords    int
+	RecordsPerShard int
+	NumShards       int
+}
+
+// PlanByRecords sizes shards at recordsPerShard records each.
+func PlanByRecords(totalRecords, recordsPerShard int) (Plan, error) {
+	if recordsPerShard <= 0 {
+		return Plan{}, ErrBadShardSize
+	}
+	if totalRecords < 0 {
+		return Plan{}, fmt.Errorf("shard: negative record count %d", totalRecords)
+	}
+	n := (totalRecords + recordsPerShard - 1) / recordsPerShard
+	if n == 0 {
+		n = 1
+	}
+	return Plan{TotalRecords: totalRecords, RecordsPerShard: recordsPerShard, NumShards: n}, nil
+}
+
+// PlanByShards divides totalRecords into numShards near-equal shards.
+func PlanByShards(totalRecords, numShards int) (Plan, error) {
+	if numShards <= 0 {
+		return Plan{}, ErrBadShardSize
+	}
+	per := (totalRecords + numShards - 1) / numShards
+	if per == 0 {
+		per = 1
+	}
+	return Plan{TotalRecords: totalRecords, RecordsPerShard: per, NumShards: numShards}, nil
+}
+
+// Bounds returns the [start, end) record range of shard i under the plan.
+func (p Plan) Bounds(i int) (start, end int) {
+	start = i * p.RecordsPerShard
+	end = start + p.RecordsPerShard
+	if end > p.TotalRecords {
+		end = p.TotalRecords
+	}
+	if start > p.TotalRecords {
+		start = p.TotalRecords
+	}
+	return start, end
+}
+
+// SplitFASTQ streams records from r into consecutive shards of
+// recordsPerShard records each. newShard is called with the shard index and
+// must return the destination writer. It returns the shard count and total
+// records.
+func SplitFASTQ(r io.Reader, recordsPerShard int, newShard func(int) (io.Writer, error)) (shards, total int, err error) {
+	if recordsPerShard <= 0 {
+		return 0, 0, ErrBadShardSize
+	}
+	fr := genomics.NewFASTQReader(r)
+	var fw *genomics.FASTQWriter
+	inShard := 0
+	for {
+		rd, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return shards, total, err
+		}
+		if fw == nil || inShard == recordsPerShard {
+			if fw != nil {
+				if err := fw.Flush(); err != nil {
+					return shards, total, err
+				}
+			}
+			w, err := newShard(shards)
+			if err != nil {
+				return shards, total, err
+			}
+			fw = genomics.NewFASTQWriter(w)
+			shards++
+			inShard = 0
+		}
+		if err := fw.Write(rd); err != nil {
+			return shards, total, err
+		}
+		inShard++
+		total++
+	}
+	if fw != nil {
+		if err := fw.Flush(); err != nil {
+			return shards, total, err
+		}
+	}
+	return shards, total, nil
+}
+
+// MergeFASTQ concatenates FASTQ streams into w, returning the total record
+// count. Records are re-encoded, so malformed shards are caught here.
+func MergeFASTQ(w io.Writer, inputs ...io.Reader) (int, error) {
+	fw := genomics.NewFASTQWriter(w)
+	total := 0
+	for i, in := range inputs {
+		fr := genomics.NewFASTQReader(in)
+		for {
+			rd, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return total, fmt.Errorf("shard: merging input %d: %w", i, err)
+			}
+			if err := fw.Write(rd); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, fw.Flush()
+}
+
+// ChunkReads splits an in-memory read set into shards of at most
+// maxPerShard records, preserving order. The last shard may be smaller.
+func ChunkReads(reads []genomics.Read, maxPerShard int) ([][]genomics.Read, error) {
+	if maxPerShard <= 0 {
+		return nil, ErrBadShardSize
+	}
+	var out [][]genomics.Read
+	for start := 0; start < len(reads); start += maxPerShard {
+		end := start + maxPerShard
+		if end > len(reads) {
+			end = len(reads)
+		}
+		out = append(out, reads[start:end])
+	}
+	if out == nil {
+		out = [][]genomics.Read{{}}
+	}
+	return out, nil
+}
+
+// ChunkAlignments splits alignments into shards of at most maxPerShard
+// records, preserving order.
+func ChunkAlignments(alns []genomics.Alignment, maxPerShard int) ([][]genomics.Alignment, error) {
+	if maxPerShard <= 0 {
+		return nil, ErrBadShardSize
+	}
+	var out [][]genomics.Alignment
+	for start := 0; start < len(alns); start += maxPerShard {
+		end := start + maxPerShard
+		if end > len(alns) {
+			end = len(alns)
+		}
+		out = append(out, alns[start:end])
+	}
+	if out == nil {
+		out = [][]genomics.Alignment{{}}
+	}
+	return out, nil
+}

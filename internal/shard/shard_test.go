@@ -1,0 +1,415 @@
+package shard
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scan/internal/genomics"
+)
+
+func simReads(t testing.TB, n int, seed int64) []genomics.Read {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	genome := genomics.GenerateReference(rng, "chr1", 5000)
+	reads, err := genomics.SimulateReads(rng, genome, genomics.ReadSimConfig{Count: n, Length: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reads
+}
+
+func TestPlanByRecords(t *testing.T) {
+	p, err := PlanByRecords(100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards != 4 {
+		t.Fatalf("NumShards = %d, want 4", p.NumShards)
+	}
+	s, e := p.Bounds(3)
+	if s != 90 || e != 100 {
+		t.Fatalf("Bounds(3) = %d,%d", s, e)
+	}
+	if _, err := PlanByRecords(10, 0); err != ErrBadShardSize {
+		t.Fatal("zero shard size accepted")
+	}
+	// Empty input still yields one (empty) shard.
+	p, err = PlanByRecords(0, 10)
+	if err != nil || p.NumShards != 1 {
+		t.Fatalf("empty plan = %+v, %v", p, err)
+	}
+}
+
+func TestPlanByShards(t *testing.T) {
+	p, err := PlanByShards(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RecordsPerShard != 34 || p.NumShards != 3 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if _, err := PlanByShards(100, 0); err != ErrBadShardSize {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+func TestSplitFASTQAndMergeRoundTrip(t *testing.T) {
+	reads := simReads(t, 107, 1)
+	var src bytes.Buffer
+	if err := genomics.WriteAllFASTQ(&src, reads); err != nil {
+		t.Fatal(err)
+	}
+	var shards []*bytes.Buffer
+	n, total, err := SplitFASTQ(&src, 25, func(i int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		shards = append(shards, b)
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || total != 107 {
+		t.Fatalf("shards=%d total=%d, want 5/107", n, total)
+	}
+	// Shard sizes: 25,25,25,25,7.
+	counts := make([]int, n)
+	for i, b := range shards {
+		c, err := genomics.CountFASTQ(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = c
+	}
+	want := []int{25, 25, 25, 25, 7}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("shard %d has %d records, want %d", i, counts[i], want[i])
+		}
+	}
+	// Merge restores the original records in order.
+	var merged bytes.Buffer
+	readers := make([]io.Reader, len(shards))
+	for i, b := range shards {
+		readers[i] = bytes.NewReader(b.Bytes())
+	}
+	mc, err := MergeFASTQ(&merged, readers...)
+	if err != nil || mc != 107 {
+		t.Fatalf("merge count = %d, %v", mc, err)
+	}
+	got, err := genomics.ReadAllFASTQ(&merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reads {
+		if got[i].ID != reads[i].ID || !bytes.Equal(got[i].Seq, reads[i].Seq) {
+			t.Fatalf("record %d mismatch after split+merge", i)
+		}
+	}
+}
+
+// Property: split+merge is the identity for any record count and shard size.
+func TestSplitMergeIdentityProperty(t *testing.T) {
+	allReads := simReads(t, 150, 2)
+	f := func(nRaw, perRaw uint8) bool {
+		n := int(nRaw) % 150
+		per := 1 + int(perRaw)%40
+		reads := allReads[:n]
+		var src bytes.Buffer
+		if err := genomics.WriteAllFASTQ(&src, reads); err != nil {
+			return false
+		}
+		var shards []*bytes.Buffer
+		_, total, err := SplitFASTQ(&src, per, func(int) (io.Writer, error) {
+			b := &bytes.Buffer{}
+			shards = append(shards, b)
+			return b, nil
+		})
+		if err != nil || total != n {
+			return false
+		}
+		var merged bytes.Buffer
+		rs := make([]io.Reader, len(shards))
+		for i, b := range shards {
+			rs[i] = bytes.NewReader(b.Bytes())
+		}
+		mc, err := MergeFASTQ(&merged, rs...)
+		if err != nil || mc != n {
+			return false
+		}
+		got, err := genomics.ReadAllFASTQ(&merged)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != reads[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkReads(t *testing.T) {
+	reads := simReads(t, 10, 3)
+	chunks, err := ChunkReads(reads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 || len(chunks[0]) != 4 || len(chunks[2]) != 2 {
+		t.Fatalf("chunk shapes: %d chunks", len(chunks))
+	}
+	if _, err := ChunkReads(reads, 0); err != ErrBadShardSize {
+		t.Fatal("zero chunk size accepted")
+	}
+	empty, err := ChunkReads(nil, 5)
+	if err != nil || len(empty) != 1 {
+		t.Fatalf("empty input: %v %v", empty, err)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	regs, err := Regions(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("got %d regions", len(regs))
+	}
+	// Sizes 4,3,3 covering 1..10 with no gaps or overlaps.
+	if regs[0] != (Region{1, 4}) || regs[1] != (Region{5, 7}) || regs[2] != (Region{8, 10}) {
+		t.Fatalf("regions = %v", regs)
+	}
+	// More regions than bases clamps.
+	regs, err = Regions(3, 10)
+	if err != nil || len(regs) != 3 {
+		t.Fatalf("clamp failed: %v %v", regs, err)
+	}
+	if _, err := Regions(0, 3); err == nil {
+		t.Fatal("zero-length reference accepted")
+	}
+	if _, err := Regions(10, 0); err == nil {
+		t.Fatal("zero regions accepted")
+	}
+}
+
+// Property: Regions always tiles [1, refLen] exactly.
+func TestRegionsTileProperty(t *testing.T) {
+	f := func(lenRaw uint16, nRaw uint8) bool {
+		refLen := 1 + int(lenRaw)%5000
+		n := 1 + int(nRaw)%64
+		regs, err := Regions(refLen, n)
+		if err != nil {
+			return false
+		}
+		next := 1
+		for _, r := range regs {
+			if r.Start != next || r.End < r.Start {
+				return false
+			}
+			next = r.End + 1
+		}
+		return next == refLen+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionByRegion(t *testing.T) {
+	alns := []genomics.Alignment{
+		{QName: "a", RName: "chr1", Pos: 1},
+		{QName: "b", RName: "chr1", Pos: 5},
+		{QName: "c", RName: "chr1", Pos: 10},
+		{QName: "d", Flag: genomics.FlagUnmapped},
+	}
+	regs, err := Regions(10, 2) // 1-5, 6-10
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, unmapped := PartitionByRegion(alns, regs)
+	if len(parts[0]) != 2 || len(parts[1]) != 1 || len(unmapped) != 1 {
+		t.Fatalf("partition = %v / %v", parts, unmapped)
+	}
+	// Out-of-range record is preserved in unmapped, not dropped.
+	parts, unmapped = PartitionByRegion([]genomics.Alignment{{QName: "x", RName: "chr1", Pos: 99}}, regs)
+	if len(unmapped) != 1 {
+		t.Fatal("out-of-range record dropped")
+	}
+	for _, p := range parts {
+		if len(p) != 0 {
+			t.Fatal("out-of-range record mis-assigned")
+		}
+	}
+}
+
+func sampleSBAM(t testing.TB, n int) (genomics.Header, []genomics.Alignment, []byte) {
+	t.Helper()
+	h := genomics.NewHeader(genomics.RefInfo{Name: "chr1", Length: 100000})
+	rng := rand.New(rand.NewSource(7))
+	alns := make([]genomics.Alignment, n)
+	for i := range alns {
+		seq := []byte("ACGTACGTAC")
+		alns[i] = genomics.Alignment{
+			QName: "r" + string(rune('a'+i%26)) + string(rune('0'+i%10)),
+			RName: "chr1", Pos: rng.Intn(90000) + 1, MapQ: 60, CIGAR: "10M",
+			Seq: seq, Qual: []byte("IIIIIIIIII"), NM: 0,
+		}
+	}
+	var buf bytes.Buffer
+	if err := genomics.WriteSBAM(&buf, h, alns); err != nil {
+		t.Fatal(err)
+	}
+	return h, alns, buf.Bytes()
+}
+
+func TestSplitSBAMReplicatesHeader(t *testing.T) {
+	_, _, data := sampleSBAM(t, 55)
+	var shards []*bytes.Buffer
+	n, total, err := SplitSBAM(bytes.NewReader(data), 20, func(int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		shards = append(shards, b)
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || total != 55 {
+		t.Fatalf("n=%d total=%d", n, total)
+	}
+	for i, b := range shards {
+		h, alns, err := genomics.ReadSBAM(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if len(h.Refs) != 1 || h.Refs[0].Name != "chr1" {
+			t.Fatalf("shard %d lost header: %+v", i, h)
+		}
+		want := 20
+		if i == 2 {
+			want = 15
+		}
+		if len(alns) != want {
+			t.Fatalf("shard %d has %d records, want %d", i, len(alns), want)
+		}
+	}
+}
+
+func TestMergeSBAMSortsAndValidates(t *testing.T) {
+	_, _, data := sampleSBAM(t, 40)
+	var shards []*bytes.Buffer
+	if _, _, err := SplitSBAM(bytes.NewReader(data), 13, func(int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		shards = append(shards, b)
+		return b, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	rs := make([]io.Reader, len(shards))
+	for i, b := range shards {
+		rs[i] = bytes.NewReader(b.Bytes())
+	}
+	n, err := MergeSBAM(&merged, rs...)
+	if err != nil || n != 40 {
+		t.Fatalf("merge: n=%d err=%v", n, err)
+	}
+	h, alns, err := genomics.ReadSBAM(&merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SortOrder != "coordinate" {
+		t.Fatalf("SortOrder = %q", h.SortOrder)
+	}
+	for i := 1; i < len(alns); i++ {
+		if alns[i-1].Pos > alns[i].Pos {
+			t.Fatal("merged output not coordinate sorted")
+		}
+	}
+	// Mismatched reference dictionaries must be rejected.
+	other := genomics.NewHeader(genomics.RefInfo{Name: "chrX", Length: 5})
+	var bad bytes.Buffer
+	if err := genomics.WriteSBAM(&bad, other, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSBAM(&bytes.Buffer{},
+		bytes.NewReader(shards[0].Bytes()), bytes.NewReader(bad.Bytes())); err == nil {
+		t.Fatal("mismatched dictionaries accepted")
+	}
+}
+
+func TestMergeSAM(t *testing.T) {
+	h := genomics.NewHeader(genomics.RefInfo{Name: "chr1", Length: 1000})
+	a := []genomics.Alignment{{QName: "a", RName: "chr1", Pos: 500, CIGAR: "4M",
+		Seq: []byte("ACGT"), Qual: []byte("IIII"), NM: -1}}
+	b := []genomics.Alignment{{QName: "b", RName: "chr1", Pos: 100, CIGAR: "4M",
+		Seq: []byte("GGTT"), Qual: []byte("IIII"), NM: -1}}
+	var sa, sb, out bytes.Buffer
+	if err := genomics.WriteSAM(&sa, h, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := genomics.WriteSAM(&sb, h, b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := MergeSAM(&out, &sa, &sb)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	_, alns, err := genomics.ReadSAM(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alns[0].QName != "b" || alns[1].QName != "a" {
+		t.Fatalf("merge order: %+v", alns)
+	}
+}
+
+func TestMergeVCF(t *testing.T) {
+	v1 := []genomics.Variant{{Chrom: "chr1", Pos: 50, Ref: "A", Alt: "T", Qual: 30}}
+	v2 := []genomics.Variant{
+		{Chrom: "chr1", Pos: 10, Ref: "C", Alt: "G", Qual: 99},
+		{Chrom: "chr1", Pos: 50, Ref: "A", Alt: "T", Qual: 45},
+	}
+	var b1, b2, out bytes.Buffer
+	if err := genomics.WriteVCF(&b1, "s1", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := genomics.WriteVCF(&b2, "s2", v2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := MergeVCF(&out, "merged", &b1, &b2)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, err := genomics.ReadVCF(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Pos != 10 || got[1].Pos != 50 || got[1].Qual != 45 {
+		t.Fatalf("merged = %+v", got)
+	}
+}
+
+func BenchmarkSplitFASTQ(b *testing.B) {
+	reads := simReads(b, 2000, 9)
+	var src bytes.Buffer
+	if err := genomics.WriteAllFASTQ(&src, reads); err != nil {
+		b.Fatal(err)
+	}
+	data := src.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := SplitFASTQ(bytes.NewReader(data), 250, func(int) (io.Writer, error) {
+			return io.Discard, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim implements the discrete-event simulation engine underneath
+// SCAN's evaluation. Time is measured in abstract time units (TU); the
+// paper's mapping is 1 TU = 60 s of wall-clock time, so the 30 s worker
+// startup penalty is 0.5 TU.
+//
+// The engine is deliberately single-threaded: events execute in strictly
+// nondecreasing time order with FIFO tie-breaking, which keeps every
+// simulation run bit-for-bit reproducible under a fixed RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a handle to a scheduled callback. Cancelling an Event is O(1);
+// the engine drops cancelled events lazily when they reach the head of the
+// queue.
+type Event struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents the event's callback from running. Cancelling an already
+// executed or already cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far (cancelled events are
+// not counted).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it is always a bug in the model, and silently reordering time
+// would invalidate the run.
+func (e *Engine) Schedule(at float64, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d time units from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is exhausted, the engine is
+// halted, or the next event would fire after deadline. The clock is left at
+// min(deadline, time of last executed event); events beyond the deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline float64) {
+	e.halted = false
+	for !e.halted {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is exhausted or the engine is halted.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// peek returns the next non-cancelled event without executing it, dropping
+// cancelled entries along the way.
+func (e *Engine) peek() *Event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, sequence number) so that events
+// scheduled for the same instant run in scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

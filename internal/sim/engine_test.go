@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 events, got %d", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestEngineAfterUsesCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var fired float64
+	e.Schedule(2, func() {
+		e.After(3, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 5 {
+		t.Fatalf("After fired at %v, want 5", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(1, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("fired = %d, want 0", e.Fired())
+	}
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, func() { got = append(got, "a") })
+	b := e.Schedule(2, func() { got = append(got, "b") })
+	e.Schedule(3, func() { got = append(got, "c") })
+	b.Cancel()
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("got %v, want [a c]", got)
+	}
+}
+
+func TestEngineRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(5)
+	if len(got) != 3 {
+		t.Fatalf("ran %d events, want 3", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want deadline 5", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining event did not run: %v", got)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++; e.Halt() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("halt did not stop the run: count=%d", count)
+	}
+	e.Run() // resumes
+	if count != 2 {
+		t.Fatalf("resume failed: count=%d", count)
+	}
+}
+
+func TestEngineReentrantScheduling(t *testing.T) {
+	// An event scheduling another event at the same timestamp must still
+	// run within the same Run call, after the current event.
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, func() {
+		got = append(got, "first")
+		e.Schedule(1, func() { got = append(got, "second") })
+	})
+	e.Run()
+	if len(got) != 2 || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: for any set of (time, id) pairs, execution order is sorted by
+// time with ties broken by insertion order.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			at  float64
+			seq int
+		}
+		var got []rec
+		for i, r := range raw {
+			at := float64(r % 97)
+			i := i
+			e.Schedule(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := NewStreams(42).Stream("arrivals")
+	b := NewStreams(42).Stream("arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed+label produced different sequences")
+		}
+	}
+}
+
+func TestStreamsIndependentLabels(t *testing.T) {
+	s := NewStreams(42)
+	a := s.Stream("arrivals")
+	b := s.Stream("sizes")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different labels look correlated (%d/64 equal)", same)
+	}
+}
+
+func TestStreamsSeedSensitivity(t *testing.T) {
+	a := NewStreams(1).Stream("x")
+	b := NewStreams(2).Stream("x")
+	if a.Int63() == b.Int63() && a.Int63() == b.Int63() {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = r.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for _, at := range times {
+			e.Schedule(at, func() {})
+		}
+		e.Run()
+	}
+}

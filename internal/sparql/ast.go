@@ -1,0 +1,105 @@
+package sparql
+
+import (
+	"scan/internal/ontology"
+)
+
+// Query is a parsed SELECT query.
+type Query struct {
+	Prefixes map[string]string
+	Distinct bool
+	Star     bool     // SELECT *
+	Vars     []string // projected variables when Star is false
+	Where    *Group
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Group is a graph pattern group: a sequence of elements evaluated left to
+// right, with FILTERs applied to the group's final solution set (SPARQL
+// group semantics).
+type Group struct {
+	Elements []GroupElement
+	Filters  []Expr
+}
+
+// GroupElement is either a TriplePattern or an Optional group.
+type GroupElement interface{ groupElement() }
+
+// NodeKind discriminates pattern node types.
+type NodeKind uint8
+
+// Pattern node kinds.
+const (
+	NodeTerm NodeKind = iota // a concrete RDF term
+	NodeVar                  // a variable
+)
+
+// Node is one position of a triple pattern: a variable or a concrete term.
+type Node struct {
+	Kind NodeKind
+	Var  string
+	Term ontology.Term
+}
+
+// VarNode returns a variable node.
+func VarNode(name string) Node { return Node{Kind: NodeVar, Var: name} }
+
+// TermNode returns a concrete-term node.
+func TermNode(t ontology.Term) Node { return Node{Kind: NodeTerm, Term: t} }
+
+// TriplePattern is one subject/predicate/object pattern.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+func (TriplePattern) groupElement() {}
+
+// Optional is an OPTIONAL { ... } block (left join).
+type Optional struct {
+	Group *Group
+}
+
+func (Optional) groupElement() {}
+
+// Expr is a FILTER expression node.
+type Expr interface{ expr() }
+
+// BinaryExpr applies Op to Left and Right. Op is one of
+// || && = != < <= > >= + - * /.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (BinaryExpr) expr() {}
+
+// UnaryExpr applies Op ("!" or "-") to X.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+func (UnaryExpr) expr() {}
+
+// VarExpr references a variable's bound value.
+type VarExpr struct{ Name string }
+
+func (VarExpr) expr() {}
+
+// LitExpr is a constant term.
+type LitExpr struct{ Term ontology.Term }
+
+func (LitExpr) expr() {}
+
+// BoundExpr is the BOUND(?v) builtin.
+type BoundExpr struct{ Name string }
+
+func (BoundExpr) expr() {}

@@ -1,0 +1,489 @@
+package sparql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"scan/internal/ontology"
+)
+
+// Binding maps variable names to the terms they are bound to in one
+// solution row.
+type Binding map[string]ontology.Term
+
+// clone returns a copy of the binding.
+func (b Binding) clone() Binding {
+	nb := make(Binding, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// Results holds the solution sequence of a query.
+type Results struct {
+	Vars []string
+	Rows []Binding
+}
+
+// Len returns the number of solution rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Column returns the terms bound to v across all rows; unbound positions
+// yield zero Terms.
+func (r *Results) Column(v string) []ontology.Term {
+	out := make([]ontology.Term, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[v]
+	}
+	return out
+}
+
+// Floats returns the numeric values bound to v, skipping unbound or
+// non-numeric rows.
+func (r *Results) Floats(v string) []float64 {
+	var out []float64
+	for _, row := range r.Rows {
+		if t, ok := row[v]; ok {
+			if f, ok := t.AsFloat(); ok {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the results as an aligned text table (for scanctl and
+// debugging).
+func (r *Results) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(varHeaders(r.Vars), "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		cells := make([]string, len(r.Vars))
+		for i, v := range r.Vars {
+			if t, ok := row[v]; ok {
+				cells[i] = t.String()
+			} else {
+				cells[i] = "-"
+			}
+		}
+		b.WriteString(strings.Join(cells, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func varHeaders(vars []string) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = "?" + v
+	}
+	return out
+}
+
+// Eval parses and evaluates src against g.
+func Eval(g *ontology.Graph, src string) (*Results, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(g)
+}
+
+// Eval evaluates the query against g.
+func (q *Query) Eval(g *ontology.Graph) (*Results, error) {
+	rows, err := evalGroup(g, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	vars := q.Vars
+	if q.Star {
+		vars = collectVars(q.Where)
+	}
+	// Project.
+	projected := make([]Binding, len(rows))
+	for i, row := range rows {
+		pr := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				pr[v] = t
+			}
+		}
+		projected[i] = pr
+	}
+	if q.Distinct {
+		projected = distinct(vars, projected)
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(projected, q.OrderBy)
+	}
+	// OFFSET then LIMIT, per the SPARQL algebra.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+	return &Results{Vars: vars, Rows: projected}, nil
+}
+
+// collectVars returns all variables in the group in first-appearance order.
+func collectVars(g *Group) []string {
+	var vars []string
+	seen := map[string]bool{}
+	add := func(n Node) {
+		if n.Kind == NodeVar && !seen[n.Var] {
+			seen[n.Var] = true
+			vars = append(vars, n.Var)
+		}
+	}
+	var walk func(g *Group)
+	walk = func(g *Group) {
+		for _, el := range g.Elements {
+			switch e := el.(type) {
+			case TriplePattern:
+				add(e.S)
+				add(e.P)
+				add(e.O)
+			case Optional:
+				walk(e.Group)
+			}
+		}
+	}
+	walk(g)
+	return vars
+}
+
+func evalGroup(g *ontology.Graph, grp *Group, input []Binding) ([]Binding, error) {
+	rows := input
+	for _, el := range grp.Elements {
+		switch e := el.(type) {
+		case TriplePattern:
+			rows = evalPattern(g, e, rows)
+		case Optional:
+			var out []Binding
+			for _, row := range rows {
+				matched, err := evalGroup(g, e.Group, []Binding{row})
+				if err != nil {
+					return nil, err
+				}
+				if len(matched) > 0 {
+					out = append(out, matched...)
+				} else {
+					out = append(out, row)
+				}
+			}
+			rows = out
+		default:
+			return nil, fmt.Errorf("sparql: unknown group element %T", el)
+		}
+	}
+	if len(grp.Filters) > 0 {
+		var out []Binding
+		for _, row := range rows {
+			keep := true
+			for _, f := range grp.Filters {
+				v, err := evalExpr(f, row)
+				if err != nil || !effectiveBool(v) {
+					// Per SPARQL, an erroring filter removes the row.
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, row)
+			}
+		}
+		rows = out
+	}
+	return rows, nil
+}
+
+func evalPattern(g *ontology.Graph, pat TriplePattern, rows []Binding) []Binding {
+	var out []Binding
+	for _, row := range rows {
+		s := resolve(pat.S, row)
+		p := resolve(pat.P, row)
+		o := resolve(pat.O, row)
+		g.ForEachMatch(s, p, o, func(t ontology.Triple) bool {
+			nb := row.clone()
+			if ok := bindNode(nb, pat.S, t.S) &&
+				bindNode(nb, pat.P, t.P) &&
+				bindNode(nb, pat.O, t.O); ok {
+				out = append(out, nb)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// resolve converts a pattern node to a concrete term pointer for index
+// matching: bound variables and literal terms become concrete, unbound
+// variables become wildcards.
+func resolve(n Node, row Binding) *ontology.Term {
+	switch n.Kind {
+	case NodeTerm:
+		t := n.Term
+		return &t
+	default:
+		if t, ok := row[n.Var]; ok {
+			return &t
+		}
+		return nil
+	}
+}
+
+// bindNode records the match of node n against term t in the binding,
+// returning false on an inconsistent repeated variable (e.g. ?x ?p ?x).
+func bindNode(b Binding, n Node, t ontology.Term) bool {
+	if n.Kind != NodeVar {
+		return true
+	}
+	if prev, ok := b[n.Var]; ok {
+		return prev == t
+	}
+	b[n.Var] = t
+	return true
+}
+
+// errTypeMismatch signals a SPARQL expression type error; rows evaluating
+// to an error are filtered out.
+var errTypeMismatch = errors.New("sparql: type error in expression")
+
+// value is an evaluated expression result.
+type value struct {
+	term    ontology.Term
+	unbound bool
+}
+
+func evalExpr(e Expr, row Binding) (value, error) {
+	switch ex := e.(type) {
+	case LitExpr:
+		return value{term: ex.Term}, nil
+	case VarExpr:
+		t, ok := row[ex.Name]
+		if !ok {
+			return value{unbound: true}, errTypeMismatch
+		}
+		return value{term: t}, nil
+	case BoundExpr:
+		_, ok := row[ex.Name]
+		return value{term: ontology.NewBool(ok)}, nil
+	case UnaryExpr:
+		v, err := evalExpr(ex.X, row)
+		if err != nil {
+			return value{}, err
+		}
+		switch ex.Op {
+		case "!":
+			return value{term: ontology.NewBool(!effectiveBool(v))}, nil
+		case "-":
+			f, ok := v.term.AsFloat()
+			if !ok {
+				return value{}, errTypeMismatch
+			}
+			return value{term: ontology.NewFloat(-f)}, nil
+		}
+		return value{}, fmt.Errorf("sparql: unknown unary op %q", ex.Op)
+	case BinaryExpr:
+		return evalBinary(ex, row)
+	}
+	return value{}, fmt.Errorf("sparql: unknown expression %T", e)
+}
+
+func evalBinary(ex BinaryExpr, row Binding) (value, error) {
+	// Logical operators get SPARQL's three-valued error handling: an error
+	// operand can still yield a definite result (true || error = true).
+	if ex.Op == "||" || ex.Op == "&&" {
+		lv, lerr := evalExpr(ex.Left, row)
+		rv, rerr := evalExpr(ex.Right, row)
+		lb, rb := effectiveBool(lv), effectiveBool(rv)
+		switch ex.Op {
+		case "||":
+			if (lerr == nil && lb) || (rerr == nil && rb) {
+				return value{term: ontology.NewBool(true)}, nil
+			}
+			if lerr != nil || rerr != nil {
+				return value{}, errTypeMismatch
+			}
+			return value{term: ontology.NewBool(false)}, nil
+		default: // &&
+			if (lerr == nil && !lb) || (rerr == nil && !rb) {
+				return value{term: ontology.NewBool(false)}, nil
+			}
+			if lerr != nil || rerr != nil {
+				return value{}, errTypeMismatch
+			}
+			return value{term: ontology.NewBool(true)}, nil
+		}
+	}
+	lv, err := evalExpr(ex.Left, row)
+	if err != nil {
+		return value{}, err
+	}
+	rv, err := evalExpr(ex.Right, row)
+	if err != nil {
+		return value{}, err
+	}
+	switch ex.Op {
+	case "=", "!=":
+		eq, err := termsEqual(lv.term, rv.term)
+		if err != nil {
+			return value{}, err
+		}
+		if ex.Op == "!=" {
+			eq = !eq
+		}
+		return value{term: ontology.NewBool(eq)}, nil
+	case "<", "<=", ">", ">=":
+		c, err := termsCompare(lv.term, rv.term)
+		if err != nil {
+			return value{}, err
+		}
+		var b bool
+		switch ex.Op {
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		default:
+			b = c >= 0
+		}
+		return value{term: ontology.NewBool(b)}, nil
+	case "+", "-", "*", "/":
+		lf, lok := lv.term.AsFloat()
+		rf, rok := rv.term.AsFloat()
+		if !lok || !rok {
+			return value{}, errTypeMismatch
+		}
+		var f float64
+		switch ex.Op {
+		case "+":
+			f = lf + rf
+		case "-":
+			f = lf - rf
+		case "*":
+			f = lf * rf
+		default:
+			if rf == 0 {
+				return value{}, errTypeMismatch
+			}
+			f = lf / rf
+		}
+		// Preserve integer typing when both operands are integers and the
+		// operation stays integral.
+		if lv.term.Datatype == ontology.XSDInteger && rv.term.Datatype == ontology.XSDInteger &&
+			ex.Op != "/" && f == float64(int64(f)) {
+			return value{term: ontology.NewInt(int64(f))}, nil
+		}
+		return value{term: ontology.NewFloat(f)}, nil
+	}
+	return value{}, fmt.Errorf("sparql: unknown binary op %q", ex.Op)
+}
+
+func termsEqual(a, b ontology.Term) (bool, error) {
+	if a.IsNumeric() && b.IsNumeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return af == bf, nil
+	}
+	return a == b, nil
+}
+
+func termsCompare(a, b ontology.Term) (int, error) {
+	if a.IsNumeric() && b.IsNumeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.Kind == ontology.Literal && b.Kind == ontology.Literal &&
+		a.Datatype == ontology.XSDString && b.Datatype == ontology.XSDString {
+		return strings.Compare(a.Value, b.Value), nil
+	}
+	return 0, errTypeMismatch
+}
+
+// effectiveBool implements SPARQL's effective boolean value: booleans by
+// value, numbers by non-zero, strings by non-empty; everything else false.
+func effectiveBool(v value) bool {
+	if v.unbound {
+		return false
+	}
+	t := v.term
+	if b, ok := t.AsBool(); ok {
+		return b
+	}
+	if f, ok := t.AsFloat(); ok {
+		return f != 0
+	}
+	if t.Kind == ontology.Literal {
+		return t.Value != ""
+	}
+	return false
+}
+
+func distinct(vars []string, rows []Binding) []Binding {
+	seen := map[string]bool{}
+	var out []Binding
+	var key strings.Builder
+	for _, row := range rows {
+		key.Reset()
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				key.WriteString(t.String())
+			}
+			key.WriteByte('\x1f')
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func sortRows(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, aok := rows[i][k.Var]
+			b, bok := rows[j][k.Var]
+			if !aok && !bok {
+				continue
+			}
+			// Unbound sorts first, per SPARQL.
+			if !aok {
+				return !k.Desc
+			}
+			if !bok {
+				return k.Desc
+			}
+			c := a.Compare(b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}

@@ -1,0 +1,227 @@
+// Package sparql implements the SPARQL subset SCAN's Data Broker uses to
+// query the application knowledge base: SELECT queries with basic graph
+// patterns, FILTER expressions, OPTIONAL groups, DISTINCT, ORDER BY, LIMIT
+// and OFFSET, evaluated against an ontology.Graph.
+//
+// The subset covers every construct in the paper's example queries (PREFIX
+// declarations, SELECT with variable lists, WHERE groups with triple
+// patterns and OPTIONAL blocks) plus the filters the Data Broker needs to
+// rank application profiles by execution time and input size.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF       tokenKind = iota
+	tokKeyword             // SELECT, WHERE, FILTER, ... (uppercased)
+	tokVar                 // ?name
+	tokIRIRef              // <...>
+	tokQName               // prefix:local, or bare 'a'
+	tokString              // "..."
+	tokNumber              // 42, 3.14, -1
+	tokBoolean             // true / false
+	tokLBrace              // {
+	tokRBrace              // }
+	tokLParen              // (
+	tokRParen              // )
+	tokDot                 // .
+	tokComma               // ,
+	tokSemicolon           // ;
+	tokOp                  // = != < <= > >= + - * / && || !
+	tokStar                // *
+)
+
+var keywords = map[string]bool{
+	"PREFIX": true, "SELECT": true, "DISTINCT": true, "WHERE": true,
+	"FILTER": true, "OPTIONAL": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"BOUND": true, "FROM": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset for error messages
+}
+
+func (t token) String() string { return fmt.Sprintf("%q", t.text) }
+
+// lex tokenizes src. It returns a tokEOF-terminated slice.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemicolon, ";", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < n && isNameByte(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("sparql: empty variable name at offset %d", i)
+			}
+			toks = append(toks, token{tokVar, src[i+1 : j], i})
+			i = j
+		case c == '<' && isIRIStart(src, i):
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			toks = append(toks, token{tokIRIRef, src[i+1 : i+j], i})
+			i += j + 1
+		case c == '"':
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < n {
+				if src[j] == '\\' && j+1 < n {
+					switch src[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '"', '\\':
+						sb.WriteByte(src[j+1])
+					default:
+						return nil, fmt.Errorf("sparql: bad escape at offset %d", j)
+					}
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					closed = true
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sparql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c == '&' || c == '|':
+			if i+1 < n && src[i+1] == c {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sparql: unexpected %q at offset %d", c, i)
+			}
+		case c == '!' || c == '=' || c == '<' || c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			}
+		case c == '+' || c == '/':
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '-' || (c >= '0' && c <= '9'):
+			// A '-' is numeric negation when followed by a digit, otherwise
+			// a subtraction operator.
+			if c == '-' && (i+1 >= n || src[i+1] < '0' || src[i+1] > '9') {
+				toks = append(toks, token{tokOp, "-", i})
+				i++
+				continue
+			}
+			j := i + 1
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			// Do not swallow a statement dot: "5." lexes as 5 then '.'.
+			word := src[i:j]
+			if strings.HasSuffix(word, ".") {
+				word = word[:len(word)-1]
+				j--
+			}
+			toks = append(toks, token{tokNumber, word, i})
+			i = j
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case isNameStartByte(c):
+			j := i
+			for j < n && (isNameByte(src[j]) || src[j] == ':') {
+				j++
+			}
+			word := src[i:j]
+			upper := strings.ToUpper(word)
+			switch {
+			case word == "true" || word == "false":
+				toks = append(toks, token{tokBoolean, word, i})
+			case keywords[upper] && !strings.Contains(word, ":"):
+				toks = append(toks, token{tokKeyword, upper, i})
+			default:
+				toks = append(toks, token{tokQName, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// isIRIStart disambiguates '<' between an IRI reference and the less-than
+// operator: it is an IRI opener only when a '>' closes it before any
+// whitespace or ')'. "<urn:x>" is an IRI; "?t < 200" and "?t <= 5" are
+// comparisons.
+func isIRIStart(src string, i int) bool {
+	if i+1 >= len(src) || src[i+1] == '=' {
+		return false
+	}
+	for j := i + 1; j < len(src); j++ {
+		switch src[j] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', ')':
+			return false
+		}
+	}
+	return false
+}
+
+func isNameStartByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameByte(c byte) bool {
+	return isNameStartByte(c) || c >= '0' && c <= '9' || c == '-' || c == '.'
+}

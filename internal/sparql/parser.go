@@ -1,0 +1,482 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scan/internal/ontology"
+)
+
+// Parse compiles a query string into a Query AST.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("sparql: expected %s, got %s at offset %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sparql: expected %s, got %s at offset %d", kw, t, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Prefixes: map[string]string{}, Limit: -1}
+	for p.peek().kind == tokKeyword && p.peek().text == "PREFIX" {
+		p.next()
+		name, err := p.expect(tokQName, "prefix name")
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasSuffix(name.text, ":") {
+			return nil, fmt.Errorf("sparql: prefix name %s must end with ':' at offset %d", name, name.pos)
+		}
+		iri, err := p.expect(tokIRIRef, "namespace IRI")
+		if err != nil {
+			return nil, err
+		}
+		q.Prefixes[strings.TrimSuffix(name.text, ":")] = iri.text
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "DISTINCT" {
+		p.next()
+		q.Distinct = true
+	}
+	switch p.peek().kind {
+	case tokStar:
+		p.next()
+		q.Star = true
+	case tokVar:
+		for p.peek().kind == tokVar {
+			q.Vars = append(q.Vars, p.next().text)
+		}
+	default:
+		return nil, fmt.Errorf("sparql: expected variable list or * after SELECT, got %s", p.peek())
+	}
+	// Optional FROM <iri> clause: accepted and ignored, as in the paper's
+	// example query (the graph queried is the one passed to Eval).
+	if p.peek().kind == tokKeyword && p.peek().text == "FROM" {
+		p.next()
+		if _, err := p.expect(tokIRIRef, "FROM graph IRI"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	g, err := p.parseGroup(q)
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+	// Solution modifiers.
+	if p.peek().kind == tokKeyword && p.peek().text == "ORDER" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			switch {
+			case t.kind == tokKeyword && (t.text == "ASC" || t.text == "DESC"):
+				p.next()
+				if _, err := p.expect(tokLParen, "("); err != nil {
+					return nil, err
+				}
+				v, err := p.expect(tokVar, "variable")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokRParen, ")"); err != nil {
+					return nil, err
+				}
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: v.text, Desc: t.text == "DESC"})
+			case t.kind == tokVar:
+				p.next()
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: t.text})
+			default:
+				if len(q.OrderBy) == 0 {
+					return nil, fmt.Errorf("sparql: expected sort key after ORDER BY, got %s", t)
+				}
+				goto doneOrder
+			}
+		}
+	doneOrder:
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
+		p.next()
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "OFFSET" {
+		p.next()
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		q.Offset = n
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sparql: unexpected trailing token %s at offset %d", t, t.pos)
+	}
+	return q, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t, err := p.expect(tokNumber, "integer")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("sparql: expected non-negative integer, got %s", t)
+	}
+	return n, nil
+}
+
+func (p *parser) parseGroup(q *Query) (*Group, error) {
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.next()
+			return g, nil
+		case t.kind == tokEOF:
+			return nil, fmt.Errorf("sparql: unterminated group at offset %d", t.pos)
+		case t.kind == tokKeyword && t.text == "FILTER":
+			p.next()
+			if _, err := p.expect(tokLParen, "( after FILTER"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr(q)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ") after FILTER expression"); err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+			p.skipDot()
+		case t.kind == tokKeyword && t.text == "OPTIONAL":
+			p.next()
+			inner, err := p.parseGroup(q)
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, Optional{Group: inner})
+			p.skipDot()
+		default:
+			if err := p.parseTriplesBlock(q, g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *parser) skipDot() {
+	if p.peek().kind == tokDot {
+		p.next()
+	}
+}
+
+// parseTriplesBlock parses one subject with ';'-separated predicate lists
+// and ','-separated object lists.
+func (p *parser) parseTriplesBlock(q *Query, g *Group) error {
+	subj, err := p.parseNode(q, false)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseNode(q, false)
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseNode(q, true)
+			if err != nil {
+				return err
+			}
+			g.Elements = append(g.Elements, TriplePattern{S: subj, P: pred, O: obj})
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		switch p.peek().kind {
+		case tokSemicolon:
+			p.next()
+			// Allow trailing ';' before '.' or '}'.
+			if k := p.peek().kind; k == tokDot || k == tokRBrace {
+				p.skipDot()
+				return nil
+			}
+			continue
+		case tokDot:
+			p.next()
+			return nil
+		case tokRBrace, tokKeyword:
+			// Pattern list may end without a dot before '}' / FILTER / OPTIONAL.
+			return nil
+		default:
+			return fmt.Errorf("sparql: expected '.', ';' or '}' after triple pattern, got %s at offset %d",
+				p.peek(), p.peek().pos)
+		}
+	}
+}
+
+func (p *parser) parseNode(q *Query, objectPos bool) (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return VarNode(t.text), nil
+	case tokIRIRef:
+		return TermNode(ontology.NewIRI(t.text)), nil
+	case tokQName:
+		if t.text == "a" {
+			return TermNode(ontology.NewIRI(ontology.RDFType)), nil
+		}
+		term, err := p.expandQName(q, t)
+		if err != nil {
+			return Node{}, err
+		}
+		return TermNode(term), nil
+	case tokString:
+		if !objectPos {
+			return Node{}, fmt.Errorf("sparql: literal in subject/predicate position at offset %d", t.pos)
+		}
+		return TermNode(ontology.NewString(t.text)), nil
+	case tokNumber:
+		if !objectPos {
+			return Node{}, fmt.Errorf("sparql: number in subject/predicate position at offset %d", t.pos)
+		}
+		return TermNode(numberTerm(t.text)), nil
+	case tokBoolean:
+		if !objectPos {
+			return Node{}, fmt.Errorf("sparql: boolean in subject/predicate position at offset %d", t.pos)
+		}
+		return TermNode(ontology.NewBool(t.text == "true")), nil
+	default:
+		return Node{}, fmt.Errorf("sparql: expected term or variable, got %s at offset %d", t, t.pos)
+	}
+}
+
+func (p *parser) expandQName(q *Query, t token) (ontology.Term, error) {
+	i := strings.Index(t.text, ":")
+	if i < 0 {
+		return ontology.Term{}, fmt.Errorf("sparql: expected qname, got %s at offset %d", t, t.pos)
+	}
+	ns, ok := q.Prefixes[t.text[:i]]
+	if !ok {
+		return ontology.Term{}, fmt.Errorf("sparql: unknown prefix %q at offset %d", t.text[:i], t.pos)
+	}
+	return ontology.NewIRI(ns + t.text[i+1:]), nil
+}
+
+func numberTerm(text string) ontology.Term {
+	if iv, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return ontology.NewInt(iv)
+	}
+	fv, _ := strconv.ParseFloat(text, 64)
+	return ontology.NewFloat(fv)
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or   := and ('||' and)*
+//	and  := not ('&&' not)*
+//	not  := '!' not | cmp
+//	cmp  := add (('='|'!='|'<'|'<='|'>'|'>=') add)?
+//	add  := mul (('+'|'-') mul)*
+//	mul  := prim (('*'|'/') prim)*
+//	prim := var | literal | qname | '(' or ')' | BOUND '(' var ')'
+func (p *parser) parseExpr(q *Query) (Expr, error) { return p.parseOr(q) }
+
+func (p *parser) parseOr(q *Query) (Expr, error) {
+	left, err := p.parseAnd(q)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "||" {
+		p.next()
+		right, err := p.parseAnd(q)
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "||", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd(q *Query) (Expr, error) {
+	left, err := p.parseNot(q)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "&&" {
+		p.next()
+		right, err := p.parseNot(q)
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "&&", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot(q *Query) (Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "!" {
+		p.next()
+		x, err := p.parseNot(q)
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "!", X: x}, nil
+	}
+	return p.parseCmp(q)
+}
+
+func (p *parser) parseCmp(q *Query) (Expr, error) {
+	left, err := p.parseAdd(q)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseAdd(q)
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: t.text, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd(q *Query) (Expr, error) {
+	left, err := p.parseMul(q)
+	if err != nil {
+		return nil, err
+	}
+	for t := p.peek(); t.kind == tokOp && (t.text == "+" || t.text == "-"); t = p.peek() {
+		p.next()
+		right, err := p.parseMul(q)
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul(q *Query) (Expr, error) {
+	left, err := p.parsePrim(q)
+	if err != nil {
+		return nil, err
+	}
+	for t := p.peek(); (t.kind == tokOp && t.text == "/") || t.kind == tokStar; t = p.peek() {
+		p.next()
+		right, err := p.parsePrim(q)
+		if err != nil {
+			return nil, err
+		}
+		op := "/"
+		if t.kind == tokStar {
+			op = "*"
+		}
+		left = BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrim(q *Query) (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return VarExpr{Name: t.text}, nil
+	case tokNumber:
+		return LitExpr{Term: numberTerm(t.text)}, nil
+	case tokString:
+		return LitExpr{Term: ontology.NewString(t.text)}, nil
+	case tokBoolean:
+		return LitExpr{Term: ontology.NewBool(t.text == "true")}, nil
+	case tokIRIRef:
+		return LitExpr{Term: ontology.NewIRI(t.text)}, nil
+	case tokQName:
+		term, err := p.expandQName(q, t)
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{Term: term}, nil
+	case tokLParen:
+		e, err := p.parseOr(q)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokKeyword:
+		if t.text == "BOUND" {
+			if _, err := p.expect(tokLParen, "( after BOUND"); err != nil {
+				return nil, err
+			}
+			v, err := p.expect(tokVar, "variable in BOUND")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ") after BOUND"); err != nil {
+				return nil, err
+			}
+			return BoundExpr{Name: v.text}, nil
+		}
+		return nil, fmt.Errorf("sparql: unexpected keyword %s in expression at offset %d", t, t.pos)
+	default:
+		return nil, fmt.Errorf("sparql: unexpected token %s in expression at offset %d", t, t.pos)
+	}
+}

@@ -1,0 +1,426 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scan/internal/ontology"
+)
+
+const scanNS = "http://www.semanticweb.org/wxing/ontologies/scan-ontology#"
+
+// kbGraph builds the paper's knowledge base fragment: GATK1..GATK4 named
+// individuals with inputFileSize/steps/CPU/RAM/eTime data properties
+// (Section III-A1 of the paper).
+func kbGraph() *ontology.Graph {
+	g := ontology.NewGraph()
+	g.SetPrefix("scan", scanNS)
+	app := ontology.NewIRI(scanNS + "Application")
+	add := func(name string, size, steps, ram, etime, cpu int64) {
+		g.AddIndividual(ontology.NewIRI(scanNS+name), app, map[ontology.Term]ontology.Term{
+			ontology.NewIRI(scanNS + "inputFileSize"): ontology.NewInt(size),
+			ontology.NewIRI(scanNS + "steps"):         ontology.NewInt(steps),
+			ontology.NewIRI(scanNS + "RAM"):           ontology.NewInt(ram),
+			ontology.NewIRI(scanNS + "eTime"):         ontology.NewInt(etime),
+			ontology.NewIRI(scanNS + "CPU"):           ontology.NewInt(cpu),
+		})
+	}
+	add("GATK1", 10, 1, 4, 180, 8)
+	add("GATK2", 5, 1, 4, 200, 8)
+	add("GATK3", 20, 1, 4, 280, 8)
+	add("GATK4", 4, 1, 4, 80, 8)
+	return g
+}
+
+func mustEval(t *testing.T, g *ontology.Graph, src string) *Results {
+	t.Helper()
+	res, err := Eval(g, src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return res
+}
+
+func TestSelectAllIndividuals(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE { ?app a scan:Application . }`)
+	if res.Len() != 4 {
+		t.Fatalf("got %d rows, want 4", res.Len())
+	}
+}
+
+func TestSelectWithProperties(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app ?size ?time WHERE {
+  ?app scan:inputFileSize ?size .
+  ?app scan:eTime ?time .
+}
+ORDER BY ?time`)
+	if res.Len() != 4 {
+		t.Fatalf("got %d rows, want 4", res.Len())
+	}
+	times := res.Floats("time")
+	for i := 1; i < len(times); i++ {
+		if times[i-1] > times[i] {
+			t.Fatalf("ORDER BY not ascending: %v", times)
+		}
+	}
+	if times[0] != 80 {
+		t.Fatalf("fastest eTime = %v, want 80 (GATK4)", times[0])
+	}
+}
+
+func TestFilterComparison(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app scan:eTime ?t .
+  FILTER (?t < 200)
+}`)
+	if res.Len() != 2 { // GATK1 (180), GATK4 (80)
+		t.Fatalf("got %d rows, want 2", res.Len())
+	}
+}
+
+func TestFilterArithmeticAndLogic(t *testing.T) {
+	// Throughput = size/time; select apps with throughput better than
+	// 0.04 size-units per second or tiny inputs.
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app ?size ?t WHERE {
+  ?app scan:inputFileSize ?size ; scan:eTime ?t .
+  FILTER (?size / ?t > 0.04 || ?size < 5)
+}`)
+	// GATK1: 10/180=0.055 yes; GATK2: 5/200=0.025 no; GATK3: 20/280=0.071 yes;
+	// GATK4: 4/80=0.05 yes (also size<5).
+	if res.Len() != 3 {
+		t.Fatalf("got %d rows, want 3: %s", res.Len(), res)
+	}
+}
+
+func TestOrderByDescLimitOffset(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app ?t WHERE { ?app scan:eTime ?t . }
+ORDER BY DESC(?t) LIMIT 2 OFFSET 1`)
+	times := res.Floats("t")
+	if len(times) != 2 || times[0] != 200 || times[1] != 180 {
+		t.Fatalf("times = %v, want [200 180]", times)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT DISTINCT ?cpu WHERE { ?app scan:CPU ?cpu . }`)
+	if res.Len() != 1 {
+		t.Fatalf("got %d rows, want 1 distinct CPU value", res.Len())
+	}
+}
+
+func TestOptionalLeftJoin(t *testing.T) {
+	g := kbGraph()
+	// Only GATK1 has a performance annotation.
+	g.Add(ontology.Triple{
+		S: ontology.NewIRI(scanNS + "GATK1"),
+		P: ontology.NewIRI(scanNS + "performance"),
+		O: ontology.NewString("good"),
+	})
+	res := mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app ?perf WHERE {
+  ?app a scan:Application .
+  OPTIONAL { ?app scan:performance ?perf . }
+}`)
+	if res.Len() != 4 {
+		t.Fatalf("got %d rows, want 4", res.Len())
+	}
+	bound := 0
+	for _, row := range res.Rows {
+		if _, ok := row["perf"]; ok {
+			bound++
+		}
+	}
+	if bound != 1 {
+		t.Fatalf("perf bound in %d rows, want 1", bound)
+	}
+}
+
+func TestBoundFilterAfterOptional(t *testing.T) {
+	g := kbGraph()
+	g.Add(ontology.Triple{
+		S: ontology.NewIRI(scanNS + "GATK1"),
+		P: ontology.NewIRI(scanNS + "performance"),
+		O: ontology.NewString("good"),
+	})
+	res := mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app a scan:Application .
+  OPTIONAL { ?app scan:performance ?perf . }
+  FILTER (!BOUND(?perf))
+}`)
+	if res.Len() != 3 {
+		t.Fatalf("got %d rows, want 3 unannotated apps", res.Len())
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT * WHERE { ?app scan:eTime ?t . }`)
+	if len(res.Vars) != 2 || res.Vars[0] != "app" || res.Vars[1] != "t" {
+		t.Fatalf("vars = %v", res.Vars)
+	}
+}
+
+func TestRepeatedVariableJoin(t *testing.T) {
+	g := ontology.NewGraph()
+	g.SetPrefix("s", "urn:s#")
+	p := ontology.NewIRI("urn:s#knows")
+	g.Add(ontology.Triple{S: ontology.NewIRI("urn:s#a"), P: p, O: ontology.NewIRI("urn:s#b")})
+	g.Add(ontology.Triple{S: ontology.NewIRI("urn:s#b"), P: p, O: ontology.NewIRI("urn:s#c")})
+	g.Add(ontology.Triple{S: ontology.NewIRI("urn:s#c"), P: p, O: ontology.NewIRI("urn:s#c")})
+	// Self-loop pattern: ?x knows ?x.
+	res := mustEval(t, g, `PREFIX s: <urn:s#> SELECT ?x WHERE { ?x s:knows ?x . }`)
+	if res.Len() != 1 || res.Rows[0]["x"].Value != "urn:s#c" {
+		t.Fatalf("self-loop join broken: %v", res.Rows)
+	}
+	// Two-hop join.
+	res = mustEval(t, g, `PREFIX s: <urn:s#> SELECT ?x ?z WHERE { ?x s:knows ?y . ?y s:knows ?z . }`)
+	if res.Len() != 3 {
+		t.Fatalf("two-hop join = %d rows, want 3", res.Len())
+	}
+}
+
+func TestPaperStyleQuery(t *testing.T) {
+	// A cleaned-up version of the paper's Section III-A query: retrieve
+	// GATK instances with resource attributes, ranked by execution time and
+	// input size.
+	res := mustEval(t, kbGraph(), `
+PREFIX SCAN: <`+scanNS+`>
+SELECT ?inst ?size ?cpu ?ram
+FROM <scan-wxing.owl>
+WHERE {
+  ?inst a SCAN:Application ;
+        SCAN:inputFileSize ?size ;
+        SCAN:CPU ?cpu ;
+        SCAN:RAM ?ram ;
+        SCAN:eTime ?time .
+  FILTER (?time <= 280)
+}
+ORDER BY ?time ?size`)
+	if res.Len() != 4 {
+		t.Fatalf("got %d rows, want 4", res.Len())
+	}
+	if got := res.Rows[0]["inst"].Value; got != scanNS+"GATK4" {
+		t.Fatalf("best instance = %q, want GATK4", got)
+	}
+}
+
+func TestStringFilterAndEquality(t *testing.T) {
+	g := kbGraph()
+	g.Add(ontology.Triple{
+		S: ontology.NewIRI(scanNS + "GATK1"),
+		P: ontology.NewIRI(scanNS + "performance"),
+		O: ontology.NewString("good"),
+	})
+	res := mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app scan:performance ?p .
+  FILTER (?p = "good")
+}`)
+	if res.Len() != 1 {
+		t.Fatalf("got %d rows, want 1", res.Len())
+	}
+	res = mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app scan:performance ?p .
+  FILTER (?p != "good")
+}`)
+	if res.Len() != 0 {
+		t.Fatalf("got %d rows, want 0", res.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT WHERE { ?x ?p ?o . }`,
+		`SELECT ?x { ?x ?p ?o . }`,    // missing WHERE
+		`SELECT ?x WHERE { ?x ?p ?o `, // unterminated group
+		`SELECT ?x WHERE { ?x ?p ?o . } LIMIT -1`,       // negative limit
+		`SELECT ?x WHERE { ?x ?p ?o . } ORDER BY`,       // missing key
+		`SELECT ?x WHERE { ?x unknown:p ?o . }`,         // unknown prefix
+		`SELECT ?x WHERE { "lit" ?p ?o . }`,             // literal subject
+		`SELECT ?x WHERE { ?x ?p ?o . FILTER (?x + ) }`, // bad expression
+		`SELECT ?x WHERE { ?x ?p ?o . } garbage`,        // trailing junk
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`SELECT ?x WHERE { ?x ?p "unterminated }`,
+		`SELECT ? WHERE { }`,
+		`SELECT ?x WHERE { ?x ?p <unterminated }`,
+		`SELECT ?x WHERE { ?x ?p "bad\q" }`,
+		"SELECT ?x WHERE { ?x ?p ?o . FILTER(?x & ?o) }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want lex error", src)
+		}
+	}
+}
+
+func TestFilterErrorDropsRow(t *testing.T) {
+	// Arithmetic on a string is a type error; the row must be dropped, not
+	// the query failed.
+	g := kbGraph()
+	g.Add(ontology.Triple{
+		S: ontology.NewIRI(scanNS + "weird"),
+		P: ontology.NewIRI(scanNS + "eTime"),
+		O: ontology.NewString("not-a-number"),
+	})
+	res := mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app scan:eTime ?t .
+  FILTER (?t * 2 > 100)
+}`)
+	if res.Len() != 4 {
+		t.Fatalf("got %d rows, want 4 (string row dropped)", res.Len())
+	}
+}
+
+func TestLogicalErrorHandling(t *testing.T) {
+	g := kbGraph()
+	// true || error → true  (row kept even though ?missing is unbound)
+	res := mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app scan:eTime ?t .
+  FILTER (?t > 0 || ?missing > 5)
+}`)
+	if res.Len() != 4 {
+		t.Fatalf("true||error: got %d rows, want 4", res.Len())
+	}
+	// false && error → false (row dropped without error)
+	res = mustEval(t, g, `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app WHERE {
+  ?app scan:eTime ?t .
+  FILTER (?t < 0 && ?missing > 5)
+}`)
+	if res.Len() != 0 {
+		t.Fatalf("false&&error: got %d rows, want 0", res.Len())
+	}
+}
+
+func TestIntegerArithmeticPreserved(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?app ?double WHERE {
+  ?app scan:eTime ?t .
+  FILTER (?t = 80)
+}`)
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+}
+
+// Property: LIMIT n never returns more than n rows and OFFSET k skips
+// exactly k rows of the ordered solution sequence.
+func TestLimitOffsetProperty(t *testing.T) {
+	g := ontology.NewGraph()
+	for i := 0; i < 30; i++ {
+		g.Add(ontology.Triple{
+			S: ontology.NewIRI("urn:item#" + string(rune('a'+i))),
+			P: ontology.NewIRI("urn:p#value"),
+			O: ontology.NewInt(int64(i)),
+		})
+	}
+	f := func(limRaw, offRaw uint8) bool {
+		lim := int(limRaw % 40)
+		off := int(offRaw % 40)
+		src := `SELECT ?v WHERE { ?s <urn:p#value> ?v . } ORDER BY ?v LIMIT ` +
+			itoa(lim) + ` OFFSET ` + itoa(off)
+		res, err := Eval(g, src)
+		if err != nil {
+			return false
+		}
+		want := 30 - off
+		if want < 0 {
+			want = 0
+		}
+		if want > lim {
+			want = lim
+		}
+		if res.Len() != want {
+			return false
+		}
+		vals := res.Floats("v")
+		for i, v := range vals {
+			if int(v) != off+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestResultsString(t *testing.T) {
+	res := mustEval(t, kbGraph(), `
+PREFIX scan: <`+scanNS+`>
+SELECT ?t WHERE { <`+scanNS+`GATK4> scan:eTime ?t . }`)
+	s := res.String()
+	if !strings.Contains(s, "?t") || !strings.Contains(s, "80") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func BenchmarkBGPJoin(b *testing.B) {
+	g := kbGraph()
+	q, err := Parse(`
+PREFIX scan: <` + scanNS + `>
+SELECT ?app ?size ?t WHERE {
+  ?app a scan:Application ;
+       scan:inputFileSize ?size ;
+       scan:eTime ?t .
+  FILTER (?t < 250)
+} ORDER BY ?t`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Eval(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficientData is returned by the fitting routines when the sample is
+// too small or degenerate to determine the model coefficients.
+var ErrInsufficientData = errors.New("stats: insufficient or degenerate data for fit")
+
+// LinearFit holds the least-squares line y = Slope*x + Intercept together
+// with its coefficient of determination.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 {
+	return f.Slope*x + f.Intercept
+}
+
+// FitLine computes the ordinary least-squares line through (xs[i], ys[i]).
+// It is used to recover the a_i (slope) and b_i (intercept) coefficients of
+// the paper's per-stage execution model E_i(d) = a_i*d + b_i from profiling
+// observations.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	n := float64(len(xs))
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	_ = n
+	if sxx == 0 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			e := ys[i] - (slope*xs[i] + intercept)
+			ssRes += e * e
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// FitAmdahl estimates the parallel fraction c of the paper's threaded
+// execution model
+//
+//	T(t) = c*E/t + (1-c)*E
+//
+// from observations (threads[i], times[i]). Substituting α = (1-c)E and
+// β = cE turns the model into T = α + β·(1/t), a plain least-squares line in
+// 1/t, which is solved exactly even when no single-thread observation is
+// present. The recovered c = β/(α+β) is clamped to [0, 1].
+func FitAmdahl(threads []int, times []float64) (float64, error) {
+	if len(threads) != len(times) || len(threads) < 2 {
+		return 0, ErrInsufficientData
+	}
+	inv := make([]float64, len(threads))
+	for i, t := range threads {
+		if t < 1 {
+			return 0, ErrInsufficientData
+		}
+		inv[i] = 1 / float64(t)
+	}
+	fit, err := FitLine(inv, times)
+	if err != nil {
+		return 0, err
+	}
+	alpha, beta := fit.Intercept, fit.Slope
+	e := alpha + beta
+	if e <= 0 {
+		return 0, ErrInsufficientData
+	}
+	c := beta / e
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c, nil
+}
+
+// FitPlane computes the least-squares plane z = A*x + B*y + C. The knowledge
+// base uses it when a profile varies both input size and a second covariate
+// (for example record count and reference size).
+func FitPlane(xs, ys, zs []float64) (a, b, c float64, err error) {
+	n := len(xs)
+	if n != len(ys) || n != len(zs) || n < 3 {
+		return 0, 0, 0, ErrInsufficientData
+	}
+	// Normal equations for [A B C] via 3x3 solve.
+	var sx, sy, sz, sxx, syy, sxy, sxz, syz float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+		sz += zs[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+		sxz += xs[i] * zs[i]
+		syz += ys[i] * zs[i]
+	}
+	nf := float64(n)
+	m := [3][4]float64{
+		{sxx, sxy, sx, sxz},
+		{sxy, syy, sy, syz},
+		{sx, sy, nf, sz},
+	}
+	sol, ok := solve3(m)
+	if !ok {
+		return 0, 0, 0, ErrInsufficientData
+	}
+	return sol[0], sol[1], sol[2], nil
+}
+
+// solve3 performs Gaussian elimination with partial pivoting on a 3x4
+// augmented matrix. Returns false when the system is singular.
+func solve3(m [3][4]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = m[i][3] / m[i][i]
+	}
+	return out, true
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Fatal("Variance of single element != 0")
+	}
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("Summarize(nil) not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	var run Running
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		run.Add(xs[i])
+	}
+	if !almostEq(run.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("running mean %v != batch %v", run.Mean(), Mean(xs))
+	}
+	if !almostEq(run.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("running var %v != batch %v", run.Variance(), Variance(xs))
+	}
+	if run.Min() != Min(xs) || run.Max() != Max(xs) {
+		t.Fatal("running min/max mismatch")
+	}
+	if run.N() != len(xs) {
+		t.Fatal("running N mismatch")
+	}
+}
+
+// Property: Welford accumulation agrees with the two-pass formulas for any
+// input.
+func TestRunningProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var run Running
+		for i, v := range raw {
+			xs[i] = float64(v) / 16
+			run.Add(xs[i])
+		}
+		return almostEq(run.Mean(), Mean(xs), 1e-6) &&
+			almostEq(run.Variance(), Variance(xs), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{N: 3, Mean: 1.5, Std: 0.25}
+	if got := s.String(); got != "1.500 ± 0.250 (n=3)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
