@@ -3,12 +3,24 @@
 // Usage:
 //
 //	scanctl [-addr http://localhost:7390] status
+//	scanctl workflows
 //	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
+//	scanctl submit -workflow somatic-mutation-detection -reads 4000 [-wait]
 //	scanctl jobs
 //	scanctl job <id>
 //	scanctl profiles
 //	scanctl query 'PREFIX scan: <...> SELECT ?app WHERE { ... }'
 //	scanctl export rdfxml
+//
+// Submitting a named workflow runs any catalogued genomic analysis through
+// the daemon's workflow engine; `scanctl workflows` lists the catalogue
+// and marks which entries the engine can execute. For example,
+//
+//	scanctl workflows
+//	scanctl submit -workflow rna-expression -ref 20000 -reads 6000 -wait
+//
+// runs the RNA-seq expression workflow (align → quantify) end to end and
+// prints the per-region feature count when it completes.
 package main
 
 import (
@@ -44,6 +56,8 @@ func main() {
 			usage()
 		}
 		err = cmdJob(ctx, client, args[1])
+	case "workflows":
+		err = cmdWorkflows(ctx, client)
 	case "profiles":
 		err = cmdProfiles(ctx, client)
 	case "query":
@@ -67,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|submit|jobs|job ID|profiles|query SPARQL|export [turtle|rdfxml]>")
+	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|submit|jobs|job ID|profiles|query SPARQL|export [turtle|rdfxml]>")
 	os.Exit(2)
 }
 
@@ -83,6 +97,7 @@ func cmdStatus(ctx context.Context, c *rpc.Client) error {
 
 func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	workflowName := fs.String("workflow", "", "catalogued workflow to run (default dna-variant-detection; see `scanctl workflows`)")
 	refLen := fs.Int("ref", 20000, "synthetic reference length (bases)")
 	reads := fs.Int("reads", 4000, "simulated read count")
 	snvs := fs.Int("snvs", 12, "planted SNVs")
@@ -93,6 +108,7 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 		return err
 	}
 	info, err := c.Submit(ctx, rpc.SubmitRequest{
+		Workflow:        *workflowName,
 		ReferenceLength: *refLen,
 		Reads:           *reads,
 		SNVs:            *snvs,
@@ -102,7 +118,7 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("job %d submitted (%s)\n", info.ID, info.State)
+	fmt.Printf("job %d (%s) submitted (%s)\n", info.ID, info.Workflow, info.State)
 	if !*wait {
 		return nil
 	}
@@ -139,16 +155,35 @@ func cmdJob(ctx context.Context, c *rpc.Client, idStr string) error {
 }
 
 func printJob(j rpc.JobInfo) {
+	name := j.Workflow // always set by the server at submit time
 	switch j.State {
 	case rpc.StateDone:
-		fmt.Printf("job %d %-8s mapped %d/%d  variants %d  recovered %d/%d  shards %d  %.2fs\n",
-			j.ID, j.State, j.Mapped, j.TotalReads, j.Variants, j.Recovered, j.Planted,
-			j.Shards, j.ElapsedSec)
+		fmt.Printf("job %d %-8s %-26s mapped %d/%d  variants %d  features %d  recovered %d/%d  shards %d  %.2fs\n",
+			j.ID, j.State, name, j.Mapped, j.TotalReads, j.Variants, j.Features,
+			j.Recovered, j.Planted, j.Shards, j.ElapsedSec)
 	case rpc.StateFailed:
-		fmt.Printf("job %d %-8s error: %s\n", j.ID, j.State, j.Error)
+		fmt.Printf("job %d %-8s %-26s error: %s\n", j.ID, j.State, name, j.Error)
 	default:
-		fmt.Printf("job %d %-8s\n", j.ID, j.State)
+		fmt.Printf("job %d %-8s %-26s\n", j.ID, j.State, name)
 	}
+}
+
+func cmdWorkflows(ctx context.Context, c *rpc.Client) error {
+	wfs, err := c.Workflows(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %-12s %-12s %-14s %6s  %s\n",
+		"name", "family", "consumes", "produces", "stages", "runnable")
+	for _, wf := range wfs {
+		runnable := "yes"
+		if !wf.Runnable {
+			runnable = "no (" + wf.Reason + ")"
+		}
+		fmt.Printf("%-28s %-12s %-12s %-14s %6d  %s\n",
+			wf.Name, wf.Family, wf.Consumes, wf.Produces, len(wf.Stages), runnable)
+	}
+	return nil
 }
 
 func cmdProfiles(ctx context.Context, c *rpc.Client) error {

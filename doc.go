@@ -4,10 +4,30 @@
 //
 // The platform couples a semantic application knowledge base (triple store
 // + SPARQL subset), a Data Broker that shards genomic inputs on record
-// boundaries, and a reward-driven scheduler that hires workers from a
-// hybrid private/public cloud. Two execution surfaces are provided: real
-// parallel analysis on synthetic genomic data (internal/core), and the
-// discrete-event simulation used to regenerate the paper's evaluation
-// (internal/experiment). See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// boundaries, a reward-driven scheduler that hires workers from a hybrid
+// private/public cloud, and an executable workflow engine that runs the
+// catalogued analyses.
+//
+// Analysis execution is layered:
+//
+//	internal/workflow   the workflow catalogue (the paper's "over 10
+//	                    different genome analysis workflows") plus the
+//	                    engine that executes them: a StageExecutor
+//	                    registry binds catalogue stages (BWA, GATK,
+//	                    MuTect, ...) to the in-repo substrates, and
+//	                    Engine.Run drives typed datasets through each
+//	                    stage chain with knowledge-base-advised
+//	                    scatter/gather on a bounded worker pool
+//	internal/core       the platform facade: Platform.RunVariantCalling
+//	                    executes the catalogued dna-variant-detection
+//	                    workflow; Platform.RunWorkflow runs any
+//	                    catalogued analysis by name
+//	internal/rpc        scand's HTTP interface — submit any runnable
+//	                    workflow by name, inspect the catalogue, query
+//	                    the knowledge base; scanctl is the client
+//
+// Two execution surfaces are provided: real parallel analysis on
+// synthetic genomic data (internal/core on top of internal/workflow), and
+// the discrete-event simulation used to regenerate the paper's evaluation
+// (internal/experiment).
 package scan

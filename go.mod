@@ -1,0 +1,3 @@
+module scan
+
+go 1.24

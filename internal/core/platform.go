@@ -1,7 +1,7 @@
 // Package core assembles the SCAN platform's public face: the Data Broker
-// (knowledge-base-advised sharding), a pool of SCAN workers, and an
-// executable variant-calling pipeline built from the in-repo substrates
-// (k-mer aligner, pileup caller, format codecs).
+// (knowledge-base-advised sharding), a pool of SCAN workers, and the
+// workflow engine that executes the catalogued analyses with the in-repo
+// substrates (k-mer aligner, pileup caller, format codecs).
 //
 // Two execution surfaces exist: this package runs real analyses on real
 // data with goroutine workers (the paper's prototype, scaled to a
@@ -12,10 +12,8 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"runtime"
-	"sync"
 	"time"
 
 	"scan/internal/align"
@@ -26,6 +24,10 @@ import (
 	"scan/internal/variant"
 	"scan/internal/workflow"
 )
+
+// VariantDetectionWorkflow is the catalogued workflow RunVariantCalling
+// executes.
+const VariantDetectionWorkflow = "dna-variant-detection"
 
 // Options configures a Platform.
 type Options struct {
@@ -40,9 +42,12 @@ type Options struct {
 	RecordsPerUnit int
 }
 
-// Platform is the SCAN application platform.
+// Platform is the SCAN application platform: the workflow catalogue, the
+// executor bindings, and the engine that runs any catalogued analysis.
 type Platform struct {
 	kb             *knowledge.Base
+	catalogue      *workflow.Registry
+	engine         *workflow.Engine
 	workers        int
 	recordsPerUnit int
 }
@@ -52,21 +57,31 @@ func NewPlatform(opts Options) *Platform {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	catalogue := workflow.DefaultCatalogue()
 	if opts.KB == nil {
 		opts.KB = knowledge.New()
 		opts.KB.SeedPaperProfiles()
 		opts.KB.SeedCloudOntology(cloud.DefaultTiers(50))
 		opts.KB.SeedDomainLinks()
 		// The full Figure 1 analysis catalogue, queryable over SPARQL.
-		if err := workflow.DefaultCatalogue().ExportTo(opts.KB); err != nil {
+		if err := catalogue.ExportTo(opts.KB); err != nil {
 			panic(err) // static catalogue: failure is a programming error
 		}
 	}
 	if opts.RecordsPerUnit <= 0 {
 		opts.RecordsPerUnit = 1000
 	}
+	engine := workflow.NewEngine(workflow.EngineOptions{
+		Catalogue:      catalogue,
+		Executors:      workflow.DefaultExecutors(),
+		KB:             opts.KB,
+		Workers:        opts.Workers,
+		RecordsPerUnit: opts.RecordsPerUnit,
+	})
 	return &Platform{
 		kb:             opts.KB,
+		catalogue:      catalogue,
+		engine:         engine,
 		workers:        opts.Workers,
 		recordsPerUnit: opts.RecordsPerUnit,
 	}
@@ -77,6 +92,18 @@ func (p *Platform) KB() *knowledge.Base { return p.kb }
 
 // Workers returns the configured worker count.
 func (p *Platform) Workers() int { return p.workers }
+
+// Catalogue exposes the platform's workflow catalogue.
+func (p *Platform) Catalogue() *workflow.Registry { return p.catalogue }
+
+// Engine exposes the platform's workflow engine.
+func (p *Platform) Engine() *workflow.Engine { return p.engine }
+
+// RunWorkflow executes any catalogued workflow by name over the dataset —
+// the generic entry point behind scand's submit-workflow-by-name API.
+func (p *Platform) RunWorkflow(ctx context.Context, name string, in *workflow.Dataset, opts workflow.RunOptions) (*workflow.Result, error) {
+	return p.engine.RunByName(ctx, name, in, opts)
+}
 
 // VariantCallingJob is one end-to-end analysis request: align reads to the
 // reference and call variants.
@@ -130,153 +157,50 @@ func (r *VariantCallingResult) WriteVCF(w io.Writer) error {
 // ErrNoReads is returned for an empty read set.
 var ErrNoReads = errors.New("core: job has no reads")
 
-// RunVariantCalling executes the full scatter-gather pipeline:
-//
-//	shard reads → parallel align → merge → scatter by region →
-//	parallel pileup+call → merge VCF
-//
-// Per-shard stage timings are logged back into the knowledge base, growing
-// it exactly the way the paper describes.
+// RunVariantCalling executes the catalogued dna-variant-detection workflow
+// through the workflow engine: shard reads by Data Broker advice →
+// parallel align → merge → GATK refinement chain → scatter by region →
+// parallel pileup+call → merge VCF. Per-shard stage timings are logged
+// back into the knowledge base, growing it exactly the way the paper
+// describes. The heavy lifting lives in package workflow; this is the
+// typed variant-calling facade over Engine.Run.
 func (p *Platform) RunVariantCalling(ctx context.Context, job VariantCallingJob) (*VariantCallingResult, error) {
 	if len(job.Reads) == 0 {
 		return nil, ErrNoReads
 	}
-	res := &VariantCallingResult{}
-
-	recordsPerShard := job.ShardRecords
-	if recordsPerShard <= 0 {
-		jobUnits := float64(len(job.Reads)) / float64(p.recordsPerUnit)
-		adv, err := p.kb.ShardAdvice(jobUnits)
-		if err != nil {
-			return nil, fmt.Errorf("core: data broker: %w", err)
+	wres, err := p.engine.RunByName(ctx, VariantDetectionWorkflow,
+		workflow.NewFASTQDataset(job.Reference, job.Reads),
+		workflow.RunOptions{
+			Aligner:      job.Aligner,
+			Caller:       job.Caller,
+			ShardRecords: job.ShardRecords,
+			Regions:      job.Regions,
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := wres.Output
+	res := &VariantCallingResult{
+		Header:     out.Header,
+		Alignments: out.Alignments,
+		Variants:   out.Variants,
+		Mapped:     out.Mapped,
+	}
+	// The record-scattered stage (alignment) carries the Data Broker's
+	// shard plan and advice.
+	if sr, ok := wres.RecordScatter(); ok {
+		res.ShardPlan = sr.Plan
+		res.Advice = sr.Advice
+	}
+	// Report the stages that fanned out; the engine also ran the
+	// refinement pass-throughs, but a zero-shard stage has no scatter
+	// to time.
+	for _, sr := range wres.Stages {
+		if sr.Shards > 0 {
+			res.Timings = append(res.Timings, StageTiming{
+				Stage: sr.Stage, Shards: sr.Shards, Elapsed: sr.Elapsed,
+			})
 		}
-		res.Advice = adv
-		recordsPerShard = int(adv.ShardSize * float64(p.recordsPerUnit))
-		if recordsPerShard < 1 {
-			recordsPerShard = 1
-		}
 	}
-	plan, err := shard.PlanByRecords(len(job.Reads), recordsPerShard)
-	if err != nil {
-		return nil, err
-	}
-	res.ShardPlan = plan
-
-	aligner, err := align.New(job.Reference, job.Aligner)
-	if err != nil {
-		return nil, err
-	}
-	res.Header = aligner.Header()
-
-	// Stage 1: parallel alignment over read shards.
-	readShards, err := shard.ChunkReads(job.Reads, recordsPerShard)
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	alnShards := make([][]genomics.Alignment, len(readShards))
-	mapped := make([]int, len(readShards))
-	err = p.forEach(ctx, len(readShards), func(i int) error {
-		alnShards[i], mapped[i] = aligner.AlignAll(readShards[i])
-		p.logStage("BWA", 0, len(readShards[i]), time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Alignments = genomics.MergeSorted(alnShards...)
-	for _, m := range mapped {
-		res.Mapped += m
-	}
-	res.Timings = append(res.Timings, StageTiming{
-		Stage: "align", Shards: len(readShards), Elapsed: time.Since(start),
-	})
-
-	// Stage 2: scatter mapped alignments by genomic region, call variants
-	// per region in parallel, gather into one call set.
-	nRegions := job.Regions
-	if nRegions <= 0 {
-		nRegions = p.workers
-	}
-	regions, err := shard.Regions(job.Reference.Len(), nRegions)
-	if err != nil {
-		return nil, err
-	}
-	// Overlap-aware scatter: a read spanning a region boundary feeds the
-	// pileups of both regions, so boundary positions see full coverage.
-	parts, _ := shard.PartitionByOverlap(res.Alignments, regions)
-	start = time.Now()
-	varShards := make([][]genomics.Variant, len(parts))
-	err = p.forEach(ctx, len(parts), func(i int) error {
-		caller := variant.NewCaller(job.Reference, job.Caller)
-		for _, a := range parts[i] {
-			if err := caller.Add(a); err != nil {
-				return err
-			}
-		}
-		calls := caller.Call()
-		// Keep only calls inside this region so region overlaps cannot
-		// duplicate evidence across shards.
-		kept := calls[:0]
-		for _, v := range calls {
-			if regions[i].Contains(v.Pos) {
-				kept = append(kept, v)
-			}
-		}
-		varShards[i] = kept
-		p.logStage("GATK", 1, len(parts[i]), time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Variants = genomics.MergeVariants(varShards...)
-	res.Timings = append(res.Timings, StageTiming{
-		Stage: "call", Shards: len(parts), Elapsed: time.Since(start),
-	})
 	return res, nil
-}
-
-// forEach runs fn(0..n-1) on the worker pool, stopping at the first error
-// or context cancellation.
-func (p *Platform) forEach(ctx context.Context, n int, fn func(int) error) error {
-	if n == 0 {
-		return nil
-	}
-	sem := make(chan struct{}, p.workers)
-	errCh := make(chan error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			break
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errCh <- fn(i)
-		}(i)
-	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return err
-		}
-	}
-	return ctx.Err()
-}
-
-// logStage feeds an observed stage execution back into the knowledge base;
-// logging failures are deliberately ignored (telemetry must not fail the
-// analysis).
-func (p *Platform) logStage(app string, stage, records int, elapsed time.Duration) {
-	_ = p.kb.LogRun(knowledge.RunLog{
-		App:       app,
-		Stage:     stage,
-		InputSize: float64(records) / float64(p.recordsPerUnit),
-		Threads:   1,
-		ETime:     elapsed.Seconds(),
-	})
 }

@@ -103,6 +103,14 @@ func (c *Client) Wait(ctx context.Context, id int, poll time.Duration) (JobInfo,
 	}
 }
 
+// Workflows lists the daemon's catalogued workflows and whether each is
+// runnable on its engine.
+func (c *Client) Workflows(ctx context.Context) ([]WorkflowInfo, error) {
+	var out []WorkflowInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/workflows", nil, &out)
+	return out, err
+}
+
 // Query runs a SPARQL query on the daemon's knowledge base.
 func (c *Client) Query(ctx context.Context, query string) (QueryResponse, error) {
 	var out QueryResponse

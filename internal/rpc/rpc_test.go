@@ -96,6 +96,141 @@ func err999(c *Client) string {
 	return err.Error()
 }
 
+func TestWorkflowsEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	wfs, err := c.Workflows(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wfs) < 11 {
+		t.Fatalf("workflows = %d, want >= 11", len(wfs))
+	}
+	byName := map[string]WorkflowInfo{}
+	for _, wf := range wfs {
+		byName[wf.Name] = wf
+	}
+	dna := byName["dna-variant-detection"]
+	if !dna.Runnable || len(dna.Stages) != 8 || dna.Consumes != "FASTQ" || dna.Produces != "VCF" {
+		t.Fatalf("dna-variant-detection = %+v", dna)
+	}
+	// The proteomic catalogue entry is listed but has no engine substrate.
+	mq := byName["proteome-maxquant"]
+	if mq.Runnable || !strings.Contains(mq.Reason, "no executor") {
+		t.Fatalf("proteome-maxquant = %+v", mq)
+	}
+}
+
+func TestSubmitNamedWorkflows(t *testing.T) {
+	c, _ := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, tc := range []struct {
+		workflow     string
+		wantVariants bool
+		wantFeatures bool
+	}{
+		{"somatic-mutation-detection", true, false},
+		{"rna-expression", false, true},
+	} {
+		info, err := c.Submit(ctx, SubmitRequest{
+			Workflow: tc.workflow, ReferenceLength: 6000, Reads: 1500, SNVs: 8, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Workflow != tc.workflow {
+			t.Fatalf("submitted workflow = %q, want %q", info.Workflow, tc.workflow)
+		}
+		done, err := c.Wait(ctx, info.ID, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != StateDone {
+			t.Fatalf("%s: state = %q (%s)", tc.workflow, done.State, done.Error)
+		}
+		if done.Workflow != tc.workflow || done.Mapped == 0 || done.TotalReads != 1500 {
+			t.Fatalf("%s: result = %+v", tc.workflow, done)
+		}
+		if tc.wantVariants && done.Variants == 0 {
+			t.Fatalf("%s: no variants", tc.workflow)
+		}
+		// Recovery scoring applies to every variant-calling workflow,
+		// not just the default pipeline.
+		if tc.wantVariants && (done.Planted != 8 || done.Recovered < done.Planted-1) {
+			t.Fatalf("%s: recovered %d/%d", tc.workflow, done.Recovered, done.Planted)
+		}
+		if tc.wantFeatures && done.Features == 0 {
+			t.Fatalf("%s: no features", tc.workflow)
+		}
+	}
+}
+
+func TestSubmitWorkflowValidation(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	base := SubmitRequest{ReferenceLength: 2000, Reads: 100, Seed: 1}
+	for name, wantErr := range map[string]string{
+		"no-such-analysis":  "not found",
+		"proteome-maxquant": "consumes MGF",
+		"variants-to-vcf":   "consumes VCF",
+	} {
+		req := base
+		req.Workflow = name
+		_, err := c.Submit(ctx, req)
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("workflow %q: err = %v, want %q", name, err, wantErr)
+		}
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	p := core.NewPlatform(core.Options{Workers: 1})
+	s := NewServer(p, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	// A submit racing shutdown must get an error, not crash the daemon
+	// on the closed queue.
+	_, err := NewClient(ts.URL).Submit(context.Background(),
+		SubmitRequest{ReferenceLength: 2000, Reads: 100, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "shutting down") {
+		t.Fatalf("err = %v, want shutdown rejection", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestCloseFailsQueuedJobs(t *testing.T) {
+	p := core.NewPlatform(core.Options{Workers: 1})
+	s := NewServer(p, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	// Queue several jobs, then shut down immediately: every job must end
+	// in a terminal state — done if it ran, failed if shutdown beat it —
+	// never stranded pending.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(ctx, SubmitRequest{
+			ReferenceLength: 4000, Reads: 800, Seed: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 5 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.State != StateDone && j.State != StateFailed {
+			t.Fatalf("job %d stranded in state %q after Close", j.ID, j.State)
+		}
+	}
+}
+
 func TestKBQueryEndpoint(t *testing.T) {
 	c, _ := testServer(t)
 	ctx := context.Background()

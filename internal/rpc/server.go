@@ -15,6 +15,7 @@ import (
 	"scan/internal/core"
 	"scan/internal/genomics"
 	"scan/internal/variant"
+	"scan/internal/workflow"
 )
 
 // Server exposes a core.Platform over HTTP and runs submitted jobs on a
@@ -27,6 +28,7 @@ type Server struct {
 	nextID int
 	jobs   map[int]*jobRecord
 	order  []int
+	closed bool
 
 	queue chan int
 	wg    sync.WaitGroup
@@ -59,11 +61,27 @@ func NewServer(p *core.Platform, executors int) *Server {
 	return s
 }
 
-// Close stops the executors after their current job.
+// Close stops the executors after their current job. Submissions racing
+// with Close are rejected rather than panicking on the closed queue.
 func (s *Server) Close() {
 	s.stop()
-	close(s.queue)
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
+	// Executors have stopped; fail anything still queued so clients
+	// polling Wait see a terminal state instead of pending forever.
+	s.mu.Lock()
+	for _, rec := range s.jobs {
+		if rec.info.State == StatePending || rec.info.State == StateRunning {
+			rec.info.State = StateFailed
+			rec.info.Error = "server shut down before the job ran"
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Handler returns the HTTP routing for the API.
@@ -74,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 		_, _ = w.Write([]byte("ok"))
 	})
 	mux.HandleFunc("/api/v1/status", s.handleStatus)
+	mux.HandleFunc("/api/v1/workflows", s.handleWorkflows)
 	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/api/v1/kb/query", s.handleQuery)
@@ -128,7 +147,18 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 				"reference_length must be >= 200 and reads >= 1")
 			return
 		}
-		info := s.enqueue(req)
+		if req.Workflow == "" {
+			req.Workflow = core.VariantDetectionWorkflow
+		}
+		if err := s.submittable(req.Workflow); err != nil {
+			writeError(w, http.StatusBadRequest, "workflow %q: %v", req.Workflow, err)
+			return
+		}
+		info, err := s.enqueue(req)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeJSON(w, http.StatusAccepted, info)
 	case http.MethodGet:
 		s.mu.Lock()
@@ -238,16 +268,76 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) enqueue(req SubmitRequest) JobInfo {
+// submittable checks a workflow can run on the daemon's synthetic-FASTQ
+// surface: it must be catalogued, consume FASTQ, and have an executor for
+// every stage.
+func (s *Server) submittable(name string) error {
+	wf, err := s.platform.Catalogue().Get(name)
+	if err != nil {
+		return err
+	}
+	if wf.Consumes() != workflow.FASTQ {
+		return fmt.Errorf("consumes %s; the job surface synthesises FASTQ reads only", wf.Consumes())
+	}
+	return s.platform.Engine().CanRun(wf)
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	cat := s.platform.Catalogue()
+	out := make([]WorkflowInfo, 0, cat.Len())
+	for _, name := range cat.Names() {
+		wf, err := cat.Get(name)
+		if err != nil {
+			continue // registry is append-only; cannot happen
+		}
+		info := WorkflowInfo{
+			Name:        wf.Name,
+			Family:      wf.Family,
+			Description: wf.Description,
+			Consumes:    string(wf.Consumes()),
+			Produces:    string(wf.Produces()),
+			Runnable:    true,
+		}
+		for _, st := range wf.Stages {
+			info.Stages = append(info.Stages, StageInfo{
+				Name: st.Name, Tool: st.Tool,
+				Consumes: string(st.Consumes), Produces: string(st.Produces),
+				Parallelizable: st.Parallelizable,
+			})
+		}
+		if err := s.platform.Engine().CanRun(wf); err != nil {
+			info.Runnable = false
+			info.Reason = err.Error()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) enqueue(req SubmitRequest) (JobInfo, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobInfo{}, fmt.Errorf("server is shutting down")
+	}
 	id := s.nextID
+	info := JobInfo{ID: id, State: StatePending, Workflow: req.Workflow, Submitted: s.now()}
+	// The send happens under the lock so it cannot race Close's
+	// close(s.queue); it must therefore never block, so a full queue is
+	// backpressure reported to the client instead of a queued send.
+	select {
+	case s.queue <- id:
+	default:
+		return JobInfo{}, fmt.Errorf("job queue full")
+	}
 	s.nextID++
-	info := JobInfo{ID: id, State: StatePending, Submitted: s.now()}
 	s.jobs[id] = &jobRecord{info: info, req: req}
 	s.order = append(s.order, id)
-	s.mu.Unlock()
-	s.queue <- id
-	return info
+	return info, nil
 }
 
 func (s *Server) executor(ctx context.Context) {
@@ -272,6 +362,7 @@ func (s *Server) runJob(ctx context.Context, id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	info.ID = id
+	info.Workflow = rec.info.Workflow
 	info.Submitted = rec.info.Submitted
 	info.ElapsedSec = time.Since(start).Seconds()
 	if err != nil {
@@ -283,7 +374,8 @@ func (s *Server) runJob(ctx context.Context, id int) {
 	rec.info = info
 }
 
-// execute generates the synthetic dataset and runs the pipeline.
+// execute generates the synthetic dataset and runs the requested workflow
+// through the platform's engine.
 func (s *Server) execute(ctx context.Context, req SubmitRequest) (JobInfo, error) {
 	readLen := req.ReadLength
 	if readLen <= 0 {
@@ -302,31 +394,46 @@ func (s *Server) execute(ctx context.Context, req SubmitRequest) (JobInfo, error
 	if err != nil {
 		return JobInfo{}, err
 	}
-	res, err := s.platform.RunVariantCalling(ctx, core.VariantCallingJob{
-		Reference:    ref,
-		Reads:        reads,
-		Caller:       variant.Config{MinDepth: 8, MinAltFraction: 0.6},
-		ShardRecords: req.ShardRecords,
-	})
+
+	// handleJobs defaults req.Workflow before enqueue, so it is never
+	// empty here. Every workflow — the default included — runs through
+	// the same generic engine surface; RunVariantCalling is the library
+	// facade over the identical execution (core's equivalence test
+	// proves it).
+	wres, err := s.platform.RunWorkflow(ctx, req.Workflow,
+		workflow.NewFASTQDataset(ref, reads),
+		workflow.RunOptions{
+			Caller:       variant.Config{MinDepth: 8, MinAltFraction: 0.6},
+			ShardRecords: req.ShardRecords,
+		})
 	if err != nil {
 		return JobInfo{}, err
 	}
-	calledAt := map[int]genomics.Variant{}
-	for _, v := range res.Variants {
-		calledAt[v.Pos-1] = v
+	calls := wres.Output.Variants
+	info := JobInfo{
+		Mapped:     wres.Output.Mapped,
+		TotalReads: len(reads),
+		Variants:   len(calls),
+		Features:   len(wres.Output.Features),
 	}
-	recovered := 0
-	for _, m := range planted {
-		if v, ok := calledAt[m.Pos]; ok && v.Alt == string(m.Alt) {
-			recovered++
+	if sr, ok := wres.RecordScatter(); ok {
+		info.Shards = sr.Plan.NumShards
+	}
+	// Planted-SNV recovery scoring applies to every variant-calling
+	// workflow. It is gated on the catalogue's output type, not on the
+	// call set being non-empty: a run that recovers nothing must report
+	// 0/N, not an empty 0/0.
+	if wf, err := s.platform.Catalogue().Get(req.Workflow); err == nil && wf.Produces() == workflow.VCF {
+		info.Planted = len(planted)
+		calledAt := map[int]genomics.Variant{}
+		for _, v := range calls {
+			calledAt[v.Pos-1] = v
+		}
+		for _, m := range planted {
+			if v, ok := calledAt[m.Pos]; ok && v.Alt == string(m.Alt) {
+				info.Recovered++
+			}
 		}
 	}
-	return JobInfo{
-		Mapped:     res.Mapped,
-		TotalReads: len(reads),
-		Variants:   len(res.Variants),
-		Recovered:  recovered,
-		Planted:    len(planted),
-		Shards:     res.ShardPlan.NumShards,
-	}, nil
+	return info, nil
 }

@@ -18,10 +18,16 @@ const (
 	StateFailed  JobState = "failed"
 )
 
-// SubmitRequest asks the daemon to run one synthetic variant-calling
-// analysis. The daemon generates the data (seeded, reproducible) and runs
-// the full shard → align → call → merge pipeline.
+// SubmitRequest asks the daemon to run one catalogued workflow over a
+// synthetic dataset. The daemon generates the data (seeded, reproducible)
+// and drives it through the workflow engine's shard → stage chain → merge
+// execution.
 type SubmitRequest struct {
+	// Workflow names the catalogued workflow to execute (default:
+	// dna-variant-detection). The workflow must consume FASTQ — the
+	// daemon synthesises sequencing reads — and have executors for every
+	// stage; see GET /api/v1/workflows for what qualifies.
+	Workflow string `json:"workflow,omitempty"`
 	// ReferenceLength is the synthetic genome size in bases.
 	ReferenceLength int `json:"reference_length"`
 	// Reads is the number of simulated reads.
@@ -42,6 +48,7 @@ type SubmitRequest struct {
 type JobInfo struct {
 	ID        int       `json:"id"`
 	State     JobState  `json:"state"`
+	Workflow  string    `json:"workflow,omitempty"`
 	Submitted time.Time `json:"submitted"`
 	Error     string    `json:"error,omitempty"`
 
@@ -49,10 +56,34 @@ type JobInfo struct {
 	Mapped     int     `json:"mapped,omitempty"`
 	TotalReads int     `json:"total_reads,omitempty"`
 	Variants   int     `json:"variants,omitempty"`
+	Features   int     `json:"features,omitempty"`
 	Recovered  int     `json:"recovered,omitempty"`
 	Planted    int     `json:"planted,omitempty"`
 	Shards     int     `json:"shards,omitempty"`
 	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+}
+
+// StageInfo describes one catalogued workflow stage over the wire.
+type StageInfo struct {
+	Name           string `json:"name"`
+	Tool           string `json:"tool"`
+	Consumes       string `json:"consumes"`
+	Produces       string `json:"produces"`
+	Parallelizable bool   `json:"parallelizable,omitempty"`
+}
+
+// WorkflowInfo describes one catalogued workflow over the wire. Runnable
+// reports whether the daemon's engine has an executor for every stage;
+// Reason carries the blocking stage when it does not.
+type WorkflowInfo struct {
+	Name        string      `json:"name"`
+	Family      string      `json:"family"`
+	Description string      `json:"description,omitempty"`
+	Consumes    string      `json:"consumes"`
+	Produces    string      `json:"produces"`
+	Stages      []StageInfo `json:"stages"`
+	Runnable    bool        `json:"runnable"`
+	Reason      string      `json:"reason,omitempty"`
 }
 
 // QueryRequest is a SPARQL query against the daemon's knowledge base.

@@ -1,0 +1,83 @@
+package workflow
+
+import (
+	"fmt"
+
+	"scan/internal/genomics"
+)
+
+// Dataset is the typed payload the engine drives through a workflow's stage
+// chain. Type names the format of the *current* payload (matching the
+// stage's Consumes/Produces declaration); downstream fields accumulate: a
+// stage that turns alignments into variant calls keeps the alignments it
+// consumed, so the workflow's final output still carries the derived
+// artifacts a caller may want (the SAM records behind a VCF, say). The one
+// exception is raw Reads, which alignment stages release once consumed —
+// they are the caller's own input and dominate the payload's memory.
+type Dataset struct {
+	// Type is the data type of the current payload.
+	Type DataType
+	// Reference is the genome the payload is expressed against; executors
+	// for alignment and calling stages require it.
+	Reference genomics.Sequence
+	// Header is the SAM header (populated once reads are aligned).
+	Header genomics.Header
+
+	// Reads is the FASTQ payload.
+	Reads []genomics.Read
+	// Alignments is the BAM payload (coordinate-sorted).
+	Alignments []genomics.Alignment
+	// Mapped counts the alignments that mapped.
+	Mapped int
+	// Variants is the VCF payload (sorted, deduplicated).
+	Variants []genomics.Variant
+	// Features is the FeatureTable payload.
+	Features []Feature
+}
+
+// Feature is one row of a FeatureTable payload: a quantified signal over a
+// reference interval (per-region expression, image phenotypes, ...).
+type Feature struct {
+	// Name identifies the feature, e.g. "chr1:1-2500".
+	Name string
+	// Start and End bound the interval (1-based inclusive) when the
+	// feature is positional; zero otherwise.
+	Start, End int
+	// Count is the number of records supporting the feature.
+	Count int
+	// Value is the quantified signal (mean coverage for expression).
+	Value float64
+}
+
+// Records returns the number of records in the current payload — the unit
+// the Data Broker's shard-size advice applies to.
+func (d *Dataset) Records() int {
+	switch d.Type {
+	case FASTQ:
+		return len(d.Reads)
+	case BAM:
+		return len(d.Alignments)
+	case VCF:
+		return len(d.Variants)
+	case FeatureTable:
+		return len(d.Features)
+	default:
+		return 0
+	}
+}
+
+// NewFASTQDataset wraps simulated or parsed reads as a workflow input.
+func NewFASTQDataset(ref genomics.Sequence, reads []genomics.Read) *Dataset {
+	return &Dataset{Type: FASTQ, Reference: ref, Reads: reads}
+}
+
+// NewVCFDataset wraps variant calls as a workflow input (gather workflows
+// such as variants-to-vcf).
+func NewVCFDataset(ref genomics.Sequence, variants []genomics.Variant) *Dataset {
+	return &Dataset{Type: VCF, Reference: ref, Variants: variants}
+}
+
+// String renders a short payload summary for logs.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s[%d records]", d.Type, d.Records())
+}

@@ -1,0 +1,335 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"scan/internal/align"
+	"scan/internal/knowledge"
+	"scan/internal/shard"
+	"scan/internal/variant"
+)
+
+// Engine executes catalogued workflows: it walks a workflow's stage chain,
+// binds each stage to a registered StageExecutor, and provides every stage
+// with the platform substrate — the Data Broker's shard-size advice, a
+// bounded context-aware worker pool, and per-shard run logging back into
+// the knowledge base. The engine holds no per-run state and is safe for
+// concurrent Run calls.
+type Engine struct {
+	catalogue      *Registry
+	execs          *ExecutorRegistry
+	kb             *knowledge.Base
+	workers        int
+	recordsPerUnit int
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Catalogue is the workflow registry RunByName resolves against
+	// (default: DefaultCatalogue()).
+	Catalogue *Registry
+	// Executors binds stage names/tools to implementations
+	// (default: DefaultExecutors()).
+	Executors *ExecutorRegistry
+	// KB is consulted for shard sizing and receives per-shard run logs.
+	// With a nil KB, stages that need shard advice fail and no telemetry
+	// is recorded.
+	KB *knowledge.Base
+	// Workers bounds the per-stage worker pool (default: GOMAXPROCS).
+	Workers int
+	// RecordsPerUnit converts payload records into the knowledge base's
+	// abstract input-size units (default 1000).
+	RecordsPerUnit int
+}
+
+// NewEngine builds an engine.
+func NewEngine(opts EngineOptions) *Engine {
+	if opts.Catalogue == nil {
+		opts.Catalogue = DefaultCatalogue()
+	}
+	if opts.Executors == nil {
+		opts.Executors = DefaultExecutors()
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.RecordsPerUnit <= 0 {
+		opts.RecordsPerUnit = 1000
+	}
+	return &Engine{
+		catalogue:      opts.Catalogue,
+		execs:          opts.Executors,
+		kb:             opts.KB,
+		workers:        opts.Workers,
+		recordsPerUnit: opts.RecordsPerUnit,
+	}
+}
+
+// Catalogue returns the registry RunByName resolves workflow names in.
+func (e *Engine) Catalogue() *Registry { return e.catalogue }
+
+// Workers returns the bounded pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// RunOptions tunes one workflow execution.
+type RunOptions struct {
+	// Aligner configures alignment stages (zero value: package defaults).
+	Aligner align.Config
+	// Caller configures variant-calling stages (zero value: defaults).
+	Caller variant.Config
+	// ShardRecords overrides the Data Broker's record-shard sizing when
+	// positive.
+	ShardRecords int
+	// Regions is the region-scatter width for coordinate-scattered stages
+	// (default: the engine's worker count).
+	Regions int
+	// MinQual is the VariantFiltration quality floor (default 0: keep
+	// every call, matching the caller's own thresholds).
+	MinQual float64
+}
+
+// StageResult reports one executed stage.
+type StageResult struct {
+	// Stage and Tool identify the catalogue stage that ran.
+	Stage string
+	Tool  string
+	// Shards is the scatter width (0 for unscattered stages).
+	Shards int
+	// Elapsed is the stage wall-clock time.
+	Elapsed time.Duration
+	// Plan is the record-shard plan (zero unless the stage scattered by
+	// records).
+	Plan shard.Plan
+	// Advice is the Data Broker recommendation that sized the shards
+	// (zero when ShardRecords overrode it or the stage scattered by
+	// region).
+	Advice knowledge.Advice
+}
+
+// Result is one workflow execution's outcome.
+type Result struct {
+	// Workflow is the executed workflow's name.
+	Workflow string
+	// Output is the final stage's dataset.
+	Output *Dataset
+	// Stages reports every executed stage in order.
+	Stages []StageResult
+}
+
+// RecordScatter returns the first stage that scattered by records — the
+// fan-out the Data Broker planned — so callers report one canonical shard
+// plan regardless of how many stages scattered.
+func (r *Result) RecordScatter() (StageResult, bool) {
+	for _, sr := range r.Stages {
+		if sr.Plan.NumShards > 0 {
+			return sr, true
+		}
+	}
+	return StageResult{}, false
+}
+
+// Errors returned by the engine.
+var (
+	ErrTypeMismatch = errors.New("workflow: data type mismatch")
+	ErrNoExecutor   = errors.New("workflow: no executor registered")
+	ErrNilDataset   = errors.New("workflow: nil dataset")
+)
+
+// CanRun reports whether every stage of the workflow has a registered
+// executor; the error names the first stage that does not.
+func (e *Engine) CanRun(w Workflow) error {
+	for _, st := range w.Stages {
+		if _, ok := e.execs.Lookup(st.Tool, st.Name); !ok {
+			return fmt.Errorf("%w for stage %q (tool %s)", ErrNoExecutor, st.Name, st.Tool)
+		}
+	}
+	return nil
+}
+
+// RunByName resolves name in the engine's catalogue and executes it.
+func (e *Engine) RunByName(ctx context.Context, name string, in *Dataset, opts RunOptions) (*Result, error) {
+	w, err := e.catalogue.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, w, in, opts)
+}
+
+// Run drives the dataset through the workflow's stage chain. Each stage's
+// input type is checked against the catalogue declaration before its
+// executor runs, and the executor's output type afterwards, so a
+// mis-registered executor cannot silently corrupt the chain.
+func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptions) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, ErrNilDataset
+	}
+	if in.Type != w.Consumes() {
+		return nil, fmt.Errorf("%w: workflow %s consumes %s, dataset is %s",
+			ErrTypeMismatch, w.Name, w.Consumes(), in.Type)
+	}
+	res := &Result{Workflow: w.Name}
+	ds := in
+	for i, st := range w.Stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		exec, ok := e.execs.Lookup(st.Tool, st.Name)
+		if !ok {
+			return nil, fmt.Errorf("workflow %s: %w for stage %q (tool %s)",
+				w.Name, ErrNoExecutor, st.Name, st.Tool)
+		}
+		if ds.Type != st.Consumes {
+			return nil, fmt.Errorf("%w: workflow %s stage %q consumes %s, dataset is %s",
+				ErrTypeMismatch, w.Name, st.Name, st.Consumes, ds.Type)
+		}
+		sr := StageResult{Stage: st.Name, Tool: st.Tool}
+		env := &StageEnv{engine: e, stage: st, index: i, opts: opts, result: &sr}
+		start := time.Now()
+		out, err := exec.Execute(ctx, env, ds)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %s: stage %q: %w", w.Name, st.Name, err)
+		}
+		if out == nil {
+			return nil, fmt.Errorf("workflow %s: stage %q: %w from executor",
+				w.Name, st.Name, ErrNilDataset)
+		}
+		if out.Type != st.Produces {
+			return nil, fmt.Errorf("%w: workflow %s stage %q produced %s, catalogue declares %s",
+				ErrTypeMismatch, w.Name, st.Name, out.Type, st.Produces)
+		}
+		sr.Elapsed = time.Since(start)
+		res.Stages = append(res.Stages, sr)
+		ds = out
+	}
+	res.Output = ds
+	return res, nil
+}
+
+// StageEnv is the engine-provided execution environment handed to a
+// StageExecutor for one stage of one run: scatter sizing, the bounded
+// worker pool, and knowledge-base telemetry.
+type StageEnv struct {
+	engine *Engine
+	stage  Stage
+	index  int
+	opts   RunOptions
+	result *StageResult
+}
+
+// Options returns the run's tuning options.
+func (env *StageEnv) Options() RunOptions { return env.opts }
+
+// Stage returns the catalogue stage being executed.
+func (env *StageEnv) Stage() Stage { return env.stage }
+
+// Workers returns the bounded pool width.
+func (env *StageEnv) Workers() int { return env.engine.workers }
+
+// RecordShardSize decides how many records each shard of this stage should
+// carry: the run's ShardRecords override when set, otherwise the Data
+// Broker's knowledge-base advice for an input of total records. The
+// resulting shard plan (and advice, when consulted) is recorded on the
+// stage result.
+func (env *StageEnv) RecordShardSize(total int) (int, error) {
+	per := env.opts.ShardRecords
+	if per <= 0 {
+		if env.engine.kb == nil {
+			return 0, knowledge.ErrNoKnowledge
+		}
+		units := float64(total) / float64(env.engine.recordsPerUnit)
+		adv, err := env.engine.kb.ShardAdvice(units)
+		if err != nil {
+			return 0, fmt.Errorf("data broker: %w", err)
+		}
+		env.result.Advice = adv
+		per = int(adv.ShardSize * float64(env.engine.recordsPerUnit))
+		if per < 1 {
+			per = 1
+		}
+	}
+	plan, err := shard.PlanByRecords(total, per)
+	if err != nil {
+		return 0, err
+	}
+	env.result.Plan = plan
+	return per, nil
+}
+
+// RegionCount returns the scatter width for coordinate-scattered stages:
+// the run's Regions option, defaulting to the worker count.
+func (env *StageEnv) RegionCount() int {
+	if env.opts.Regions > 0 {
+		return env.opts.Regions
+	}
+	return env.engine.workers
+}
+
+// Pool runs fn(0..n-1) on the engine's bounded worker pool and records n
+// as the stage's scatter width. A cancelled context stops new shards from
+// being queued promptly (acquiring a pool slot selects on ctx.Done), the
+// first shard error or the cancellation is returned, and Pool always waits
+// for in-flight shards before returning.
+func (env *StageEnv) Pool(ctx context.Context, n int, fn func(int) error) error {
+	env.result.Shards = n
+	if n == 0 {
+		return ctx.Err()
+	}
+	sem := make(chan struct{}, env.engine.workers)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+queue:
+	for i := 0; i < n; i++ {
+		// Checked before the select: with a free pool slot AND a
+		// cancelled context both select cases are ready and Go picks
+		// randomly, so the explicit check is what makes the stop
+		// deterministic rather than probabilistic.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break queue // stop queueing; drain in-flight shards below
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errCh <- fn(i)
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// LogShard feeds one shard's observed execution back into the knowledge
+// base, keyed by the stage's tool and position in the workflow — the
+// feedback loop that grows per-stage performance profiles. Telemetry must
+// never fail an analysis, so errors (and a nil knowledge base) are
+// ignored.
+func (env *StageEnv) LogShard(records int, elapsed time.Duration) {
+	if env.engine.kb == nil {
+		return
+	}
+	_ = env.engine.kb.LogRun(knowledge.RunLog{
+		App:       env.stage.Tool,
+		Stage:     env.index,
+		InputSize: float64(records) / float64(env.engine.recordsPerUnit),
+		Threads:   1,
+		ETime:     elapsed.Seconds(),
+	})
+}

@@ -1,0 +1,419 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"scan/internal/genomics"
+	"scan/internal/knowledge"
+	"scan/internal/variant"
+)
+
+// varConfigForTests mirrors the calling thresholds the platform tests use.
+func varConfigForTests() variant.Config {
+	return variant.Config{MinDepth: 8, MinAltFraction: 0.6}
+}
+
+// executorFunc adapts a function to StageExecutor for tests.
+type executorFunc func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error)
+
+func (f executorFunc) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	return f(ctx, env, in)
+}
+
+func synthDataset(t testing.TB, refLen, reads int, seed int64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := genomics.GenerateReference(rng, "chr1", refLen)
+	mutated, _ := genomics.PlantSNVs(rng, ref, 10)
+	rd, err := genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
+		Count: reads, Length: 100, ErrorRate: 0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFASTQDataset(ref, rd)
+}
+
+func seededKB(t testing.TB) *knowledge.Base {
+	t.Helper()
+	kb := knowledge.New()
+	kb.SeedPaperProfiles()
+	return kb
+}
+
+func testEngine(t testing.TB, workers int) *Engine {
+	t.Helper()
+	return NewEngine(EngineOptions{KB: seededKB(t), Workers: workers})
+}
+
+func TestEngineRunsVariantDetection(t *testing.T) {
+	e := testEngine(t, 4)
+	ds := synthDataset(t, 8000, 2000, 1)
+	res, err := e.RunByName(context.Background(), "dna-variant-detection", ds, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflow != "dna-variant-detection" {
+		t.Fatalf("workflow = %q", res.Workflow)
+	}
+	// All 8 catalogue stages executed, in order.
+	if len(res.Stages) != 8 {
+		t.Fatalf("stages executed = %d, want 8", len(res.Stages))
+	}
+	if res.Stages[0].Stage != "Align" || res.Stages[6].Stage != "UnifiedGenotyper" {
+		t.Fatalf("stage order = %+v", res.Stages)
+	}
+	out := res.Output
+	if out.Type != VCF {
+		t.Fatalf("output type = %s", out.Type)
+	}
+	// The output dataset accumulates: alignments survive the calling stage.
+	if len(out.Alignments) != 2000 || out.Mapped == 0 {
+		t.Fatalf("alignments = %d, mapped = %d", len(out.Alignments), out.Mapped)
+	}
+	if len(out.Variants) == 0 {
+		t.Fatal("no variants called")
+	}
+	// The align stage recorded its Data Broker plan and advice.
+	if res.Stages[0].Plan.NumShards == 0 || res.Stages[0].Advice.BasedOn == "" {
+		t.Fatalf("align stage result = %+v", res.Stages[0])
+	}
+}
+
+func TestInputTypeMismatchRejected(t *testing.T) {
+	e := testEngine(t, 2)
+	ds := synthDataset(t, 4000, 100, 2)
+	ds.Type = BAM // lie about the payload
+	_, err := e.RunByName(context.Background(), "dna-variant-detection", ds, RunOptions{})
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want ErrTypeMismatch", err)
+	}
+	if _, err := e.RunByName(context.Background(), "dna-variant-detection", nil, RunOptions{}); !errors.Is(err, ErrNilDataset) {
+		t.Fatalf("nil dataset err = %v", err)
+	}
+}
+
+func TestExecutorOutputTypeChecked(t *testing.T) {
+	// An executor whose output contradicts the catalogue declaration is a
+	// registration bug the engine must catch, not propagate.
+	cat := NewRegistry()
+	if err := cat.Register(Workflow{
+		Name: "lying", Family: "genomic",
+		Stages: []Stage{{Name: "Lie", Tool: "TestTool", Consumes: FASTQ, Produces: BAM}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	execs := NewExecutorRegistry()
+	if err := execs.Register("TestTool", "", executorFunc(
+		func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+			out := *in
+			out.Type = VCF // catalogue says BAM
+			return &out, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineOptions{Catalogue: cat, Executors: execs})
+	_, err := e.RunByName(context.Background(), "lying", synthDataset(t, 4000, 10, 3), RunOptions{})
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want ErrTypeMismatch", err)
+	}
+}
+
+func TestNoExecutorForUnboundTools(t *testing.T) {
+	e := testEngine(t, 2)
+	// The proteomic workflow is catalogued but MaxQuant has no substrate.
+	in := &Dataset{Type: MGF}
+	_, err := e.RunByName(context.Background(), "proteome-maxquant", in, RunOptions{})
+	if !errors.Is(err, ErrNoExecutor) {
+		t.Fatalf("err = %v, want ErrNoExecutor", err)
+	}
+	w, _ := e.Catalogue().Get("proteome-maxquant")
+	if err := e.CanRun(w); !errors.Is(err, ErrNoExecutor) {
+		t.Fatalf("CanRun = %v", err)
+	}
+	w, _ = e.Catalogue().Get("dna-variant-detection")
+	if err := e.CanRun(w); err != nil {
+		t.Fatalf("CanRun(dna-variant-detection) = %v", err)
+	}
+}
+
+func TestCancellationStopsQueueing(t *testing.T) {
+	// A shard cancelling the run must stop the pool from queueing the
+	// remaining shards: the semaphore acquisition selects on ctx.Done.
+	cat := NewRegistry()
+	if err := cat.Register(Workflow{
+		Name: "wide", Family: "genomic",
+		Stages: []Stage{{Name: "Fan", Tool: "TestTool", Consumes: FASTQ, Produces: FASTQ, Parallelizable: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int32
+	execs := NewExecutorRegistry()
+	if err := execs.Register("TestTool", "", executorFunc(
+		func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+			err := env.Pool(ctx, 100, func(i int) error {
+				executed.Add(1)
+				cancel()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return in, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineOptions{Catalogue: cat, Executors: execs, Workers: 1})
+	_, err := e.RunByName(ctx, "wide", &Dataset{Type: FASTQ}, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= 100 {
+		t.Fatalf("pool ran all %d shards despite cancellation", n)
+	}
+}
+
+func TestCancellationStopsStageChain(t *testing.T) {
+	// A context cancelled during stage 1 must prevent stage 2 from running.
+	cat := NewRegistry()
+	if err := cat.Register(Workflow{
+		Name: "two-step", Family: "genomic",
+		Stages: []Stage{
+			{Name: "First", Tool: "CancelTool", Consumes: FASTQ, Produces: FASTQ},
+			{Name: "Second", Tool: "MustNotRun", Consumes: FASTQ, Produces: FASTQ},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	secondRan := false
+	execs := NewExecutorRegistry()
+	if err := execs.Register("CancelTool", "", executorFunc(
+		func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+			cancel()
+			return in, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if err := execs.Register("MustNotRun", "", executorFunc(
+		func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+			secondRan = true
+			return in, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineOptions{Catalogue: cat, Executors: execs, Workers: 1})
+	if _, err := e.RunByName(ctx, "two-step", &Dataset{Type: FASTQ}, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if secondRan {
+		t.Fatal("stage after cancellation still executed")
+	}
+}
+
+func TestPerStageRunLogGrowth(t *testing.T) {
+	kb := seededKB(t)
+	e := NewEngine(EngineOptions{KB: kb, Workers: 2})
+	before := kb.RunCount()
+	ds := synthDataset(t, 6000, 1200, 4)
+	if _, err := e.RunByName(context.Background(), "dna-variant-detection", ds,
+		RunOptions{ShardRecords: 300, Regions: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if kb.RunCount() <= before {
+		t.Fatal("engine did not grow the knowledge base")
+	}
+	// Logs are keyed by tool and stage position: the BWA fan-out at stage
+	// 0 (4 shards of 300 reads) and the genotyper at stage 6 (3 regions).
+	for _, tc := range []struct {
+		app   string
+		stage int
+		want  int
+	}{{"BWA", 0, 4}, {"GATK", 6, 3}} {
+		res, err := kb.Query(fmt.Sprintf(`
+PREFIX scan: <%s>
+SELECT ?run WHERE {
+  ?run a scan:RunLog ;
+       scan:application scan:%s ;
+       scan:stage %d .
+}`, knowledge.NS, tc.app, tc.stage))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != tc.want {
+			t.Fatalf("%s stage %d: %d run logs, want %d", tc.app, tc.stage, res.Len(), tc.want)
+		}
+	}
+}
+
+func TestPerShardTimingsAreOwnDurations(t *testing.T) {
+	// Regression for the seed bug where every shard logged the cumulative
+	// stage elapsed time: on a single worker the per-shard durations are
+	// disjoint slices of the stage wall clock, so their sum cannot exceed
+	// the stage elapsed time. Under the old bug the sum over n shards
+	// approached n/2 × elapsed.
+	kb := seededKB(t)
+	e := NewEngine(EngineOptions{KB: kb, Workers: 1})
+	ds := synthDataset(t, 8000, 2400, 5)
+	res, err := e.RunByName(context.Background(), "dna-variant-detection", ds,
+		RunOptions{ShardRecords: 300, Regions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	align := res.Stages[0]
+	if align.Shards != 8 {
+		t.Fatalf("align shards = %d, want 8", align.Shards)
+	}
+	q, err := kb.Query(`
+PREFIX scan: <` + knowledge.NS + `>
+SELECT ?time WHERE {
+  ?run a scan:RunLog ;
+       scan:application scan:BWA ;
+       scan:eTime ?time .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 8 {
+		t.Fatalf("BWA run logs = %d, want 8", q.Len())
+	}
+	sum := 0.0
+	for _, row := range q.Rows {
+		v, _ := row["time"].AsFloat()
+		sum += v
+	}
+	if limit := 2 * align.Elapsed.Seconds(); sum > limit {
+		t.Fatalf("per-shard timings sum to %.4fs, stage took %.4fs — shards are logging cumulative time",
+			sum, align.Elapsed.Seconds())
+	}
+}
+
+func TestSomaticWorkflowEndToEnd(t *testing.T) {
+	e := testEngine(t, 4)
+	ds := synthDataset(t, 8000, 2400, 6)
+	res, err := e.RunByName(context.Background(), "somatic-mutation-detection", ds,
+		RunOptions{Caller: varConfigForTests()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Type != VCF || len(res.Output.Variants) == 0 {
+		t.Fatalf("output = %s with %d variants", res.Output.Type, len(res.Output.Variants))
+	}
+	if len(res.Stages) != 2 || res.Stages[1].Tool != "MuTect" {
+		t.Fatalf("stages = %+v", res.Stages)
+	}
+}
+
+func TestRNAExpressionFeatures(t *testing.T) {
+	e := testEngine(t, 4)
+	ds := synthDataset(t, 8000, 2000, 7)
+	res, err := e.RunByName(context.Background(), "rna-expression", ds, RunOptions{Regions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output
+	if out.Type != FeatureTable || len(out.Features) != 5 {
+		t.Fatalf("output = %s with %d features, want 5", out.Type, len(out.Features))
+	}
+	// Start-position scatter: feature counts partition the mapped reads.
+	total := 0
+	for _, f := range out.Features {
+		total += f.Count
+		if f.Name == "" || f.End < f.Start {
+			t.Fatalf("malformed feature %+v", f)
+		}
+	}
+	if total != out.Mapped {
+		t.Fatalf("feature counts sum to %d, mapped = %d", total, out.Mapped)
+	}
+}
+
+func TestMergeVCFWorkflowDeduplicates(t *testing.T) {
+	e := testEngine(t, 2)
+	ref := genomics.Sequence{Name: "chr1", Seq: []byte("ACGTACGTACGT")}
+	v := genomics.Variant{Chrom: "chr1", Pos: 3, Ref: "G", Alt: "T", Qual: 50}
+	in := NewVCFDataset(ref, []genomics.Variant{v, v, {Chrom: "chr1", Pos: 1, Ref: "A", Alt: "C", Qual: 40}})
+	res, err := e.RunByName(context.Background(), "variants-to-vcf", in, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output.Variants
+	if len(out) != 2 || out[0].Pos != 1 || out[1].Pos != 3 {
+		t.Fatalf("merged variants = %+v", out)
+	}
+}
+
+func TestExecutorRegistryPrecedence(t *testing.T) {
+	r := NewExecutorRegistry()
+	exact := executorFunc(func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) { return in, nil })
+	wild := executorFunc(func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) { return nil, nil })
+	if err := r.Register("GATK", "UnifiedGenotyper", exact); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("GATK", "", wild); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("GATK", "UnifiedGenotyper", exact); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register("", "", exact); err == nil {
+		t.Fatal("fully-wildcard registration accepted")
+	}
+	got, ok := r.Lookup("GATK", "UnifiedGenotyper")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	// Exact binding wins over the tool wildcard: it passes the dataset
+	// through instead of returning nil.
+	if out, _ := got.Execute(context.Background(), nil, &Dataset{}); out == nil {
+		t.Fatal("exact binding did not take precedence")
+	}
+	if _, ok := r.Lookup("GATK", "SomeOtherStage"); !ok {
+		t.Fatal("tool wildcard did not match")
+	}
+	if _, ok := r.Lookup("NoSuchTool", "NoSuchStage"); ok {
+		t.Fatal("unbound lookup succeeded")
+	}
+}
+
+func TestVariantFiltrationMinQual(t *testing.T) {
+	e := testEngine(t, 2)
+	ds := synthDataset(t, 6000, 1800, 8)
+	all, err := e.RunByName(context.Background(), "dna-variant-detection", ds, RunOptions{Caller: varConfigForTests()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := e.RunByName(context.Background(), "dna-variant-detection", ds,
+		RunOptions{Caller: varConfigForTests(), MinQual: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Output.Variants) == 0 {
+		t.Fatal("no variants to filter")
+	}
+	if len(strict.Output.Variants) != 0 {
+		t.Fatalf("MinQual=1e9 kept %d variants", len(strict.Output.Variants))
+	}
+}
+
+func TestDatasetRecordsAndString(t *testing.T) {
+	ds := synthDataset(t, 4000, 250, 9)
+	if ds.Records() != 250 {
+		t.Fatalf("records = %d", ds.Records())
+	}
+	if !strings.Contains(ds.String(), "FASTQ[250") {
+		t.Fatalf("string = %q", ds.String())
+	}
+	if (&Dataset{Type: Network}).Records() != 0 {
+		t.Fatal("unknown payload should count 0 records")
+	}
+}

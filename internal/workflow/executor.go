@@ -1,0 +1,269 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"scan/internal/align"
+	"scan/internal/genomics"
+	"scan/internal/shard"
+	"scan/internal/variant"
+)
+
+// StageExecutor is one stage implementation: it transforms the stage's
+// whole input dataset into its output dataset, using the StageEnv for
+// scatter sizing, the bounded worker pool and per-shard telemetry. An
+// executor owns its own scatter/gather shape (record shards for aligners,
+// genomic regions for callers) because the correct split is tool-specific;
+// the engine owns everything around it. Executors must be stateless —
+// one instance serves concurrent runs.
+type StageExecutor interface {
+	Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error)
+}
+
+// ExecutorRegistry binds catalogue stage names and tools to executors.
+// Lookup resolves most-specific first: an exact (tool, stage) binding,
+// then the tool's wildcard binding, then a stage-name-only binding.
+type ExecutorRegistry struct {
+	byKey map[execKey]StageExecutor
+}
+
+type execKey struct{ tool, stage string }
+
+// NewExecutorRegistry returns an empty registry.
+func NewExecutorRegistry() *ExecutorRegistry {
+	return &ExecutorRegistry{byKey: make(map[execKey]StageExecutor)}
+}
+
+// Register binds an executor to a (tool, stage) pair; either (but not
+// both) may be empty to act as a wildcard.
+func (r *ExecutorRegistry) Register(tool, stage string, ex StageExecutor) error {
+	if ex == nil {
+		return errors.New("workflow: nil executor")
+	}
+	if tool == "" && stage == "" {
+		return errors.New("workflow: executor needs a tool or stage name")
+	}
+	k := execKey{tool, stage}
+	if _, dup := r.byKey[k]; dup {
+		return fmt.Errorf("%w: executor for %s/%s", ErrDuplicate, tool, stage)
+	}
+	r.byKey[k] = ex
+	return nil
+}
+
+// Lookup resolves the executor for a stage.
+func (r *ExecutorRegistry) Lookup(tool, stage string) (StageExecutor, bool) {
+	for _, k := range []execKey{{tool, stage}, {tool, ""}, {"", stage}} {
+		if ex, ok := r.byKey[k]; ok {
+			return ex, true
+		}
+	}
+	return nil, false
+}
+
+// DefaultExecutors binds the in-repo toolkit to the default catalogue's
+// genomic stages: the k-mer aligner stands in for BWA, the pileup caller
+// for the GATK/MuTect calling stages, and coverage quantification for the
+// expression stage. Proteomic, imaging and integrative tools (MaxQuant,
+// GPM, CellProfiler, Cytoscape) have no substrate in this repo and stay
+// unbound — running their workflows reports ErrNoExecutor.
+func DefaultExecutors() *ExecutorRegistry {
+	r := NewExecutorRegistry()
+	must := func(tool, stage string, ex StageExecutor) {
+		// Static bindings: a registration failure is programmer error.
+		if err := r.Register(tool, stage, ex); err != nil {
+			panic(err)
+		}
+	}
+	must("BWA", "", alignExecutor{})
+	must("GATK", "UnifiedGenotyper", callExecutor{})
+	must("MuTect", "SomaticCall", callExecutor{})
+	must("GATK", "FusionScan", callExecutor{})
+	must("GATK", "VariantFiltration", filterExecutor{})
+	must("GATK", "Quantify", quantifyExecutor{})
+	must("GATK", "MergeVCF", mergeVCFExecutor{})
+	// The GATK refinement stages between alignment and genotyping
+	// (duplicate marking, indel realignment, base recalibration) have
+	// nothing to correct on this repo's substrate — the aligner emits
+	// pure-match CIGARs over uniquely-named simulated reads — so they
+	// pass the dataset through unchanged, holding the pipeline shape of
+	// the paper's 7-stage GATK chain.
+	for _, stage := range []string{
+		"MarkDuplicates", "RealignerTargetCreator", "IndelRealigner",
+		"BaseRecalibrator", "PrintReads",
+	} {
+		must("GATK", stage, identityExecutor{})
+	}
+	return r
+}
+
+// alignExecutor implements the BWA stages: scatter reads into
+// Data-Broker-sized shards, align each shard on the pool, gather the
+// per-shard outputs into one coordinate-sorted alignment set.
+type alignExecutor struct{}
+
+func (alignExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	aligner, err := align.New(in.Reference, env.Options().Aligner)
+	if err != nil {
+		return nil, err
+	}
+	per, err := env.RecordShardSize(len(in.Reads))
+	if err != nil {
+		return nil, err
+	}
+	readShards, err := shard.ChunkReads(in.Reads, per)
+	if err != nil {
+		return nil, err
+	}
+	alnShards := make([][]genomics.Alignment, len(readShards))
+	mapped := make([]int, len(readShards))
+	err = env.Pool(ctx, len(readShards), func(i int) error {
+		start := time.Now()
+		alnShards[i], mapped[i] = aligner.AlignAll(readShards[i])
+		env.LogShard(len(readShards[i]), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *in
+	out.Type = BAM
+	out.Reads = nil
+	out.Header = aligner.Header()
+	out.Alignments = genomics.MergeSorted(alnShards...)
+	for _, m := range mapped {
+		out.Mapped += m
+	}
+	return &out, nil
+}
+
+// callExecutor implements the pileup-calling stages (UnifiedGenotyper,
+// SomaticCall, FusionScan): scatter coordinate-sorted alignments over
+// genomic regions with boundary overlap, call variants per region on the
+// pool, keep each call only in the region that contains it, and gather
+// into one sorted, deduplicated call set — the GATK-style scatter the
+// paper parallelizes.
+type callExecutor struct{}
+
+func (callExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	regions, err := shard.Regions(in.Reference.Len(), env.RegionCount())
+	if err != nil {
+		return nil, err
+	}
+	// Overlap-aware scatter: a read spanning a region boundary feeds the
+	// pileups of both regions, so boundary positions see full coverage.
+	parts, _ := shard.PartitionByOverlap(in.Alignments, regions)
+	varShards := make([][]genomics.Variant, len(parts))
+	err = env.Pool(ctx, len(parts), func(i int) error {
+		start := time.Now()
+		caller := variant.NewCaller(in.Reference, env.Options().Caller)
+		for _, a := range parts[i] {
+			if err := caller.Add(a); err != nil {
+				return err
+			}
+		}
+		calls := caller.Call()
+		// Keep only calls inside this region so region overlaps cannot
+		// duplicate evidence across shards.
+		kept := calls[:0]
+		for _, v := range calls {
+			if regions[i].Contains(v.Pos) {
+				kept = append(kept, v)
+			}
+		}
+		varShards[i] = kept
+		env.LogShard(len(parts[i]), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *in
+	out.Type = VCF
+	out.Variants = genomics.MergeVariants(varShards...)
+	return &out, nil
+}
+
+// filterExecutor implements VariantFiltration: drop calls below the run's
+// MinQual floor. The default floor of 0 keeps every call (the caller's own
+// depth and allele-fraction thresholds already applied), making the stage
+// a type-checked pass-through exactly like the seed pipeline.
+type filterExecutor struct{}
+
+func (filterExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	minQual := env.Options().MinQual
+	if minQual <= 0 {
+		return in, nil
+	}
+	out := *in
+	out.Variants = make([]genomics.Variant, 0, len(in.Variants))
+	for _, v := range in.Variants {
+		if v.Qual >= minQual {
+			out.Variants = append(out.Variants, v)
+		}
+	}
+	return &out, nil
+}
+
+// quantifyExecutor implements the expression Quantify stage: scatter the
+// reference into regions, count the mapped alignments starting in each and
+// their mean coverage on the pool, and gather a per-region FeatureTable —
+// the RNA-seq expression workload.
+type quantifyExecutor struct{}
+
+func (quantifyExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	regions, err := shard.Regions(in.Reference.Len(), env.RegionCount())
+	if err != nil {
+		return nil, err
+	}
+	// Start-position scatter: each alignment counts toward exactly one
+	// region, so feature counts sum to the mapped total.
+	parts, _ := shard.PartitionByRegion(in.Alignments, regions)
+	features := make([]Feature, len(regions))
+	err = env.Pool(ctx, len(parts), func(i int) error {
+		start := time.Now()
+		bases := 0
+		for _, a := range parts[i] {
+			bases += len(a.Seq)
+		}
+		r := regions[i]
+		features[i] = Feature{
+			Name:  fmt.Sprintf("%s:%d-%d", in.Reference.Name, r.Start, r.End),
+			Start: r.Start,
+			End:   r.End,
+			Count: len(parts[i]),
+			Value: float64(bases) / float64(r.Len()),
+		}
+		env.LogShard(len(parts[i]), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *in
+	out.Type = FeatureTable
+	out.Features = features
+	return &out, nil
+}
+
+// mergeVCFExecutor implements the gather stage the paper calls
+// VariantsToVCF: merge a call set into sorted, deduplicated form.
+type mergeVCFExecutor struct{}
+
+func (mergeVCFExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	start := time.Now()
+	out := *in
+	out.Variants = genomics.MergeVariants(in.Variants)
+	env.LogShard(len(in.Variants), time.Since(start))
+	return &out, nil
+}
+
+// identityExecutor passes the dataset through unchanged.
+type identityExecutor struct{}
+
+func (identityExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	return in, nil
+}
