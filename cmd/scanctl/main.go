@@ -6,6 +6,7 @@
 //	scanctl workflows
 //	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
 //	scanctl submit -workflow somatic-mutation-detection -reads 4000 [-wait]
+//	scanctl submit -reads 4000 -read-length 150 -error-rate 0 [-wait]
 //	scanctl jobs
 //	scanctl job <id>
 //	scanctl profiles
@@ -103,18 +104,32 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	snvs := fs.Int("snvs", 12, "planted SNVs")
 	seed := fs.Int64("seed", 1, "dataset seed")
 	shardRecs := fs.Int("shard-records", 0, "records per shard (0 = knowledge base decides)")
+	readLen := fs.Int("read-length", rpc.DefaultReadLength, "simulated read length (bases)")
+	errRate := fs.Float64("error-rate", rpc.DefaultErrorRate, "per-base sequencing error rate (0 = error-free reads)")
 	wait := fs.Bool("wait", false, "block until the job finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	info, err := c.Submit(ctx, rpc.SubmitRequest{
+	req := rpc.SubmitRequest{
 		Workflow:        *workflowName,
 		ReferenceLength: *refLen,
 		Reads:           *reads,
 		SNVs:            *snvs,
 		Seed:            *seed,
 		ShardRecords:    *shardRecs,
+	}
+	// Only explicitly passed flags go on the wire: the daemon distinguishes
+	// "absent" from "zero" (an explicit -error-rate 0 means error-free
+	// reads, not "use the default").
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "read-length":
+			req.ReadLength = readLen
+		case "error-rate":
+			req.ErrorRate = errRate
+		}
 	})
+	info, err := c.Submit(ctx, req)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,16 @@
 //	                    workflow by name, inspect the catalogue, query
 //	                    the knowledge base; scanctl is the client
 //
+// The Data Broker's knowledge base is built for the hot path: shard
+// advice is served from a materialized profile cache invalidated by the
+// triple graph's write epoch (internal/ontology Graph.Epoch), and
+// per-shard run-log telemetry goes through a bounded buffer that a
+// background flusher folds into the graph in batches — one lock
+// acquisition per batch instead of per shard. knowledge.Base.Flush is the
+// barrier (wired into rpc.Server.Close and core.Platform.Flush); queries,
+// exports and model fitting flush automatically, so buffered observations
+// are never invisible.
+//
 // Two execution surfaces are provided: real parallel analysis on
 // synthetic genomic data (internal/core on top of internal/workflow), and
 // the discrete-event simulation used to regenerate the paper's evaluation

@@ -90,6 +90,13 @@ func NewPlatform(opts Options) *Platform {
 // KB exposes the platform's knowledge base.
 func (p *Platform) KB() *knowledge.Base { return p.kb }
 
+// Flush folds the knowledge base's buffered run-log telemetry into the
+// graph. Workflow runs log per-shard observations asynchronously (batched
+// ingestion); call Flush at lifecycle boundaries — shutdown, before
+// snapshotting — to guarantee nothing is still buffered. Reads through the
+// knowledge base's query surface flush automatically.
+func (p *Platform) Flush() { p.kb.Flush() }
+
 // Workers returns the configured worker count.
 func (p *Platform) Workers() int { return p.workers }
 

@@ -1,0 +1,331 @@
+package knowledge
+
+// This file is the Data Broker's fast path. The paper has the broker
+// consult the knowledge base "whenever there is a new GATK task"; done
+// naively that is one SPARQL evaluation over the whole (unboundedly
+// growing) triple graph per task, plus one write-lock acquisition per
+// shard for telemetry — the platform-wide contention point under heavy
+// traffic. Two mechanisms make the hot path O(1) amortized:
+//
+//   - A materialized profile/advice cache. Profiles are computed from
+//     SPARQL once per graph write epoch (ontology.Graph.Epoch advances on
+//     every effective mutation, so AddProfile, Import and run-log folding
+//     all invalidate it) and per-job-size advice is memoized on top.
+//
+//   - Batched asynchronous run-log ingestion. LogRunAsync appends to a
+//     bounded in-memory buffer; once a batch accumulates, a background
+//     flusher folds the whole batch into the graph under a single lock
+//     acquisition. Flush folds synchronously and is the barrier callers
+//     (rpc.Server.Close, core.Platform, tests) use; every read API that
+//     must see complete telemetry (Query, FitStageModel, Export, Len, …)
+//     flushes first, so buffered observations are never visible as "lost".
+//
+// Invariants:
+//
+//   - After Flush returns, every observation accepted by LogRun/LogRunAsync
+//     before the call is folded into the graph.
+//   - RunCount always equals folded + buffered observations, so accounting
+//     is exact at any quiescent point.
+//   - Cache reads never return a view older than the epoch they validated
+//     against; any graph mutation (profile, import, run-log fold) bumps
+//     the epoch and forces recomputation on the next advice call.
+
+import (
+	"fmt"
+
+	"scan/internal/ontology"
+)
+
+const (
+	// ingestBatchSize is the buffered-observation count that wakes the
+	// background flusher.
+	ingestBatchSize = 256
+	// ingestMaxBuffer bounds the buffer: an appender that finds it full
+	// folds synchronously (backpressure) instead of growing it further.
+	ingestMaxBuffer = 1 << 16
+	// adviceMemoLimit bounds the per-job-size advice memo.
+	adviceMemoLimit = 1024
+)
+
+// adviceCache is the materialized Data Broker state for one graph epoch.
+// A published cache is immutable — extending the memo publishes a copy —
+// so the lock-free hit path in ShardAdvice never races a mutation.
+type adviceCache struct {
+	epoch    uint64
+	profiles []AppProfile       // Profiles() order: eTime, then input size
+	memo     map[float64]Advice // jobSize -> advice, bounded
+}
+
+// LogRunAsync validates and buffers one run observation for batched
+// ingestion. The observation becomes visible to queries after the next
+// fold — triggered by a full batch, any flushing read, or an explicit
+// Flush — and is counted by RunCount immediately. Validation errors are
+// reported synchronously, exactly as LogRun reports them.
+func (b *Base) LogRunAsync(l RunLog) error {
+	if err := validateRun(l); err != nil {
+		return err
+	}
+	b.ingestMu.Lock()
+	b.pending = append(b.pending, l)
+	n := len(b.pending)
+	b.ingestMu.Unlock()
+	switch {
+	case n >= ingestMaxBuffer:
+		b.Flush() // backpressure: the appender pays for the fold
+	case n >= ingestBatchSize:
+		b.kickFlusher()
+	}
+	return nil
+}
+
+// Flush folds every buffered observation into the graph under one lock
+// acquisition. It is the write barrier of the ingestion pipeline: when it
+// returns, all observations accepted before the call are queryable. Safe
+// for concurrent use; a no-op when nothing is buffered.
+func (b *Base) Flush() {
+	b.foldMu.Lock()
+	defer b.foldMu.Unlock()
+	b.foldLocked(b.takePending())
+}
+
+// PendingLogs reports how many accepted observations are buffered but not
+// yet folded into the graph.
+func (b *Base) PendingLogs() int {
+	b.ingestMu.Lock()
+	defer b.ingestMu.Unlock()
+	return len(b.pending)
+}
+
+// RunCounts returns the total accepted observations and the buffered
+// subset as one consistent snapshot: pending is always <= total, so
+// callers reporting both (e.g. the daemon's status endpoint) can derive
+// the folded count by subtraction. Reading them via separate RunCount and
+// PendingLogs calls admits a fold or append between the two. The folded
+// part counts RunLog individuals, not minted names, so sparse imported
+// naming (e.g. a snapshot holding only run000999) cannot inflate it.
+func (b *Base) RunCounts() (total, pending int) {
+	b.foldMu.Lock()
+	defer b.foldMu.Unlock()
+	b.mu.RLock()
+	total = b.runs
+	b.mu.RUnlock()
+	b.ingestMu.Lock()
+	pending = len(b.pending)
+	b.ingestMu.Unlock()
+	return total + pending, pending
+}
+
+// InvalidateCache drops the materialized profile/advice cache, forcing the
+// next advice call to recompute from SPARQL. Correctness never requires
+// calling it — the write epoch invalidates automatically — it exists so
+// benchmarks and tests can measure the uncached path.
+func (b *Base) InvalidateCache() {
+	b.cache.Store(nil)
+}
+
+// takePending swaps out the buffered batch.
+func (b *Base) takePending() []RunLog {
+	b.ingestMu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.ingestMu.Unlock()
+	return batch
+}
+
+// foldLocked folds a batch of observations into the graph under a single
+// write-lock acquisition. The caller must hold foldMu, which serializes
+// folds so a Flush cannot return while another fold still holds a swapped
+// batch.
+func (b *Base) foldLocked(batch []RunLog) {
+	if len(batch) == 0 {
+		return
+	}
+	b.mu.Lock()
+	for _, l := range batch {
+		b.addRunLocked(l)
+	}
+	b.mu.Unlock()
+}
+
+// kickFlusher starts the background flusher unless one is already running.
+// The flusher drains the buffer and exits; it re-arms itself while full
+// batches keep arriving, so at most one fold goroutine exists per Base and
+// none linger when ingestion stops.
+func (b *Base) kickFlusher() {
+	if !b.flusherBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		for {
+			b.Flush()
+			b.flusherBusy.Store(false)
+			// Re-check: appends that raced the Store would have lost
+			// their CAS and gone unserviced otherwise.
+			if b.PendingLogs() < ingestBatchSize || !b.flusherBusy.CompareAndSwap(false, true) {
+				return
+			}
+		}
+	}()
+}
+
+// currentCache returns a published cache valid for the current graph
+// epoch, or nil. Epoch is atomic and a published cache is immutable, so
+// this is safe without any lock: if the epochs match, no effective
+// mutation has happened since the cache's view was snapshotted.
+func (b *Base) currentCache() *adviceCache {
+	if c := b.cache.Load(); c != nil && c.epoch == b.graph.Epoch() {
+		return c
+	}
+	return nil
+}
+
+// refreshedCacheLocked returns a cache valid for the current epoch,
+// rebuilding the profile list from SPARQL if any write has occurred since
+// the last build. The caller must hold cacheMu.
+func (b *Base) refreshedCacheLocked() (*adviceCache, error) {
+	// Snapshot epoch and evaluate in one read-critical section, so the
+	// cached view corresponds exactly to the recorded epoch.
+	b.mu.RLock()
+	if c := b.currentCache(); c != nil {
+		b.mu.RUnlock()
+		return c, nil
+	}
+	epoch := b.graph.Epoch()
+	ps, err := profilesLocked(b.graph)
+	b.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	c := &adviceCache{epoch: epoch, profiles: ps, memo: make(map[float64]Advice)}
+	b.cache.Store(c)
+	return c, nil
+}
+
+// adviseFromProfiles is the Data Broker's ranking over an already-sorted
+// profile list (Profiles() order: eTime, then input size): pick the
+// best-throughput profile that fits the job, falling back to the overall
+// fastest profile with the whole job as one chunk.
+func adviseFromProfiles(profiles []AppProfile, jobSize float64) (Advice, error) {
+	if len(profiles) == 0 {
+		return Advice{}, ErrNoKnowledge
+	}
+	best := -1
+	bestThroughput := 0.0
+	for i, p := range profiles {
+		if p.ETime <= 0 || p.InputFileSize <= 0 {
+			continue
+		}
+		if p.InputFileSize > jobSize {
+			continue // chunk larger than the whole job is useless
+		}
+		tp := p.InputFileSize / p.ETime
+		if best < 0 || tp > bestThroughput {
+			best, bestThroughput = i, tp
+		}
+	}
+	if best < 0 {
+		// Every profile is larger than the job: shard size = whole job,
+		// configuration from the overall fastest profile — the first
+		// entry, since the list arrives eTime-sorted.
+		p := profiles[0]
+		return Advice{ShardSize: jobSize, Threads: p.CPU, BasedOn: p.Name}, nil
+	}
+	p := profiles[best]
+	return Advice{ShardSize: p.InputFileSize, Threads: p.CPU, BasedOn: p.Name}, nil
+}
+
+// maxRunName returns the highest runNNNNNN number appearing anywhere in
+// the graph — subject or object position, any type — or -1. Any run-named
+// term must reserve its name: minting it later would union run-log triples
+// onto whatever it denotes. Full triple scan; import-path only.
+func maxRunName(g *ontology.Graph) int {
+	max := -1
+	g.ForEachMatch(nil, nil, nil, func(t ontology.Triple) bool {
+		if n, ok := parseRunName(localName(t.S)); ok && n > max {
+			max = n
+		}
+		if n, ok := parseRunName(localName(t.O)); ok && n > max {
+			max = n
+		}
+		return true
+	})
+	return max
+}
+
+// rescanRunSeqLocked resumes the run-log naming counter above every
+// run-named term present in the graph. The caller must hold b.mu.
+func (b *Base) rescanRunSeqLocked() {
+	if m := maxRunName(b.graph); m >= b.seq {
+		b.seq = m + 1
+	}
+}
+
+// runRenamesLocked maps staged RunLog individuals whose names collide with
+// existing individuals carrying different property values onto fresh
+// names, so an import can never fold two distinct observations into one
+// individual. Individuals whose triples all already exist merge as no-ops
+// (idempotent re-import) and are not renamed. The caller holds b.mu.
+func (b *Base) runRenamesLocked(staged *ontology.Graph) map[ontology.Term]ontology.Term {
+	var colliding []ontology.Term
+	// Rename targets must dodge every reserved name: those of this base
+	// (< b.seq by the naming invariant) and every run-named term anywhere
+	// in the incoming document — RunLog or not, subject or object — else a
+	// renamed observation would union onto an unrelated staged individual.
+	next := b.seq
+	if m := maxRunName(staged); m >= next {
+		next = m + 1
+	}
+	for _, s := range staged.SubjectsOfType(iri(ClassRunLog)) {
+		if _, ok := parseRunName(localName(s)); !ok {
+			continue
+		}
+		exists := false
+		b.graph.ForEachMatch(&s, nil, nil, func(ontology.Triple) bool {
+			exists = true
+			return false
+		})
+		if !exists {
+			continue
+		}
+		conflict := false
+		staged.ForEachMatch(&s, nil, nil, func(t ontology.Triple) bool {
+			if !b.graph.Has(t) {
+				conflict = true
+				return false
+			}
+			return true
+		})
+		if conflict {
+			colliding = append(colliding, s)
+		}
+	}
+	if len(colliding) == 0 {
+		return nil
+	}
+	// SubjectsOfType is sorted, so renaming is deterministic.
+	rename := make(map[ontology.Term]ontology.Term, len(colliding))
+	for _, s := range colliding {
+		rename[s] = iri(fmtRunName(next))
+		next++
+	}
+	return rename
+}
+
+// fmtRunName renders the canonical run-log individual name.
+func fmtRunName(n int) string { return fmt.Sprintf("run%06d", n) }
+
+// parseRunName extracts N from a "runNNNNNN" local name.
+func parseRunName(local string) (int, bool) {
+	const prefix = "run"
+	if len(local) <= len(prefix) || local[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for _, r := range local[len(prefix):] {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, true
+}

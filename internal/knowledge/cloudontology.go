@@ -115,6 +115,11 @@ func (b *Base) AddWorkflowIndividual(name, family string, steps int, consumes, p
 	if name == "" {
 		return fmt.Errorf("knowledge: workflow needs a name")
 	}
+	// Same reservation as AddProfile: run-shaped names belong to the
+	// run-log minter.
+	if _, isRun := parseRunName(name); isRun {
+		return fmt.Errorf("knowledge: workflow name %q is reserved for run logs", name)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	g := b.graph

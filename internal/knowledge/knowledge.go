@@ -14,8 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scan/internal/gatk"
 	"scan/internal/ontology"
@@ -46,11 +46,29 @@ const (
 )
 
 // Base wraps the ontology graph with typed accessors and a lock, making it
-// safe for the platform's concurrent workers to log runs.
+// safe for the platform's concurrent workers to log runs. Two fast-path
+// structures sit in front of the graph (see broker.go): a materialized
+// profile/advice cache invalidated by the graph's write epoch, and a
+// bounded run-log ingestion buffer folded into the graph in batches.
 type Base struct {
 	mu    sync.RWMutex
 	graph *ontology.Graph
-	seq   int // run-log individual counter
+	seq   int // run-log naming counter: always above every runNNNNNN name
+	runs  int // RunLog individuals in the graph (naming can be sparse)
+
+	// Batched ingestion (broker.go). foldMu serializes folds so Flush is
+	// a true barrier; ingestMu guards only the append buffer and is never
+	// held while taking another lock.
+	foldMu      sync.Mutex
+	ingestMu    sync.Mutex
+	pending     []RunLog
+	flusherBusy atomic.Bool
+
+	// Materialized Data Broker cache (broker.go): an immutable snapshot
+	// valid for one graph write epoch, read lock-free on the hot path.
+	// cacheMu serializes rebuilds and memo extensions only.
+	cacheMu sync.Mutex
+	cache   atomic.Pointer[adviceCache]
 }
 
 // New returns an empty knowledge base with the SCAN namespaces registered
@@ -92,6 +110,12 @@ type AppProfile struct {
 func (b *Base) AddProfile(p AppProfile) error {
 	if p.Name == "" {
 		return errors.New("knowledge: profile needs a name")
+	}
+	// runNNNNNN names belong to the run-log minter (see broker.go's naming
+	// invariant); a profile squatting on one would have run-log triples
+	// unioned onto it by a later LogRun.
+	if _, isRun := parseRunName(p.Name); isRun {
+		return fmt.Errorf("knowledge: profile name %q is reserved for run logs", p.Name)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -136,15 +160,18 @@ type RunLog struct {
 	ETime     float64
 }
 
-// LogRun appends a run observation as a RunLog individual.
-func (b *Base) LogRun(l RunLog) error {
+func validateRun(l RunLog) error {
 	if l.App == "" || l.Threads < 1 || l.ETime < 0 {
 		return fmt.Errorf("knowledge: malformed run log %+v", l)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	name := fmt.Sprintf("run%06d", b.seq)
+	return nil
+}
+
+// addRunLocked names and inserts one observation; the caller holds b.mu.
+func (b *Base) addRunLocked(l RunLog) {
+	name := fmtRunName(b.seq)
 	b.seq++
+	b.runs++
 	b.graph.AddIndividual(iri(name), iri(ClassRunLog), map[ontology.Term]ontology.Term{
 		iri(PropApplication):   iri(l.App),
 		iri(PropStage):         ontology.NewInt(int64(l.Stage)),
@@ -152,18 +179,36 @@ func (b *Base) LogRun(l RunLog) error {
 		iri(PropThreads):       ontology.NewInt(int64(l.Threads)),
 		iri(PropETime):         ontology.NewFloat(l.ETime),
 	})
+}
+
+// LogRun records a run observation as a RunLog individual, synchronously.
+// It is also a flush point: buffered asynchronous observations fold first,
+// so individual naming preserves arrival order across the two paths. Hot
+// paths (per-shard telemetry) should prefer LogRunAsync, which batches
+// lock acquisitions.
+func (b *Base) LogRun(l RunLog) error {
+	if err := validateRun(l); err != nil {
+		return err
+	}
+	b.foldMu.Lock()
+	defer b.foldMu.Unlock()
+	b.foldLocked(append(b.takePending(), l))
 	return nil
 }
 
-// RunCount returns the number of logged runs.
+// RunCount returns the number of accepted run observations: folded RunLog
+// individuals plus observations still in the ingestion buffer. At any
+// quiescent point (e.g. after Flush) it equals the number of RunLog
+// individuals in the graph.
 func (b *Base) RunCount() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.seq
+	total, _ := b.RunCounts()
+	return total
 }
 
-// Query evaluates a SPARQL query against the knowledge base.
+// Query evaluates a SPARQL query against the knowledge base. Buffered run
+// observations are folded first, so queries always see complete telemetry.
 func (b *Base) Query(src string) (*sparql.Results, error) {
+	b.Flush()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return sparql.Eval(b.graph, src)
@@ -171,10 +216,28 @@ func (b *Base) Query(src string) (*sparql.Results, error) {
 
 // Profiles returns all application profiles, sorted by eTime then input
 // size — the ranking the paper's Data Broker uses ("ranked according to the
-// values of their execution time and the size of input files").
+// values of their execution time and the size of input files"). The list is
+// served from the materialized cache and recomputed only when the graph has
+// changed since it was built.
 func (b *Base) Profiles() ([]AppProfile, error) {
-	res, err := b.Query(`
-PREFIX scan: <` + NS + `>
+	c := b.currentCache()
+	if c == nil {
+		b.cacheMu.Lock()
+		var err error
+		c, err = b.refreshedCacheLocked()
+		b.cacheMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Callers may mutate the result; the cached slice is shared.
+	return append([]AppProfile(nil), c.profiles...), nil
+}
+
+// profilesLocked evaluates the profile query; the caller holds b.mu.
+func profilesLocked(g *ontology.Graph) ([]AppProfile, error) {
+	res, err := sparql.Eval(g, `
+PREFIX scan: <`+NS+`>
 SELECT ?app ?size ?steps ?ram ?cpu ?time WHERE {
   ?app a scan:Application ;
        scan:inputFileSize ?size ;
@@ -230,42 +293,43 @@ var ErrNoKnowledge = errors.New("knowledge: no applicable profile")
 // ShardAdvice picks the best-throughput profile whose input size does not
 // exceed the job's and recommends its configuration ("The Data Broker will
 // query the SCAN knowledge-base to decide the suitable chunk size of input
-// files of tasks whenever there is a new GATK task").
+// files of tasks whenever there is a new GATK task"). It is the platform's
+// hottest read: answers come from the materialized profile cache plus a
+// per-job-size memo, so repeated calls cost no SPARQL evaluation and no
+// graph lock until a write invalidates the epoch.
 func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
-	profiles, err := b.Profiles()
+	// Lock-free hit path: published caches are immutable and validated by
+	// the atomic epoch, so concurrent readers never serialize here.
+	if c := b.currentCache(); c != nil {
+		if adv, ok := c.memo[jobSize]; ok {
+			return adv, nil
+		}
+	}
+	b.cacheMu.Lock()
+	defer b.cacheMu.Unlock()
+	c, err := b.refreshedCacheLocked()
 	if err != nil {
 		return Advice{}, err
 	}
-	if len(profiles) == 0 {
-		return Advice{}, ErrNoKnowledge
+	if adv, ok := c.memo[jobSize]; ok {
+		return adv, nil
 	}
-	// Rank by throughput (size per unit time): the profile that processed
-	// its input fastest per byte defines the sweet-spot chunk size.
-	best := -1
-	bestThroughput := 0.0
-	for i, p := range profiles {
-		if p.ETime <= 0 || p.InputFileSize <= 0 {
-			continue
-		}
-		if p.InputFileSize > jobSize {
-			continue // chunk larger than the whole job is useless
-		}
-		tp := p.InputFileSize / p.ETime
-		if best < 0 || tp > bestThroughput {
-			best, bestThroughput = i, tp
+	adv, err := adviseFromProfiles(c.profiles, jobSize)
+	if err != nil {
+		return Advice{}, err
+	}
+	// Publish a copy with the memo extended (copy-on-write keeps readers
+	// race-free); a full memo starts over rather than growing unbounded.
+	next := &adviceCache{epoch: c.epoch, profiles: c.profiles,
+		memo: make(map[float64]Advice, len(c.memo)+1)}
+	if len(c.memo) < adviceMemoLimit {
+		for k, v := range c.memo {
+			next.memo[k] = v
 		}
 	}
-	if best < 0 {
-		// Every profile is larger than the job: shard size = whole job,
-		// configuration from the overall fastest profile.
-		sort.SliceStable(profiles, func(i, j int) bool {
-			return profiles[i].ETime < profiles[j].ETime
-		})
-		p := profiles[0]
-		return Advice{ShardSize: jobSize, Threads: p.CPU, BasedOn: p.Name}, nil
-	}
-	p := profiles[best]
-	return Advice{ShardSize: p.InputFileSize, Threads: p.CPU, BasedOn: p.Name}, nil
+	next.memo[jobSize] = adv
+	b.cache.Store(next)
+	return adv, nil
 }
 
 // FitStageModel recovers a stage's (a, b, c) coefficients from the logged
@@ -273,6 +337,7 @@ func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
 // runs at varied input sizes fit E(d) = a·d + b; multi-thread runs at a
 // fixed size fit the Amdahl fraction c.
 func (b *Base) FitStageModel(app string, stage int) (gatk.StageModel, error) {
+	b.Flush() // regression must see buffered observations
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	res, err := sparql.Eval(b.graph, fmt.Sprintf(`
@@ -341,8 +406,10 @@ SELECT ?size ?threads ?time WHERE {
 	}, nil
 }
 
-// Export writes the knowledge base in the Turtle subset.
+// Export writes the knowledge base in the Turtle subset, folding buffered
+// observations first so snapshots are complete.
 func (b *Base) Export(w io.Writer) error {
+	b.Flush()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.graph.Encode(w)
@@ -351,20 +418,59 @@ func (b *Base) Export(w io.Writer) error {
 // ExportRDFXML writes the knowledge base in the paper's RDF/XML listing
 // style (owl:NamedIndividual elements with &scan-ontology; entity refs).
 func (b *Base) ExportRDFXML(w io.Writer) error {
+	b.Flush()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.graph.EncodeRDFXML(w)
 }
 
-// Import merges a Turtle document into the knowledge base.
+// Import merges a Turtle document into the knowledge base, atomically: the
+// document decodes into a staging graph first, so a malformed document
+// leaves the base untouched. Run-log observations cannot be silently
+// merged in either direction: an imported runNNNNNN individual whose name
+// collides with an existing individual carrying different values is
+// renamed to a fresh individual (identical ones union to a no-op, keeping
+// re-imports of the same snapshot idempotent), and the naming counter
+// resumes above every name seen, so later LogRun calls mint fresh
+// individuals. RunCount reflects the RunLog individuals actually present
+// after the merge.
 func (b *Base) Import(r io.Reader) error {
+	staged := ontology.NewGraph()
+	if err := staged.Decode(r); err != nil {
+		return err
+	}
+	// Hold foldMu across merge + rescan so no fold can mint a name from
+	// the stale counter in between.
+	b.foldMu.Lock()
+	defer b.foldMu.Unlock()
+	b.foldLocked(b.takePending())
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.graph.Decode(r)
+	rename := b.runRenamesLocked(staged)
+	for _, p := range staged.Prefixes() {
+		if ns, ok := staged.Prefix(p); ok {
+			b.graph.SetPrefix(p, ns)
+		}
+	}
+	staged.ForEachMatch(nil, nil, nil, func(t ontology.Triple) bool {
+		if s, ok := rename[t.S]; ok {
+			t.S = s
+		}
+		if o, ok := rename[t.O]; ok {
+			t.O = o
+		}
+		b.graph.Add(t)
+		return true
+	})
+	b.rescanRunSeqLocked()
+	b.runs = len(b.graph.SubjectsOfType(iri(ClassRunLog)))
+	return nil
 }
 
-// Len returns the number of triples stored.
+// Len returns the number of triples stored (buffered observations are
+// folded first).
 func (b *Base) Len() int {
+	b.Flush()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.graph.Len()
@@ -372,6 +478,7 @@ func (b *Base) Len() int {
 
 // Describe renders one individual (by local name) for inspection.
 func (b *Base) Describe(local string) string {
+	b.Flush()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.graph.DescribeIndividual(iri(local))

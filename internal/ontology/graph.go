@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Graph is an in-memory indexed triple store with set semantics: adding a
@@ -17,6 +18,7 @@ type Graph struct {
 	pos      map[Term]map[Term]map[Term]struct{}
 	osp      map[Term]map[Term]map[Term]struct{}
 	size     int
+	epoch    atomic.Uint64
 	prefixes map[string]string // prefix -> namespace IRI
 	order    []string          // prefix insertion order for stable encoding
 }
@@ -34,6 +36,14 @@ func NewGraph() *Graph {
 // Len returns the number of distinct triples.
 func (g *Graph) Len() int { return g.size }
 
+// Epoch returns the graph's write epoch: a counter advanced by every
+// mutation that actually changes the triple set (duplicate adds and
+// removals of absent triples do not count). Caches layered above the graph
+// compare epochs to decide whether materialized views are still current.
+// Unlike the rest of Graph, Epoch is safe to call concurrently with a
+// mutation holding the owner's lock.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
 // Add inserts the triple, reporting whether it was new.
 func (g *Graph) Add(t Triple) bool {
 	if !index3(g.spo, t.S, t.P, t.O) {
@@ -42,6 +52,7 @@ func (g *Graph) Add(t Triple) bool {
 	index3(g.pos, t.P, t.O, t.S)
 	index3(g.osp, t.O, t.S, t.P)
 	g.size++
+	g.epoch.Add(1)
 	return true
 }
 
@@ -64,6 +75,7 @@ func (g *Graph) Remove(t Triple) bool {
 	unindex3(g.pos, t.P, t.O, t.S)
 	unindex3(g.osp, t.O, t.S, t.P)
 	g.size--
+	g.epoch.Add(1)
 	return true
 }
 

@@ -310,3 +310,29 @@ func BenchmarkGraphMatchPO(b *testing.B) {
 		g.ForEachMatch(nil, &p, &o, func(Triple) bool { return true })
 	}
 }
+
+func TestGraphEpoch(t *testing.T) {
+	g := NewGraph()
+	if g.Epoch() != 0 {
+		t.Fatalf("fresh graph epoch = %d", g.Epoch())
+	}
+	g.Add(tr("GATK1", "requires", "CPU"))
+	e1 := g.Epoch()
+	if e1 == 0 {
+		t.Fatal("Add did not advance the epoch")
+	}
+	// Duplicate adds are no-ops and must not invalidate caches.
+	g.Add(tr("GATK1", "requires", "CPU"))
+	if g.Epoch() != e1 {
+		t.Fatalf("duplicate Add advanced the epoch: %d -> %d", e1, g.Epoch())
+	}
+	// Removing an absent triple is a no-op too.
+	g.Remove(tr("GATK1", "requires", "RAM"))
+	if g.Epoch() != e1 {
+		t.Fatal("no-op Remove advanced the epoch")
+	}
+	g.Remove(tr("GATK1", "requires", "CPU"))
+	if g.Epoch() <= e1 {
+		t.Fatal("effective Remove did not advance the epoch")
+	}
+}

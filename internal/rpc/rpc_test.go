@@ -2,6 +2,9 @@ package rpc
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -334,5 +337,130 @@ func TestMethodValidation(t *testing.T) {
 		if rw.Code != 405 {
 			t.Errorf("%s %s: code %d, want 405", tc.method, tc.path, rw.Code)
 		}
+	}
+}
+
+func intPtr(v int) *int           { return &v }
+func floatPtr(v float64) *float64 { return &v }
+
+// TestSubmitRequestDefaults pins the tri-state semantics of the optional
+// read-simulation fields: defaults apply only when a field is absent or
+// negative; explicit values — including error_rate 0 — are honored.
+func TestSubmitRequestDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		req      SubmitRequest
+		wantLen  int
+		wantRate float64
+	}{
+		{"absent", SubmitRequest{}, DefaultReadLength, DefaultErrorRate},
+		{"explicit", SubmitRequest{ReadLength: intPtr(150), ErrorRate: floatPtr(0.01)}, 150, 0.01},
+		{"explicit zero rate", SubmitRequest{ErrorRate: floatPtr(0)}, DefaultReadLength, 0},
+		{"negative", SubmitRequest{ReadLength: intPtr(-1), ErrorRate: floatPtr(-0.5)}, DefaultReadLength, DefaultErrorRate},
+	} {
+		if got := tc.req.EffectiveReadLength(); got != tc.wantLen {
+			t.Errorf("%s: EffectiveReadLength = %d, want %d", tc.name, got, tc.wantLen)
+		}
+		if got := tc.req.EffectiveErrorRate(); got != tc.wantRate {
+			t.Errorf("%s: EffectiveErrorRate = %g, want %g", tc.name, got, tc.wantRate)
+		}
+	}
+}
+
+func TestSubmitExplicitReadParams(t *testing.T) {
+	c, _ := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Error-free reads at an explicit length: with no sequencing noise the
+	// planted mutations must all be recovered.
+	info, err := c.Submit(ctx, SubmitRequest{
+		ReferenceLength: 4000, Reads: 1200, SNVs: 6, Seed: 11,
+		ReadLength: intPtr(120), ErrorRate: floatPtr(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.Wait(ctx, info.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("state = %q (%s)", done.State, done.Error)
+	}
+	if done.Recovered != done.Planted {
+		t.Fatalf("error-free run recovered %d/%d planted SNVs", done.Recovered, done.Planted)
+	}
+	// An explicit zero read length is rejected up front, not defaulted.
+	if _, err := c.Submit(ctx, SubmitRequest{
+		ReferenceLength: 4000, Reads: 100, Seed: 1, ReadLength: intPtr(0),
+	}); err == nil || !strings.Contains(err.Error(), "read_length 0") {
+		t.Fatalf("read_length 0: err = %v, want rejection", err)
+	}
+}
+
+type failingEncoder struct{ after int }
+
+func (f *failingEncoder) encode(w io.Writer) error {
+	if _, err := io.WriteString(w, strings.Repeat("@prefix x: <urn:x> .\n", f.after)); err != nil {
+		return err
+	}
+	return errors.New("disk full")
+}
+
+// TestWriteDocumentErrorIsClean: an export that fails mid-encode must
+// produce a single JSON error response — never a 200, partial Turtle, and
+// a trailing error blob.
+func TestWriteDocumentErrorIsClean(t *testing.T) {
+	rw := httptest.NewRecorder()
+	writeDocument(rw, "text/turtle", (&failingEncoder{after: 100}).encode)
+	if rw.Code != 500 {
+		t.Fatalf("code = %d, want 500", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rw.Body.Bytes(), &e); err != nil {
+		t.Fatalf("body is not a clean JSON error: %v\n%s", err, rw.Body.String())
+	}
+	if !strings.Contains(e.Error, "disk full") {
+		t.Fatalf("error = %q", e.Error)
+	}
+	if strings.Contains(rw.Body.String(), "@prefix") {
+		t.Fatal("partial document leaked into the error response")
+	}
+}
+
+// TestStatusCountsBufferedTelemetry: run_logs counts buffered observations
+// immediately; a flush (here via the export read barrier) folds them and
+// zeroes run_logs_pending without changing the total.
+func TestStatusCountsBufferedTelemetry(t *testing.T) {
+	c, s := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	info, err := c.Submit(ctx, SubmitRequest{ReferenceLength: 2000, Reads: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, info.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunLogs == 0 {
+		t.Fatal("job telemetry not counted")
+	}
+	s.platform.Flush()
+	st2, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.RunLogsPending != 0 {
+		t.Fatalf("run_logs_pending = %d after Flush", st2.RunLogsPending)
+	}
+	if st2.RunLogs != st.RunLogs {
+		t.Fatalf("flush changed the total: %d -> %d", st.RunLogs, st2.RunLogs)
 	}
 }

@@ -1,9 +1,11 @@
 package rpc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -82,6 +84,9 @@ func (s *Server) Close() {
 		}
 	}
 	s.mu.Unlock()
+	// Fold any run-log telemetry still buffered in the knowledge base, so
+	// exports taken after shutdown carry every completed job's telemetry.
+	s.platform.Flush()
 }
 
 // Handler returns the HTTP routing for the API.
@@ -116,8 +121,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	// One consistent snapshot: separate RunCount/PendingLogs calls could
+	// interleave with a fold and report pending > total.
+	runLogs, runPending := s.platform.KB().RunCounts()
 	s.mu.Lock()
-	resp := StatusResponse{Workers: s.platform.Workers(), RunLogs: s.platform.KB().RunCount()}
+	resp := StatusResponse{
+		Workers:        s.platform.Workers(),
+		RunLogs:        runLogs,
+		RunLogsPending: runPending,
+	}
 	for _, rec := range s.jobs {
 		switch rec.info.State {
 		case StatePending:
@@ -145,6 +157,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if req.ReferenceLength < 200 || req.Reads < 1 {
 			writeError(w, http.StatusBadRequest,
 				"reference_length must be >= 200 and reads >= 1")
+			return
+		}
+		if req.ReadLength != nil && *req.ReadLength == 0 {
+			writeError(w, http.StatusBadRequest,
+				"read_length 0 is invalid; omit the field for the default (%d)",
+				DefaultReadLength)
 			return
 		}
 		if req.Workflow == "" {
@@ -245,7 +263,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleExport streams the knowledge base as Turtle (default) or RDF/XML
+// handleExport serves the knowledge base as Turtle (default) or RDF/XML
 // (?format=rdfxml), the paper's listing format.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -254,18 +272,29 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.URL.Query().Get("format") {
 	case "", "turtle":
-		w.Header().Set("Content-Type", "text/turtle")
-		if err := s.platform.KB().Export(w); err != nil {
-			writeError(w, http.StatusInternalServerError, "export: %v", err)
-		}
+		writeDocument(w, "text/turtle", s.platform.KB().Export)
 	case "rdfxml":
-		w.Header().Set("Content-Type", "application/rdf+xml")
-		if err := s.platform.KB().ExportRDFXML(w); err != nil {
-			writeError(w, http.StatusInternalServerError, "export: %v", err)
-		}
+		writeDocument(w, "application/rdf+xml", s.platform.KB().ExportRDFXML)
 	default:
 		writeError(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
 	}
+}
+
+// writeDocument encodes a document fully into memory before touching the
+// ResponseWriter. Streaming straight into the writer looks cheaper but has
+// a broken failure mode: once the 200 header and a partial body are out, a
+// mid-stream encode error can only append a JSON error blob (and a
+// superfluous-500 log) onto the partial document. Buffering guarantees the
+// client gets either a complete document or a clean JSON error.
+func writeDocument(w http.ResponseWriter, contentType string, encode func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := encode(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "export: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
 }
 
 // submittable checks a workflow can run on the daemon's synthetic-FASTQ
@@ -377,14 +406,10 @@ func (s *Server) runJob(ctx context.Context, id int) {
 // execute generates the synthetic dataset and runs the requested workflow
 // through the platform's engine.
 func (s *Server) execute(ctx context.Context, req SubmitRequest) (JobInfo, error) {
-	readLen := req.ReadLength
-	if readLen <= 0 {
-		readLen = 100
-	}
-	errRate := req.ErrorRate
-	if errRate <= 0 {
-		errRate = 0.002
-	}
+	// Tri-state defaulting (see SubmitRequest): absent/negative fields get
+	// defaults, explicit values — including error_rate 0 — are honored.
+	readLen := req.EffectiveReadLength()
+	errRate := req.EffectiveErrorRate()
 	rng := rand.New(rand.NewSource(req.Seed))
 	ref := genomics.GenerateReference(rng, "chr1", req.ReferenceLength)
 	mutated, planted := genomics.PlantSNVs(rng, ref, req.SNVs)

@@ -32,16 +32,46 @@ type SubmitRequest struct {
 	ReferenceLength int `json:"reference_length"`
 	// Reads is the number of simulated reads.
 	Reads int `json:"reads"`
-	// ReadLength is the simulated read length (default 100).
-	ReadLength int `json:"read_length,omitempty"`
+	// ReadLength is the simulated read length. Pointer semantics: the
+	// DefaultReadLength applies only when the field is absent (nil) or
+	// negative; an explicit 0 is rejected at submission (a zero-length
+	// read is meaningless), never silently replaced.
+	ReadLength *int `json:"read_length,omitempty"`
 	// SNVs is the number of planted mutations.
 	SNVs int `json:"snvs"`
-	// ErrorRate is the per-base sequencing error (default 0.002).
-	ErrorRate float64 `json:"error_rate,omitempty"`
+	// ErrorRate is the per-base sequencing error. Pointer semantics: the
+	// DefaultErrorRate applies only when the field is absent (nil) or
+	// negative; an explicit 0 means error-free reads and is honored —
+	// earlier versions silently promoted it to the default.
+	ErrorRate *float64 `json:"error_rate,omitempty"`
 	// Seed makes the synthetic data reproducible.
 	Seed int64 `json:"seed"`
 	// ShardRecords overrides the Data Broker's shard sizing when > 0.
 	ShardRecords int `json:"shard_records,omitempty"`
+}
+
+// Defaults for the optional read-simulation fields.
+const (
+	DefaultReadLength = 100
+	DefaultErrorRate  = 0.002
+)
+
+// EffectiveReadLength resolves the tri-state ReadLength field: default when
+// absent or negative, the explicit value otherwise.
+func (r *SubmitRequest) EffectiveReadLength() int {
+	if r.ReadLength == nil || *r.ReadLength < 0 {
+		return DefaultReadLength
+	}
+	return *r.ReadLength
+}
+
+// EffectiveErrorRate resolves the tri-state ErrorRate field: default when
+// absent or negative, the explicit value (including 0) otherwise.
+func (r *SubmitRequest) EffectiveErrorRate() float64 {
+	if r.ErrorRate == nil || *r.ErrorRate < 0 {
+		return DefaultErrorRate
+	}
+	return *r.ErrorRate
 }
 
 // JobInfo summarises one job.
@@ -107,14 +137,17 @@ type ProfileInfo struct {
 	ETime         float64 `json:"etime"`
 }
 
-// StatusResponse is the daemon health/statistics snapshot.
+// StatusResponse is the daemon health/statistics snapshot. RunLogs counts
+// every accepted run observation; RunLogsPending is the subset still in the
+// knowledge base's batched-ingestion buffer, not yet folded into the graph.
 type StatusResponse struct {
-	Workers   int `json:"workers"`
-	Pending   int `json:"pending"`
-	Running   int `json:"running"`
-	Completed int `json:"completed"`
-	Failed    int `json:"failed"`
-	RunLogs   int `json:"run_logs"`
+	Workers        int `json:"workers"`
+	Pending        int `json:"pending"`
+	Running        int `json:"running"`
+	Completed      int `json:"completed"`
+	Failed         int `json:"failed"`
+	RunLogs        int `json:"run_logs"`
+	RunLogsPending int `json:"run_logs_pending,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.

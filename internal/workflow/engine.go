@@ -318,14 +318,18 @@ queue:
 
 // LogShard feeds one shard's observed execution back into the knowledge
 // base, keyed by the stage's tool and position in the workflow — the
-// feedback loop that grows per-stage performance profiles. Telemetry must
+// feedback loop that grows per-stage performance profiles. Observations go
+// through the knowledge base's batched ingestion buffer (LogRunAsync), so
+// concurrent shards do not serialize on the graph's write lock; they are
+// folded in batches and are guaranteed visible after knowledge.Base.Flush
+// or any flushing read (Query, FitStageModel, Export). Telemetry must
 // never fail an analysis, so errors (and a nil knowledge base) are
 // ignored.
 func (env *StageEnv) LogShard(records int, elapsed time.Duration) {
 	if env.engine.kb == nil {
 		return
 	}
-	_ = env.engine.kb.LogRun(knowledge.RunLog{
+	_ = env.engine.kb.LogRunAsync(knowledge.RunLog{
 		App:       env.stage.Tool,
 		Stage:     env.index,
 		InputSize: float64(records) / float64(env.engine.recordsPerUnit),
