@@ -1,4 +1,6 @@
-// Command scanctl is the client for scand.
+// Command scanctl is the client for scand, speaking the v2 job API
+// (cancellation, event streaming, paginated listing) plus the shared
+// knowledge-base endpoints.
 //
 // Usage:
 //
@@ -7,21 +9,32 @@
 //	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
 //	scanctl submit -workflow somatic-mutation-detection -reads 4000 [-wait]
 //	scanctl submit -reads 4000 -read-length 150 -error-rate 0 [-wait]
-//	scanctl jobs
+//	scanctl jobs [-state done] [-workflow NAME] [-limit 20] [-page TOKEN]
 //	scanctl job <id>
+//	scanctl watch <id>
+//	scanctl cancel <id>
 //	scanctl profiles
 //	scanctl query 'PREFIX scan: <...> SELECT ?app WHERE { ... }'
 //	scanctl export rdfxml
 //
 // Submitting a named workflow runs any catalogued genomic analysis through
-// the daemon's workflow engine; `scanctl workflows` lists the catalogue
-// and marks which entries the engine can execute. For example,
+// the daemon's workflow engine; `scanctl workflows` lists the catalogue and
+// marks which entries the engine can execute.
 //
-//	scanctl workflows
-//	scanctl submit -workflow rna-expression -ref 20000 -reads 6000 -wait
+// `scanctl watch` (and `submit -wait`) subscribes to the job's server-sent
+// event stream instead of polling: state transitions and per-stage
+// completions print as the daemon reports them, e.g.
 //
-// runs the RNA-seq expression workflow (align → quantify) end to end and
-// prints the per-region feature count when it completes.
+//	scanctl submit -workflow rna-expression -reads 6000 -wait
+//	job 3 running
+//	job 3   stage Align            4 shards  0.11s
+//	job 3   stage Quantify         8 shards  0.02s
+//	job 3 done ...
+//
+// `scanctl cancel` stops a job: immediately when it is still queued, by
+// cancelling its run context when it is already executing. `scanctl jobs`
+// pages through the daemon's bounded job store; pass the printed next-page
+// token back via -page to continue a listing.
 package main
 
 import (
@@ -30,7 +43,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"time"
+	"strings"
 
 	"scan/internal/rpc"
 )
@@ -51,12 +64,22 @@ func main() {
 	case "submit":
 		err = cmdSubmit(ctx, client, args[1:])
 	case "jobs":
-		err = cmdJobs(ctx, client)
+		err = cmdJobs(ctx, client, args[1:])
 	case "job":
 		if len(args) < 2 {
 			usage()
 		}
 		err = cmdJob(ctx, client, args[1])
+	case "watch":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdWatch(ctx, client, args[1])
+	case "cancel":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdCancel(ctx, client, args[1])
 	case "workflows":
 		err = cmdWorkflows(ctx, client)
 	case "profiles":
@@ -82,8 +105,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|submit|jobs|job ID|profiles|query SPARQL|export [turtle|rdfxml]>")
+	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|submit|jobs|job ID|watch ID|cancel ID|profiles|query SPARQL|export [turtle|rdfxml]>")
 	os.Exit(2)
+}
+
+func parseID(idStr string) (int, error) {
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return 0, fmt.Errorf("bad job id %q", idStr)
+	}
+	return id, nil
 }
 
 func cmdStatus(ctx context.Context, c *rpc.Client) error {
@@ -91,8 +122,8 @@ func cmdStatus(ctx context.Context, c *rpc.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workers %d  pending %d  running %d  completed %d  failed %d  run-logs %d\n",
-		st.Workers, st.Pending, st.Running, st.Completed, st.Failed, st.RunLogs)
+	fmt.Printf("workers %d  pending %d  running %d  completed %d  failed %d  run-logs %d  run-logs-pending %d\n",
+		st.Workers, st.Pending, st.Running, st.Completed, st.Failed, st.RunLogs, st.RunLogsPending)
 	return nil
 }
 
@@ -106,17 +137,15 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	shardRecs := fs.Int("shard-records", 0, "records per shard (0 = knowledge base decides)")
 	readLen := fs.Int("read-length", rpc.DefaultReadLength, "simulated read length (bases)")
 	errRate := fs.Float64("error-rate", rpc.DefaultErrorRate, "per-base sequencing error rate (0 = error-free reads)")
-	wait := fs.Bool("wait", false, "block until the job finishes")
+	wait := fs.Bool("wait", false, "stream the job's events until it finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req := rpc.SubmitRequest{
-		Workflow:        *workflowName,
+	spec := &rpc.SyntheticSpec{
 		ReferenceLength: *refLen,
 		Reads:           *reads,
 		SNVs:            *snvs,
 		Seed:            *seed,
-		ShardRecords:    *shardRecs,
 	}
 	// Only explicitly passed flags go on the wire: the daemon distinguishes
 	// "absent" from "zero" (an explicit -error-rate 0 means error-free
@@ -124,62 +153,130 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "read-length":
-			req.ReadLength = readLen
+			spec.ReadLength = readLen
 		case "error-rate":
-			req.ErrorRate = errRate
+			spec.ErrorRate = errRate
 		}
 	})
-	info, err := c.Submit(ctx, req)
+	job, err := c.CreateJob(ctx, rpc.SubmitJobRequest{
+		Workflow:     *workflowName,
+		Synthetic:    spec,
+		ShardRecords: *shardRecs,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("job %d (%s) submitted (%s)\n", info.ID, info.Workflow, info.State)
+	fmt.Printf("job %d (%s) submitted (%s)\n", job.ID, job.Workflow, job.State)
 	if !*wait {
 		return nil
 	}
-	done, err := c.Wait(ctx, info.ID, 200*time.Millisecond)
+	return watchJob(ctx, c, job.ID)
+}
+
+// watchJob follows a job's event stream, printing transitions and stage
+// completions, then the final record.
+func watchJob(ctx context.Context, c *rpc.Client, id int) error {
+	final, err := c.Watch(ctx, id, func(ev rpc.JobEvent) {
+		switch ev.Type {
+		case rpc.EventStage:
+			fmt.Printf("job %d   stage %-18s %3d shards  %.2fs\n",
+				id, ev.Stage.Name, ev.Stage.Shards, ev.Stage.ElapsedSec)
+		case rpc.EventState:
+			if !ev.State.Terminal() {
+				fmt.Printf("job %d %s\n", id, ev.State)
+			}
+		}
+	})
 	if err != nil {
 		return err
 	}
-	printJob(done)
+	printJob(final)
 	return nil
 }
 
-func cmdJobs(ctx context.Context, c *rpc.Client) error {
-	jobs, err := c.Jobs(ctx)
+func cmdJobs(ctx context.Context, c *rpc.Client, args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	state := fs.String("state", "", "filter by state (pending|running|done|failed|canceled)")
+	workflowName := fs.String("workflow", "", "filter by workflow name")
+	limit := fs.Int("limit", 0, "page size (default 100)")
+	page := fs.String("page", "", "continuation token from a previous listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pageRes, err := c.ListJobs(ctx, rpc.ListJobsOptions{
+		State:     rpc.JobState(*state),
+		Workflow:  *workflowName,
+		Limit:     *limit,
+		PageToken: *page,
+	})
 	if err != nil {
 		return err
 	}
-	for _, j := range jobs {
+	for _, j := range pageRes.Jobs {
 		printJob(j)
+	}
+	if pageRes.NextPageToken != "" {
+		fmt.Printf("next page: scanctl jobs -page %s\n", pageRes.NextPageToken)
 	}
 	return nil
 }
 
 func cmdJob(ctx context.Context, c *rpc.Client, idStr string) error {
-	id, err := strconv.Atoi(idStr)
-	if err != nil {
-		return fmt.Errorf("bad job id %q", idStr)
-	}
-	info, err := c.Job(ctx, id)
+	id, err := parseID(idStr)
 	if err != nil {
 		return err
 	}
-	printJob(info)
+	job, err := c.GetJob(ctx, id)
+	if err != nil {
+		return err
+	}
+	printJob(job)
+	if job.Result != nil {
+		for _, st := range job.Result.Stages {
+			fmt.Printf("  stage %-18s %3d shards  %.2fs\n", st.Name, st.Shards, st.ElapsedSec)
+		}
+	}
 	return nil
 }
 
-func printJob(j rpc.JobInfo) {
-	name := j.Workflow // always set by the server at submit time
+func cmdWatch(ctx context.Context, c *rpc.Client, idStr string) error {
+	id, err := parseID(idStr)
+	if err != nil {
+		return err
+	}
+	return watchJob(ctx, c, id)
+}
+
+func cmdCancel(ctx context.Context, c *rpc.Client, idStr string) error {
+	id, err := parseID(idStr)
+	if err != nil {
+		return err
+	}
+	job, err := c.Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	if job.State == rpc.StateCanceled {
+		fmt.Printf("job %d canceled\n", job.ID)
+	} else {
+		fmt.Printf("job %d cancel requested (still %s; `scanctl watch %d` follows it)\n",
+			job.ID, job.State, job.ID)
+	}
+	return nil
+}
+
+func printJob(j rpc.Job) {
 	switch j.State {
 	case rpc.StateDone:
+		r := j.Result
 		fmt.Printf("job %d %-8s %-26s mapped %d/%d  variants %d  features %d  recovered %d/%d  shards %d  %.2fs\n",
-			j.ID, j.State, name, j.Mapped, j.TotalReads, j.Variants, j.Features,
-			j.Recovered, j.Planted, j.Shards, j.ElapsedSec)
-	case rpc.StateFailed:
-		fmt.Printf("job %d %-8s %-26s error: %s\n", j.ID, j.State, name, j.Error)
+			j.ID, j.State, j.Workflow, r.Mapped, r.TotalReads, r.Variants, r.Features,
+			r.Recovered, r.Planted, r.Shards, r.ElapsedSec)
+	case rpc.StateFailed, rpc.StateCanceled:
+		fmt.Printf("job %d %-8s %-26s %s: %s\n",
+			j.ID, j.State, j.Workflow, j.Error.Code, j.Error.Message)
 	default:
-		fmt.Printf("job %d %-8s %-26s\n", j.ID, j.State, name)
+		fmt.Printf("job %d %-8s %-26s\n", j.ID, j.State, j.Workflow)
 	}
 }
 
@@ -228,15 +325,13 @@ func cmdQuery(ctx context.Context, c *rpc.Client, q string) error {
 	if err != nil {
 		return err
 	}
-	for _, v := range res.Vars {
-		fmt.Printf("?%s\t", v)
-	}
-	fmt.Println()
+	fmt.Println("?" + strings.Join(res.Vars, "\t?"))
 	for _, row := range res.Rows {
-		for _, v := range res.Vars {
-			fmt.Printf("%s\t", row[v])
+		vals := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			vals[i] = row[v]
 		}
-		fmt.Println()
+		fmt.Println(strings.Join(vals, "\t"))
 	}
 	return nil
 }

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	scand [-addr :7390] [-workers N] [-executors N]
+//	scand [-addr :7390] [-workers N] [-executors N] [-retain N] [-quiet]
+//
+// scand serves /api/v1 (the original flat RPC surface, kept
+// wire-compatible) and /api/v2 (resource-oriented jobs with cancellation,
+// paginated listing and SSE event streams). -retain bounds how many
+// finished jobs the store keeps before evicting the oldest; -quiet
+// suppresses the per-request access log.
 package main
 
 import (
@@ -26,11 +32,21 @@ func main() {
 		addr      = flag.String("addr", ":7390", "listen address")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline workers per job")
 		executors = flag.Int("executors", 2, "concurrent jobs")
+		retain    = flag.Int("retain", rpc.DefaultRetention, "finished jobs kept before eviction")
+		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
 	)
 	flag.Parse()
 
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
 	platform := core.NewPlatform(core.Options{Workers: *workers})
-	server := rpc.NewServer(platform, *executors)
+	server := rpc.NewServerOptions(platform, rpc.ServerOptions{
+		Executors: *executors,
+		Retention: *retain,
+		Logf:      logf,
+	})
 	defer server.Close()
 
 	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}

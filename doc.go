@@ -22,9 +22,19 @@
 //	                    executes the catalogued dna-variant-detection
 //	                    workflow; Platform.RunWorkflow runs any
 //	                    catalogued analysis by name
-//	internal/rpc        scand's HTTP interface — submit any runnable
-//	                    workflow by name, inspect the catalogue, query
-//	                    the knowledge base; scanctl is the client
+//	internal/rpc        scand's HTTP interface. /api/v2 is the
+//	                    resource-oriented job surface: submissions carry
+//	                    a synthetic-dataset spec or inline FASTQ records,
+//	                    jobs expose a structured result with the
+//	                    engine's per-stage breakdown, DELETE cancels
+//	                    pending and running jobs through a per-job
+//	                    context, listing is filtered and paginated over
+//	                    a bounded store with terminal-job retention, and
+//	                    GET /jobs/{id}/events streams state transitions
+//	                    and stage completions as SSE. /api/v1 (the
+//	                    paper-prototype RPC shape) stays wire-compatible
+//	                    for old clients. scanctl is the client:
+//	                    submit/watch/cancel/paged jobs.
 //
 // The Data Broker's knowledge base is built for the hot path: shard
 // advice is served from a materialized profile cache invalidated by the

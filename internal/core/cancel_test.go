@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"scan/internal/genomics"
+	"scan/internal/workflow"
+)
+
+// blockingExecutor signals that its stage started, then parks until the run
+// context is cancelled — the controlled stand-in for a long analysis.
+type blockingExecutor struct {
+	started chan struct{}
+}
+
+func (b *blockingExecutor) Execute(ctx context.Context, env *workflow.StageEnv, in *workflow.Dataset) (*workflow.Dataset, error) {
+	select {
+	case b.started <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestRunWorkflowCancellation proves the per-run context reaches a running
+// stage: cancelling it unblocks the stage and RunWorkflow returns
+// context.Canceled promptly. This is the plumbing scand's job-cancel API
+// relies on.
+func TestRunWorkflowCancellation(t *testing.T) {
+	catalogue := workflow.DefaultCatalogue()
+	if err := catalogue.Register(workflow.Workflow{
+		Name:   "block-forever",
+		Family: "genomic",
+		Stages: []workflow.Stage{
+			{Name: "block", Tool: "blocktool", Consumes: workflow.FASTQ, Produces: workflow.VCF},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	execs := workflow.DefaultExecutors()
+	block := &blockingExecutor{started: make(chan struct{}, 1)}
+	if err := execs.Register("blocktool", "", block); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(Options{Workers: 2, Catalogue: catalogue, Executors: execs})
+
+	ref := genomics.Sequence{Name: "chr1", Seq: []byte("ACGTACGTACGTACGTACGTACGTACGTACGT")}
+	reads := []genomics.Read{{ID: "r1", Seq: []byte("ACGTACGTACGTACGT"), Qual: []byte("IIIIIIIIIIIIIIII")}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.RunWorkflow(ctx, "block-forever", workflow.NewFASTQDataset(ref, reads), workflow.RunOptions{})
+		errCh <- err
+	}()
+	select {
+	case <-block.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stage never started")
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunWorkflow did not return after cancellation")
+	}
+}

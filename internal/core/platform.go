@@ -40,6 +40,15 @@ type Options struct {
 	// units (the paper's GB) into read records for the real toolkit
 	// (default 1000 records per unit).
 	RecordsPerUnit int
+	// Catalogue overrides the workflow catalogue (default:
+	// workflow.DefaultCatalogue()). Custom deployments register extra
+	// workflows on top of the default set before handing it in.
+	Catalogue *workflow.Registry
+	// Executors overrides the stage-executor bindings (default:
+	// workflow.DefaultExecutors()). Custom deployments bind extra tools —
+	// tests use it to inject stages with controlled blocking behavior when
+	// proving cancellation propagates into a running workflow.
+	Executors *workflow.ExecutorRegistry
 }
 
 // Platform is the SCAN application platform: the workflow catalogue, the
@@ -57,7 +66,13 @@ func NewPlatform(opts Options) *Platform {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	catalogue := workflow.DefaultCatalogue()
+	catalogue := opts.Catalogue
+	if catalogue == nil {
+		catalogue = workflow.DefaultCatalogue()
+	}
+	if opts.Executors == nil {
+		opts.Executors = workflow.DefaultExecutors()
+	}
 	if opts.KB == nil {
 		opts.KB = knowledge.New()
 		opts.KB.SeedPaperProfiles()
@@ -73,7 +88,7 @@ func NewPlatform(opts Options) *Platform {
 	}
 	engine := workflow.NewEngine(workflow.EngineOptions{
 		Catalogue:      catalogue,
-		Executors:      workflow.DefaultExecutors(),
+		Executors:      opts.Executors,
 		KB:             opts.KB,
 		Workers:        opts.Workers,
 		RecordsPerUnit: opts.RecordsPerUnit,
@@ -107,7 +122,11 @@ func (p *Platform) Catalogue() *workflow.Registry { return p.catalogue }
 func (p *Platform) Engine() *workflow.Engine { return p.engine }
 
 // RunWorkflow executes any catalogued workflow by name over the dataset —
-// the generic entry point behind scand's submit-workflow-by-name API.
+// the generic entry point behind scand's job API. Cancelling ctx stops the
+// run promptly: the engine checks it between stages and every stage's
+// bounded worker pool selects on it while queueing shards, so scand's
+// DELETE /api/v2/jobs/{id} observably halts an in-flight analysis by
+// cancelling the per-job context it threads through here.
 func (p *Platform) RunWorkflow(ctx context.Context, name string, in *workflow.Dataset, opts workflow.RunOptions) (*workflow.Result, error) {
 	return p.engine.RunByName(ctx, name, in, opts)
 }

@@ -1,29 +1,85 @@
 package rpc
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
-// Client talks to a scand instance.
+// DefaultTimeout bounds one unary HTTP call (see WithTimeout). The
+// streaming Watch path is exempt: its lifetime is governed by the caller's
+// context, and an overall client timeout would sever long event streams.
+const DefaultTimeout = 5 * time.Minute
+
+// Client talks to a scand instance, preferring the v2 API for job
+// operations; the v1 knowledge-base and catalogue endpoints are shared by
+// both surfaces.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client // unary calls, bounded by Timeout
+	stream *http.Client // Watch: same transport, no overall timeout
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the overall HTTP timeout for unary calls (default
+// DefaultTimeout; 0 disables). Watch is never subject to it.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithHTTPClient replaces the underlying HTTP client (custom transports,
+// proxies, test doubles). Its Timeout applies to unary calls only; Watch
+// uses a copy with the timeout stripped.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
 }
 
 // NewClient returns a client for the given base URL (e.g.
 // "http://localhost:7390").
-func NewClient(base string) *Client {
-	return &Client{
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
 		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 5 * time.Minute},
+		http: &http.Client{Timeout: DefaultTimeout},
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	sc := *c.http
+	sc.Timeout = 0
+	c.stream = &sc
+	return c
+}
+
+// decodeError turns an HTTP error response into a Go error. Both envelope
+// generations are understood — v1's {"error":"<string>"} and v2's
+// {"error":{"code","message"}} (surfaced as a wrapped *APIError so callers
+// can switch on the code) — and non-JSON bodies degrade to the status code.
+func decodeError(method, path string, status int, body io.Reader) error {
+	raw, _ := io.ReadAll(io.LimitReader(body, 1<<20))
+	var probe struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(raw, &probe) == nil && len(probe.Error) > 0 {
+		var msg string
+		if json.Unmarshal(probe.Error, &msg) == nil && msg != "" {
+			return fmt.Errorf("rpc: %s %s: %s", method, path, msg)
+		}
+		var ae APIError
+		if json.Unmarshal(probe.Error, &ae) == nil && ae.Message != "" {
+			return fmt.Errorf("rpc: %s %s: %w", method, path, &ae)
+		}
+	}
+	return fmt.Errorf("rpc: %s %s: HTTP %d", method, path, status)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -48,11 +104,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var e errorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("rpc: %s %s: %s", method, path, e.Error)
-		}
-		return fmt.Errorf("rpc: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return decodeError(method, path, resp.StatusCode, resp.Body)
 	}
 	if out == nil {
 		return nil
@@ -60,21 +112,138 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit enqueues a job and returns its initial record.
+// ---------------------------------------------------------------------------
+// v2 job API
+// ---------------------------------------------------------------------------
+
+// CreateJob submits a v2 job (synthetic spec or inline FASTQ) and returns
+// its initial resource.
+func (c *Client) CreateJob(ctx context.Context, req SubmitJobRequest) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/api/v2/jobs", req, &job)
+	return job, err
+}
+
+// GetJob fetches one job resource.
+func (c *Client) GetJob(ctx context.Context, id int) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v2/jobs/%d", id), nil, &job)
+	return job, err
+}
+
+// Cancel asks the daemon to cancel a job. A pending job is canceled
+// immediately; a running job has its context cancelled and reaches the
+// canceled state asynchronously (watch or poll for the terminal state). The
+// returned Job is the resource at the moment of the request.
+func (c *Client) Cancel(ctx context.Context, id int) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/api/v2/jobs/%d", id), nil, &job)
+	return job, err
+}
+
+// ListJobs fetches one page of jobs in submission order. Iterate by feeding
+// JobPage.NextPageToken back in via ListJobsOptions.PageToken until it
+// comes back empty.
+func (c *Client) ListJobs(ctx context.Context, opts ListJobsOptions) (JobPage, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	if opts.Workflow != "" {
+		q.Set("workflow", opts.Workflow)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.PageToken != "" {
+		q.Set("page_token", opts.PageToken)
+	}
+	path := "/api/v2/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page JobPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// Watch subscribes to a job's SSE event stream and calls fn (when non-nil)
+// for every event — the full history replays first, so no transition is
+// missed however late the watch starts. It returns the final job resource
+// once the job reaches a terminal state, or ctx's error if the context ends
+// first. Unlike polling Wait, Watch holds one connection and receives
+// per-stage progress as it happens.
+func (c *Client) Watch(ctx context.Context, id int, fn func(JobEvent)) (Job, error) {
+	path := fmt.Sprintf("/api/v2/jobs/%d/events", id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return Job{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Job{}, decodeError(http.MethodGet, path, resp.StatusCode, resp.Body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var data bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		if after, ok := strings.CutPrefix(line, "data:"); ok {
+			data.WriteString(strings.TrimPrefix(after, " "))
+			continue
+		}
+		if line != "" || data.Len() == 0 {
+			continue // event/id/comment lines; the JSON payload carries everything
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
+			return Job{}, fmt.Errorf("rpc: watch job %d: bad event: %w", id, err)
+		}
+		data.Reset()
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == EventState && ev.State.Terminal() {
+			if ev.Job != nil {
+				return *ev.Job, nil
+			}
+			return c.GetJob(ctx, id)
+		}
+	}
+	if ctx.Err() != nil {
+		return Job{}, ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return Job{}, err
+	}
+	return Job{}, fmt.Errorf("rpc: watch job %d: stream ended before a terminal state", id)
+}
+
+// ---------------------------------------------------------------------------
+// v1 API (kept for old deployments; job methods return the flat JobInfo)
+// ---------------------------------------------------------------------------
+
+// Submit enqueues a job via the v1 API and returns its initial record.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobInfo, error) {
 	var info JobInfo
 	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &info)
 	return info, err
 }
 
-// Job fetches one job's record.
+// Job fetches one job's v1 record.
 func (c *Client) Job(ctx context.Context, id int) (JobInfo, error) {
 	var info JobInfo
 	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d", id), nil, &info)
 	return info, err
 }
 
-// Jobs lists all jobs in submission order.
+// Jobs lists all jobs in submission order via the v1 API (unpaginated; use
+// ListJobs for bounded pages).
 func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
 	var out []JobInfo
 	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &out)
@@ -82,7 +251,7 @@ func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
 }
 
 // Wait polls until the job leaves the pending/running states or the
-// context expires.
+// context expires. Prefer Watch, which streams instead of polling.
 func (c *Client) Wait(ctx context.Context, id int, poll time.Duration) (JobInfo, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
@@ -92,7 +261,7 @@ func (c *Client) Wait(ctx context.Context, id int, poll time.Duration) (JobInfo,
 		if err != nil {
 			return info, err
 		}
-		if info.State == StateDone || info.State == StateFailed {
+		if info.State.Terminal() {
 			return info, nil
 		}
 		select {
@@ -128,8 +297,8 @@ func (c *Client) Profiles(ctx context.Context) ([]ProfileInfo, error) {
 // Export fetches the daemon's knowledge base as text in the given format
 // ("turtle" or "rdfxml").
 func (c *Client) Export(ctx context.Context, format string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/api/v1/kb/export?format="+format, nil)
+	path := "/api/v1/kb/export?format=" + url.QueryEscape(format)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return "", err
 	}
@@ -138,12 +307,12 @@ func (c *Client) Export(ctx context.Context, format string) (string, error) {
 		return "", err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", decodeError(http.MethodGet, "/api/v1/kb/export", resp.StatusCode, resp.Body)
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return "", err
-	}
-	if resp.StatusCode >= 400 {
-		return "", fmt.Errorf("rpc: export: HTTP %d: %s", resp.StatusCode, raw)
 	}
 	return string(raw), nil
 }

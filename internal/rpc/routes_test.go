@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRouteContract locks down the wire API's route table: every v1 and v2
+// endpoint, the methods it accepts, the status codes it answers, and which
+// error envelope it speaks. A future PR that renames a path, drops a
+// method, or swaps an envelope breaks this table loudly instead of breaking
+// deployed clients silently.
+func TestRouteContract(t *testing.T) {
+	c, _ := testServer(t)
+	const (
+		envNone = iota // no JSON error envelope expected
+		envV1          // {"error":"<string>"}
+		envV2          // {"error":{"code":...,"message":...}}
+	)
+	cases := []struct {
+		method   string
+		path     string
+		body     string
+		want     int
+		envelope int
+	}{
+		// health
+		{"GET", "/healthz", "", 200, envNone},
+
+		// v1 status / catalogue
+		{"GET", "/api/v1/status", "", 200, envNone},
+		{"POST", "/api/v1/status", "", 405, envV1},
+		{"GET", "/api/v1/workflows", "", 200, envNone},
+		{"POST", "/api/v1/workflows", "", 405, envV1},
+
+		// v1 jobs
+		{"GET", "/api/v1/jobs", "", 200, envNone},
+		{"POST", "/api/v1/jobs", `{"reference_length":2000,"reads":60,"seed":1}`, 202, envNone},
+		{"POST", "/api/v1/jobs", `{"reference_length":1}`, 400, envV1},
+		{"POST", "/api/v1/jobs", `not json`, 400, envV1},
+		{"DELETE", "/api/v1/jobs", "", 405, envV1},
+		{"PUT", "/api/v1/jobs", "", 405, envV1},
+		{"GET", "/api/v1/jobs/999", "", 404, envV1},
+		{"GET", "/api/v1/jobs/abc", "", 400, envV1},
+		{"POST", "/api/v1/jobs/999", "", 405, envV1},
+		{"DELETE", "/api/v1/jobs/999", "", 405, envV1}, // v1 has no cancel; that is v2's DELETE
+
+		// v1 knowledge base
+		{"POST", "/api/v1/kb/query", `{"query":"bad sparql"}`, 400, envV1},
+		{"GET", "/api/v1/kb/query", "", 405, envV1},
+		{"GET", "/api/v1/kb/profiles", "", 200, envNone},
+		{"POST", "/api/v1/kb/profiles", "", 405, envV1},
+		{"GET", "/api/v1/kb/export", "", 200, envNone},
+		{"GET", "/api/v1/kb/export?format=bogus", "", 400, envV1},
+		{"POST", "/api/v1/kb/export", "", 405, envV1},
+
+		// v2 jobs collection
+		{"GET", "/api/v2/jobs", "", 200, envNone},
+		{"POST", "/api/v2/jobs", `{"synthetic":{"reference_length":2000,"reads":60,"seed":2}}`, 202, envNone},
+		{"POST", "/api/v2/jobs", `{}`, 400, envV2},
+		{"POST", "/api/v2/jobs", `not json`, 400, envV2},
+		{"GET", "/api/v2/jobs?limit=zero", "", 400, envV2},
+		{"GET", "/api/v2/jobs?state=bogus", "", 400, envV2},
+		{"GET", "/api/v2/jobs?page_token=garbage", "", 400, envV2},
+		{"DELETE", "/api/v2/jobs", "", 405, envV2},
+		{"PUT", "/api/v2/jobs", "", 405, envV2},
+
+		// v2 job resource
+		{"GET", "/api/v2/jobs/999", "", 404, envV2},
+		{"DELETE", "/api/v2/jobs/999", "", 404, envV2},
+		{"GET", "/api/v2/jobs/abc", "", 400, envV2},
+		{"POST", "/api/v2/jobs/999", "", 405, envV2},
+		{"PUT", "/api/v2/jobs/999", "", 405, envV2},
+
+		// v2 event stream
+		{"GET", "/api/v2/jobs/999/events", "", 404, envV2},
+		{"POST", "/api/v2/jobs/999/events", "", 405, envV2},
+		{"GET", "/api/v2/jobs/999/bogus", "", 404, envV2},
+
+		// unrouted
+		{"GET", "/api/v2/other", "", 404, envNone},
+		{"GET", "/api/v3/jobs", "", 404, envNone},
+		{"GET", "/api/v1/other", "", 404, envNone},
+	}
+	for _, tc := range cases {
+		code, raw := rawRequest(t, c, tc.method, tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s %s: code = %d, want %d (body %s)", tc.method, tc.path, code, tc.want, raw)
+			continue
+		}
+		switch tc.envelope {
+		case envV1:
+			var env struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &env); err != nil || env.Error == "" {
+				t.Errorf("%s %s: want v1 string envelope, got %s", tc.method, tc.path, raw)
+			}
+		case envV2:
+			var env v2ErrorResponse
+			if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
+				t.Errorf("%s %s: want v2 coded envelope, got %s", tc.method, tc.path, raw)
+			}
+			if code == 405 && env.Error.Code != CodeMethodNotAllowed {
+				t.Errorf("%s %s: 405 code = %q", tc.method, tc.path, env.Error.Code)
+			}
+		}
+	}
+}

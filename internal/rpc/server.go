@@ -1,15 +1,10 @@
 package rpc
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -20,51 +15,121 @@ import (
 	"scan/internal/workflow"
 )
 
-// Server exposes a core.Platform over HTTP and runs submitted jobs on a
-// bounded worker pool (the SCAN Workers of the prototype).
+// DefaultRetention is the default bound on retained terminal jobs.
+const DefaultRetention = 512
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Executors is the number of concurrent job runners (default 2).
+	Executors int
+	// Retention bounds how many terminal (done/failed/canceled) jobs the
+	// store keeps (default DefaultRetention). When exceeded, the oldest
+	// terminal jobs are evicted; pending and running jobs are never
+	// evicted. This is what keeps the job store bounded under sustained
+	// traffic — the v1 prototype grew without limit.
+	Retention int
+	// Logf receives one line per request (and per recovered panic) from
+	// the HTTP middleware; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes a core.Platform over HTTP — /api/v1 (the original flat RPC
+// surface, kept wire-compatible) and /api/v2 (resource-oriented jobs with
+// cancellation, pagination and event streaming) — and runs submitted jobs on
+// a bounded worker pool (the SCAN Workers of the prototype).
 type Server struct {
-	platform *core.Platform
-	now      func() time.Time
+	platform  *core.Platform
+	now       func() time.Time
+	retention int
+	logf      func(format string, args ...any)
 
 	mu     sync.Mutex
 	nextID int
 	jobs   map[int]*jobRecord
-	order  []int
+	order  []int // submission order (ascending IDs), compacted on eviction
 	closed bool
+	// Cumulative lifecycle counters for /api/v1/status: eviction removes
+	// records but must not rewrite history. Canceled jobs count as failed
+	// there — v1's state enum predates cancellation.
+	statDone, statFailed, statCanceled int
 
 	queue chan int
 	wg    sync.WaitGroup
 	stop  context.CancelFunc
 }
 
+// jobRecord is one job in the store: the v2 resource (the authoritative
+// view; v1's JobInfo is derived from it), the normalized submission, the
+// per-job cancel handle, and the event log watchers replay and follow.
 type jobRecord struct {
-	info JobInfo
-	req  SubmitRequest
+	job             Job
+	spec            jobSpec
+	cancel          context.CancelFunc // non-nil while running
+	cancelRequested bool
+	events          []JobEvent
+	wake            chan struct{} // closed and replaced on every event
+}
+
+// jobSpec is a normalized submission: exactly one of synthetic or inline is
+// set (validated at the API boundary).
+type jobSpec struct {
+	workflow     string
+	shardRecords int
+	synthetic    *SyntheticSpec
+	inline       *inlineInput
+}
+
+func (s jobSpec) source() string {
+	if s.inline != nil {
+		return SourceInline
+	}
+	return SourceSynthetic
+}
+
+// inlineInput is a prevalidated inline dataset, already in genomics form.
+type inlineInput struct {
+	ref   genomics.Sequence
+	reads []genomics.Read
 }
 
 // NewServer starts a server around the platform with the given number of
 // concurrent job executors. Call Close to stop them.
 func NewServer(p *core.Platform, executors int) *Server {
-	if executors <= 0 {
-		executors = 2
+	return NewServerOptions(p, ServerOptions{Executors: executors})
+}
+
+// NewServerOptions starts a server with full configuration. Call Close to
+// stop it.
+func NewServerOptions(p *core.Platform, opts ServerOptions) *Server {
+	if opts.Executors <= 0 {
+		opts.Executors = 2
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = DefaultRetention
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		platform: p,
-		now:      time.Now,
-		jobs:     make(map[int]*jobRecord),
-		queue:    make(chan int, 1024),
-		stop:     cancel,
+		platform:  p,
+		now:       time.Now,
+		retention: opts.Retention,
+		logf:      opts.Logf,
+		jobs:      make(map[int]*jobRecord),
+		queue:     make(chan int, 1024),
+		stop:      cancel,
 	}
-	for i := 0; i < executors; i++ {
+	for i := 0; i < opts.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor(ctx)
 	}
 	return s
 }
 
-// Close stops the executors after their current job. Submissions racing
-// with Close are rejected rather than panicking on the closed queue.
+// Close stops the executors after their current job (whose contexts are
+// cancelled, so in-flight runs stop promptly). Submissions racing with Close
+// are rejected rather than panicking on the closed queue.
 func (s *Server) Close() {
 	s.stop()
 	s.mu.Lock()
@@ -75,12 +140,17 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	// Executors have stopped; fail anything still queued so clients
-	// polling Wait see a terminal state instead of pending forever.
+	// polling or watching see a terminal state instead of pending forever.
 	s.mu.Lock()
 	for _, rec := range s.jobs {
-		if rec.info.State == StatePending || rec.info.State == StateRunning {
-			rec.info.State = StateFailed
-			rec.info.Error = "server shut down before the job ran"
+		if !rec.job.State.Terminal() {
+			rec.spec.inline = nil // the payload can never be used; release it
+			now := s.now()
+			rec.job.State = StateFailed
+			rec.job.Finished = &now
+			rec.job.Error = &JobError{Code: CodeShutdown, Message: "server shut down before the job ran"}
+			s.statFailed++
+			s.publishStateLocked(rec)
 		}
 	}
 	s.mu.Unlock()
@@ -89,13 +159,15 @@ func (s *Server) Close() {
 	s.platform.Flush()
 }
 
-// Handler returns the HTTP routing for the API.
+// Handler returns the HTTP routing for both API versions, wrapped in the
+// logging/recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
 	})
+	// v1: the original flat RPC surface, pinned by compatibility tests.
 	mux.HandleFunc("/api/v1/status", s.handleStatus)
 	mux.HandleFunc("/api/v1/workflows", s.handleWorkflows)
 	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
@@ -103,271 +175,162 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/kb/query", s.handleQuery)
 	mux.HandleFunc("/api/v1/kb/profiles", s.handleProfiles)
 	mux.HandleFunc("/api/v1/kb/export", s.handleExport)
-	return mux
+	// v2: resource-oriented jobs.
+	mux.HandleFunc("/api/v2/jobs", s.handleV2Jobs)
+	mux.HandleFunc("/api/v2/jobs/", s.handleV2Job)
+	return s.middleware(mux)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
+// ---------------------------------------------------------------------------
+// Job store
+// ---------------------------------------------------------------------------
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
+// Submission errors surfaced to both API versions (the v1 handlers send
+// Message verbatim in the legacy envelope).
+var (
+	errShuttingDown = &APIError{Code: CodeUnavailable, Message: "server is shutting down"}
+	errQueueFull    = &APIError{Code: CodeUnavailable, Message: "job queue full"}
+)
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	// One consistent snapshot: separate RunCount/PendingLogs calls could
-	// interleave with a fold and report pending > total.
-	runLogs, runPending := s.platform.KB().RunCounts()
-	s.mu.Lock()
-	resp := StatusResponse{
-		Workers:        s.platform.Workers(),
-		RunLogs:        runLogs,
-		RunLogsPending: runPending,
-	}
-	for _, rec := range s.jobs {
-		switch rec.info.State {
-		case StatePending:
-			resp.Pending++
-		case StateRunning:
-			resp.Running++
-		case StateDone:
-			resp.Completed++
-		case StateFailed:
-			resp.Failed++
-		}
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		var req SubmitRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
-		if req.ReferenceLength < 200 || req.Reads < 1 {
-			writeError(w, http.StatusBadRequest,
-				"reference_length must be >= 200 and reads >= 1")
-			return
-		}
-		if req.ReadLength != nil && *req.ReadLength == 0 {
-			writeError(w, http.StatusBadRequest,
-				"read_length 0 is invalid; omit the field for the default (%d)",
-				DefaultReadLength)
-			return
-		}
-		if req.Workflow == "" {
-			req.Workflow = core.VariantDetectionWorkflow
-		}
-		if err := s.submittable(req.Workflow); err != nil {
-			writeError(w, http.StatusBadRequest, "workflow %q: %v", req.Workflow, err)
-			return
-		}
-		info, err := s.enqueue(req)
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, info)
-	case http.MethodGet:
-		s.mu.Lock()
-		out := make([]JobInfo, 0, len(s.order))
-		for _, id := range s.order {
-			out = append(out, s.jobs[id].info)
-		}
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, out)
-	default:
-		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
-	}
-}
-
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
-	id, err := strconv.Atoi(idStr)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad job id %q", idStr)
-		return
-	}
-	s.mu.Lock()
-	rec, ok := s.jobs[id]
-	var info JobInfo
-	if ok {
-		info = rec.info
-	}
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, "no job %d", id)
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	res, err := s.platform.KB().Query(req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "query failed: %v", err)
-		return
-	}
-	resp := QueryResponse{Vars: res.Vars}
-	for _, row := range res.Rows {
-		m := make(map[string]string, len(row))
-		for v, term := range row {
-			m[v] = term.String()
-		}
-		resp.Rows = append(resp.Rows, m)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	ps, err := s.platform.KB().Profiles()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "profiles: %v", err)
-		return
-	}
-	out := make([]ProfileInfo, len(ps))
-	for i, p := range ps {
-		out[i] = ProfileInfo{
-			Name: p.Name, InputFileSize: p.InputFileSize, Steps: p.Steps,
-			RAM: p.RAM, CPU: p.CPU, ETime: p.ETime,
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	writeJSON(w, http.StatusOK, out)
-}
-
-// handleExport serves the knowledge base as Turtle (default) or RDF/XML
-// (?format=rdfxml), the paper's listing format.
-func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	switch r.URL.Query().Get("format") {
-	case "", "turtle":
-		writeDocument(w, "text/turtle", s.platform.KB().Export)
-	case "rdfxml":
-		writeDocument(w, "application/rdf+xml", s.platform.KB().ExportRDFXML)
-	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
-	}
-}
-
-// writeDocument encodes a document fully into memory before touching the
-// ResponseWriter. Streaming straight into the writer looks cheaper but has
-// a broken failure mode: once the 200 header and a partial body are out, a
-// mid-stream encode error can only append a JSON error blob (and a
-// superfluous-500 log) onto the partial document. Buffering guarantees the
-// client gets either a complete document or a clean JSON error.
-func writeDocument(w http.ResponseWriter, contentType string, encode func(io.Writer) error) {
-	var buf bytes.Buffer
-	if err := encode(&buf); err != nil {
-		writeError(w, http.StatusInternalServerError, "export: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", contentType)
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	_, _ = w.Write(buf.Bytes())
-}
-
-// submittable checks a workflow can run on the daemon's synthetic-FASTQ
-// surface: it must be catalogued, consume FASTQ, and have an executor for
-// every stage.
-func (s *Server) submittable(name string) error {
-	wf, err := s.platform.Catalogue().Get(name)
-	if err != nil {
-		return err
-	}
-	if wf.Consumes() != workflow.FASTQ {
-		return fmt.Errorf("consumes %s; the job surface synthesises FASTQ reads only", wf.Consumes())
-	}
-	return s.platform.Engine().CanRun(wf)
-}
-
-func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	cat := s.platform.Catalogue()
-	out := make([]WorkflowInfo, 0, cat.Len())
-	for _, name := range cat.Names() {
-		wf, err := cat.Get(name)
-		if err != nil {
-			continue // registry is append-only; cannot happen
-		}
-		info := WorkflowInfo{
-			Name:        wf.Name,
-			Family:      wf.Family,
-			Description: wf.Description,
-			Consumes:    string(wf.Consumes()),
-			Produces:    string(wf.Produces()),
-			Runnable:    true,
-		}
-		for _, st := range wf.Stages {
-			info.Stages = append(info.Stages, StageInfo{
-				Name: st.Name, Tool: st.Tool,
-				Consumes: string(st.Consumes), Produces: string(st.Produces),
-				Parallelizable: st.Parallelizable,
-			})
-		}
-		if err := s.platform.Engine().CanRun(wf); err != nil {
-			info.Runnable = false
-			info.Reason = err.Error()
-		}
-		out = append(out, info)
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) enqueue(req SubmitRequest) (JobInfo, error) {
+// enqueue adds a validated submission to the store and queue.
+func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return JobInfo{}, fmt.Errorf("server is shutting down")
+		return Job{}, errShuttingDown
 	}
 	id := s.nextID
-	info := JobInfo{ID: id, State: StatePending, Workflow: req.Workflow, Submitted: s.now()}
 	// The send happens under the lock so it cannot race Close's
 	// close(s.queue); it must therefore never block, so a full queue is
 	// backpressure reported to the client instead of a queued send.
 	select {
 	case s.queue <- id:
 	default:
-		return JobInfo{}, fmt.Errorf("job queue full")
+		return Job{}, errQueueFull
 	}
 	s.nextID++
-	s.jobs[id] = &jobRecord{info: info, req: req}
+	rec := &jobRecord{
+		job: Job{
+			ID:        id,
+			State:     StatePending,
+			Workflow:  spec.workflow,
+			Source:    spec.source(),
+			Submitted: s.now(),
+		},
+		spec: spec,
+		wake: make(chan struct{}),
+	}
+	s.jobs[id] = rec
 	s.order = append(s.order, id)
-	return info, nil
+	s.publishStateLocked(rec)
+	return rec.job.clone(), nil
 }
+
+// publishLocked appends an event to the record's log and wakes watchers.
+// Callers hold s.mu.
+func (s *Server) publishLocked(rec *jobRecord, ev JobEvent) {
+	ev.Seq = len(rec.events)
+	ev.Time = s.now()
+	rec.events = append(rec.events, ev)
+	close(rec.wake)
+	rec.wake = make(chan struct{})
+}
+
+// publishStateLocked emits a state-transition event for the record's current
+// state; terminal events carry the full job resource.
+func (s *Server) publishStateLocked(rec *jobRecord) {
+	ev := JobEvent{Type: EventState, State: rec.job.State}
+	if rec.job.State.Terminal() {
+		j := rec.job.clone()
+		ev.Job = &j
+	}
+	s.publishLocked(rec, ev)
+}
+
+// publishStage streams one completed workflow stage to the job's watchers.
+// Called from inside the engine run (via RunOptions.StageObserver).
+func (s *Server) publishStage(id int, sr workflow.StageResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok || rec.job.State != StateRunning {
+		return
+	}
+	s.publishLocked(rec, JobEvent{Type: EventStage, Stage: &StageBreakdown{
+		Name:       sr.Stage,
+		Tool:       sr.Tool,
+		Shards:     sr.Shards,
+		ElapsedSec: sr.Elapsed.Seconds(),
+	}})
+}
+
+// evictLocked enforces the retention bound: oldest terminal jobs beyond the
+// limit are dropped from the store. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].job.State.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.retention {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.retention && s.jobs[id].job.State.Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// cancelJob implements DELETE /api/v2/jobs/{id}. Pending jobs are canceled
+// immediately; running jobs get their per-job context cancelled and reach
+// the canceled state asynchronously (status 202); cancellation of an
+// already-canceled job is idempotent; done/failed jobs conflict.
+func (s *Server) cancelJob(id int) (Job, int, *APIError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return Job{}, http.StatusNotFound,
+			&APIError{Code: CodeNotFound, Message: fmt.Sprintf("no job %d", id)}
+	}
+	switch rec.job.State {
+	case StatePending:
+		rec.cancelRequested = true
+		rec.spec.inline = nil // the payload can never be used; release it
+		now := s.now()
+		rec.job.State = StateCanceled
+		rec.job.Finished = &now
+		rec.job.Error = &JobError{Code: CodeCanceled, Message: "job canceled before it started"}
+		s.statCanceled++
+		s.publishStateLocked(rec)
+		s.evictLocked()
+		return rec.job.clone(), http.StatusOK, nil
+	case StateRunning:
+		if !rec.cancelRequested {
+			rec.cancelRequested = true
+			rec.cancel() // threads through runJob → Platform.RunWorkflow
+		}
+		return rec.job.clone(), http.StatusAccepted, nil
+	case StateCanceled:
+		return rec.job.clone(), http.StatusOK, nil
+	default: // done or failed
+		return Job{}, http.StatusConflict, &APIError{
+			Code:    CodeConflict,
+			Message: fmt.Sprintf("job %d already %s", id, rec.job.State),
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
 
 func (s *Server) executor(ctx context.Context) {
 	defer s.wg.Done()
@@ -381,84 +344,175 @@ func (s *Server) executor(ctx context.Context) {
 
 func (s *Server) runJob(ctx context.Context, id int) {
 	s.mu.Lock()
-	rec := s.jobs[id]
-	rec.info.State = StateRunning
-	req := rec.req
+	rec, ok := s.jobs[id]
+	if !ok || rec.job.State != StatePending {
+		// Canceled (or failed by Close) while queued: nothing to run.
+		s.mu.Unlock()
+		return
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	rec.cancel = cancel
+	started := s.now()
+	rec.job.State = StateRunning
+	rec.job.Started = &started
+	spec := rec.spec
+	s.publishStateLocked(rec)
 	s.mu.Unlock()
 
-	start := time.Now()
-	info, err := s.execute(ctx, req)
+	result, err := s.execute(jctx, id, spec)
+	cancel()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	info.ID = id
-	info.Workflow = rec.info.Workflow
-	info.Submitted = rec.info.Submitted
-	info.ElapsedSec = time.Since(start).Seconds()
-	if err != nil {
-		info.State = StateFailed
-		info.Error = err.Error()
-	} else {
-		info.State = StateDone
+	finished := s.now()
+	rec.cancel = nil
+	rec.spec.inline = nil // release the payload; the record outlives the run
+	rec.job.Finished = &finished
+	switch {
+	case err == nil:
+		result.ElapsedSec = finished.Sub(started).Seconds()
+		rec.job.State = StateDone
+		rec.job.Result = &result
+		s.statDone++
+	case rec.cancelRequested:
+		rec.job.State = StateCanceled
+		rec.job.Error = &JobError{Code: CodeCanceled, Message: "job canceled while running"}
+		s.statCanceled++
+	default:
+		rec.job.State = StateFailed
+		rec.job.Error = &JobError{Code: CodeExecutionFailed, Message: err.Error()}
+		s.statFailed++
 	}
-	rec.info = info
+	s.publishStateLocked(rec)
+	s.evictLocked()
 }
 
-// execute generates the synthetic dataset and runs the requested workflow
-// through the platform's engine.
-func (s *Server) execute(ctx context.Context, req SubmitRequest) (JobInfo, error) {
-	// Tri-state defaulting (see SubmitRequest): absent/negative fields get
-	// defaults, explicit values — including error_rate 0 — are honored.
-	readLen := req.EffectiveReadLength()
-	errRate := req.EffectiveErrorRate()
-	rng := rand.New(rand.NewSource(req.Seed))
-	ref := genomics.GenerateReference(rng, "chr1", req.ReferenceLength)
-	mutated, planted := genomics.PlantSNVs(rng, ref, req.SNVs)
-	reads, err := genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
-		Count: req.Reads, Length: readLen, ErrorRate: errRate,
-	})
-	if err != nil {
-		return JobInfo{}, err
+// execute materializes the job's dataset (synthetic generation or the
+// prevalidated inline payload) and runs the requested workflow through the
+// platform's engine, streaming per-stage completions to watchers.
+func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, error) {
+	var (
+		ref     genomics.Sequence
+		reads   []genomics.Read
+		planted []genomics.Mutation
+	)
+	if syn := spec.synthetic; syn != nil {
+		rng := rand.New(rand.NewSource(syn.Seed))
+		ref = genomics.GenerateReference(rng, "chr1", syn.ReferenceLength)
+		var mutated genomics.Sequence
+		mutated, planted = genomics.PlantSNVs(rng, ref, syn.SNVs)
+		var err error
+		reads, err = genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
+			Count: syn.Reads, Length: syn.EffectiveReadLength(), ErrorRate: syn.EffectiveErrorRate(),
+		})
+		if err != nil {
+			return JobResult{}, err
+		}
+	} else {
+		ref, reads = spec.inline.ref, spec.inline.reads
 	}
 
-	// handleJobs defaults req.Workflow before enqueue, so it is never
-	// empty here. Every workflow — the default included — runs through
-	// the same generic engine surface; RunVariantCalling is the library
-	// facade over the identical execution (core's equivalence test
-	// proves it).
-	wres, err := s.platform.RunWorkflow(ctx, req.Workflow,
+	wres, err := s.platform.RunWorkflow(ctx, spec.workflow,
 		workflow.NewFASTQDataset(ref, reads),
 		workflow.RunOptions{
-			Caller:       variant.Config{MinDepth: 8, MinAltFraction: 0.6},
-			ShardRecords: req.ShardRecords,
+			Caller:        variant.Config{MinDepth: 8, MinAltFraction: 0.6},
+			ShardRecords:  spec.shardRecords,
+			StageObserver: func(sr workflow.StageResult) { s.publishStage(id, sr) },
 		})
 	if err != nil {
-		return JobInfo{}, err
+		return JobResult{}, err
 	}
 	calls := wres.Output.Variants
-	info := JobInfo{
+	result := JobResult{
 		Mapped:     wres.Output.Mapped,
 		TotalReads: len(reads),
 		Variants:   len(calls),
 		Features:   len(wres.Output.Features),
+		Stages:     make([]StageBreakdown, 0, len(wres.Stages)),
+	}
+	for _, sr := range wres.Stages {
+		result.Stages = append(result.Stages, StageBreakdown{
+			Name:       sr.Stage,
+			Tool:       sr.Tool,
+			Shards:     sr.Shards,
+			ElapsedSec: sr.Elapsed.Seconds(),
+		})
 	}
 	if sr, ok := wres.RecordScatter(); ok {
-		info.Shards = sr.Plan.NumShards
+		result.Shards = sr.Plan.NumShards
 	}
-	// Planted-SNV recovery scoring applies to every variant-calling
-	// workflow. It is gated on the catalogue's output type, not on the
-	// call set being non-empty: a run that recovers nothing must report
-	// 0/N, not an empty 0/0.
-	if wf, err := s.platform.Catalogue().Get(req.Workflow); err == nil && wf.Produces() == workflow.VCF {
-		info.Planted = len(planted)
+	// Planted-SNV recovery scoring applies to every synthetic
+	// variant-calling run. It is gated on the catalogue's output type, not
+	// on the call set being non-empty: a run that recovers nothing must
+	// report 0/N, not an empty 0/0. Inline datasets carry no planted
+	// truth, so the score stays zero.
+	if wf, err := s.platform.Catalogue().Get(spec.workflow); err == nil &&
+		wf.Produces() == workflow.VCF && spec.synthetic != nil {
+		result.Planted = len(planted)
 		calledAt := map[int]genomics.Variant{}
 		for _, v := range calls {
 			calledAt[v.Pos-1] = v
 		}
 		for _, m := range planted {
 			if v, ok := calledAt[m.Pos]; ok && v.Alt == string(m.Alt) {
-				info.Recovered++
+				result.Recovered++
 			}
 		}
 	}
-	return info, nil
+	return result, nil
+}
+
+// submittable checks a workflow can run on the daemon's FASTQ job surface:
+// it must be catalogued, consume FASTQ, and have an executor for every
+// stage.
+func (s *Server) submittable(name string) error {
+	wf, err := s.platform.Catalogue().Get(name)
+	if err != nil {
+		return err
+	}
+	if wf.Consumes() != workflow.FASTQ {
+		return fmt.Errorf("consumes %s; the job surface accepts FASTQ reads only", wf.Consumes())
+	}
+	return s.platform.Engine().CanRun(wf)
+}
+
+// ---------------------------------------------------------------------------
+// v1 view derivation
+// ---------------------------------------------------------------------------
+
+// v1View renders the v2 job resource in the flat v1 JobInfo shape. v1's
+// state enum predates cancellation, so canceled jobs appear as failed —
+// old clients never see a state value they do not know.
+func v1View(j Job) JobInfo {
+	info := JobInfo{
+		ID:        j.ID,
+		State:     j.State,
+		Workflow:  j.Workflow,
+		Submitted: j.Submitted,
+	}
+	if j.State == StateCanceled {
+		info.State = StateFailed
+	}
+	if j.Error != nil {
+		info.Error = j.Error.Message
+	}
+	if j.Started != nil && j.Finished != nil {
+		info.ElapsedSec = j.Finished.Sub(*j.Started).Seconds()
+	}
+	if r := j.Result; r != nil {
+		info.Mapped = r.Mapped
+		info.TotalReads = r.TotalReads
+		info.Variants = r.Variants
+		info.Features = r.Features
+		info.Recovered = r.Recovered
+		info.Planted = r.Planted
+		info.Shards = r.Shards
+	}
+	return info
+}
+
+// isV2 reports whether the request belongs to the v2 surface (which uses
+// the structured error envelope).
+func isV2(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/api/v2/")
 }

@@ -1,8 +1,21 @@
 // Package rpc implements the SCAN scheduler's HTTP interface — the
-// equivalent of the paper's CherryPy prototype ("The scheduler is
+// descendant of the paper's CherryPy prototype ("The scheduler is
 // implemented in Python, using the CherryPy web framework to process HTTP
 // requests. Its interface is realized using HTTP RPCs."). scand serves it;
-// scanctl talks to it.
+// scanctl and Client talk to it.
+//
+// Two API versions share one job store and engine:
+//
+//   - /api/v2 (v2types.go, v2handlers.go) is the resource-oriented surface:
+//     jobs with a structured result and per-stage breakdown, machine-
+//     readable error codes, DELETE-to-cancel that stops in-flight runs via
+//     a per-job context, filtered + paginated listing over a bounded store
+//     with terminal-job retention, SSE event streams (state transitions and
+//     stage completions), and submissions carrying either a synthetic
+//     dataset spec or inline FASTQ records.
+//   - /api/v1 (this file, v1handlers.go) is the original flat RPC surface,
+//     kept wire-compatible for old clients and pinned by v1compat_test.go.
+//     New integrations should use v2.
 package rpc
 
 import "time"
@@ -10,18 +23,22 @@ import "time"
 // JobState is a submitted job's lifecycle phase.
 type JobState string
 
-// Job states.
+// Job states. StateCanceled is v2-only vocabulary: the v1 surface predates
+// cancellation and renders canceled jobs as failed, keeping its state enum
+// closed for old clients.
 const (
-	StatePending JobState = "pending"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StatePending  JobState = "pending"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
 
 // SubmitRequest asks the daemon to run one catalogued workflow over a
-// synthetic dataset. The daemon generates the data (seeded, reproducible)
-// and drives it through the workflow engine's shard → stage chain → merge
-// execution.
+// synthetic dataset — the v1 submission shape. The daemon generates the
+// data (seeded, reproducible) and drives it through the workflow engine's
+// shard → stage chain → merge execution. The v2 equivalent is
+// SubmitJobRequest, which additionally accepts inline FASTQ records.
 type SubmitRequest struct {
 	// Workflow names the catalogued workflow to execute (default:
 	// dna-variant-detection). The workflow must consume FASTQ — the
@@ -74,7 +91,9 @@ func (r *SubmitRequest) EffectiveErrorRate() float64 {
 	return *r.ErrorRate
 }
 
-// JobInfo summarises one job.
+// JobInfo summarises one job in the flat v1 wire shape (lifecycle and
+// result fields conflated, omitempty throughout). It is derived from the
+// v2 Job resource; see v1View.
 type JobInfo struct {
 	ID        int       `json:"id"`
 	State     JobState  `json:"state"`

@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the /api/v1 wire format at the raw-JSON level: flat
+// JobInfo objects, bare arrays for listings, the {"error":"<string>"}
+// envelope, and the closed four-value state enum. The v2 redesign must not
+// move any of it — old clients decode these exact shapes.
+
+func rawRequest(t *testing.T, c *Client, method, path string, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestV1SubmitWireShape(t *testing.T) {
+	c, _ := testServer(t)
+	code, raw := rawRequest(t, c, http.MethodPost, "/api/v1/jobs",
+		`{"reference_length":4000,"reads":600,"snvs":5,"seed":8}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("code = %d, body = %s", code, raw)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		t.Fatalf("submit response is not an object: %v\n%s", err, raw)
+	}
+	for _, key := range []string{"id", "state", "workflow", "submitted"} {
+		if _, ok := obj[key]; !ok {
+			t.Fatalf("submit response missing %q: %s", key, raw)
+		}
+	}
+	if obj["state"] != "pending" {
+		t.Fatalf("state = %v", obj["state"])
+	}
+	// v2 vocabulary must not leak into the v1 shape.
+	for _, key := range []string{"result", "source", "error"} {
+		if _, ok := obj[key]; ok {
+			t.Fatalf("v1 submit response leaked %q: %s", key, raw)
+		}
+	}
+
+	// Once done, the result is flat on the job object — not nested.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	id := int(obj["id"].(float64))
+	if _, err := c.Wait(ctx, id, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	code, raw = rawRequest(t, c, http.MethodGet, "/api/v1/jobs/0", "")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	var done map[string]any
+	if err := json.Unmarshal(raw, &done); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mapped", "total_reads", "variants", "elapsed_sec"} {
+		if _, ok := done[key]; !ok {
+			t.Fatalf("done job missing flat %q: %s", key, raw)
+		}
+	}
+	if _, ok := done["result"]; ok {
+		t.Fatalf("v1 job grew a nested result: %s", raw)
+	}
+	if done["state"] != "done" {
+		t.Fatalf("state = %v", done["state"])
+	}
+}
+
+func TestV1ListIsBareArray(t *testing.T) {
+	c, _ := testServer(t)
+	code, raw := rawRequest(t, c, http.MethodGet, "/api/v1/jobs", "")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if trimmed := bytes.TrimSpace(raw); len(trimmed) == 0 || trimmed[0] != '[' {
+		t.Fatalf("v1 list is not a bare array: %s", raw)
+	}
+}
+
+func TestV1ErrorEnvelopeIsString(t *testing.T) {
+	c, _ := testServer(t)
+	code, raw := rawRequest(t, c, http.MethodGet, "/api/v1/jobs/999", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("code = %d", code)
+	}
+	var env struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error != "no job 999" {
+		t.Fatalf("v1 error envelope = %s (err %v), want string error", raw, err)
+	}
+}
+
+// TestV1QueryRowsNeverNull: a query matching nothing serializes rows (and
+// vars) as empty arrays, not null.
+func TestV1QueryRowsNeverNull(t *testing.T) {
+	c, _ := testServer(t)
+	code, raw := rawRequest(t, c, http.MethodPost, "/api/v1/kb/query",
+		`{"query":"PREFIX scan: <http://www.semanticweb.org/scan/ontologies/scan-ontology#>\nSELECT ?a WHERE { ?a scan:noSuchPredicate ?b . }"}`)
+	if code != http.StatusOK {
+		t.Fatalf("code = %d, body = %s", code, raw)
+	}
+	if !strings.Contains(string(raw), `"rows":[]`) {
+		t.Fatalf("zero-match query leaked null rows: %s", raw)
+	}
+	if strings.Contains(string(raw), `"vars":null`) {
+		t.Fatalf("query leaked null vars: %s", raw)
+	}
+}
+
+// TestV1StateEnumStaysClosed: jobs canceled through v2 appear as "failed"
+// on the v1 surface — v1 clients must never see an unknown state value.
+func TestV1StateEnumStaysClosed(t *testing.T) {
+	p, _ := blockingPlatform(t)
+	c, _ := testServerOptions(t, p, ServerOptions{Executors: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Two jobs on a single executor: the second stays queued; cancel it.
+	if _, err := c.CreateJob(ctx, SubmitJobRequest{Workflow: "block-forever", Synthetic: smallSynthetic(1)}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.CreateJob(ctx, SubmitJobRequest{Workflow: "block-forever", Synthetic: smallSynthetic(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	code, raw := rawRequest(t, c, http.MethodGet, "/api/v1/jobs/1", "")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["state"] != "failed" {
+		t.Fatalf("v1 state for canceled job = %v, want failed", obj["state"])
+	}
+}

@@ -1,0 +1,264 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scan/internal/core"
+)
+
+// The /api/v1 handlers: the original flat RPC surface, wire-compatible with
+// the prototype and pinned by v1compat_test.go. Jobs submitted here flow
+// through the same store and engine as v2 submissions; only the rendering
+// differs (flat JobInfo, string error envelope, closed state enum).
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends the v1 {"error":"<string>"} envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	// One consistent snapshot: separate RunCount/PendingLogs calls could
+	// interleave with a fold and report pending > total.
+	runLogs, runPending := s.platform.KB().RunCounts()
+	s.mu.Lock()
+	resp := StatusResponse{
+		Workers:        s.platform.Workers(),
+		RunLogs:        runLogs,
+		RunLogsPending: runPending,
+		// Cumulative counters survive eviction; canceled jobs count as
+		// failed in v1's four-bucket view.
+		Completed: s.statDone,
+		Failed:    s.statFailed + s.statCanceled,
+	}
+	for _, rec := range s.jobs {
+		switch rec.job.State {
+		case StatePending:
+			resp.Pending++
+		case StateRunning:
+			resp.Running++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if req.ReferenceLength < 200 || req.Reads < 1 {
+			writeError(w, http.StatusBadRequest,
+				"reference_length must be >= 200 and reads >= 1")
+			return
+		}
+		if req.ReadLength != nil && *req.ReadLength == 0 {
+			writeError(w, http.StatusBadRequest,
+				"read_length 0 is invalid; omit the field for the default (%d)",
+				DefaultReadLength)
+			return
+		}
+		if req.Workflow == "" {
+			req.Workflow = core.VariantDetectionWorkflow
+		}
+		if err := s.submittable(req.Workflow); err != nil {
+			writeError(w, http.StatusBadRequest, "workflow %q: %v", req.Workflow, err)
+			return
+		}
+		job, apiErr := s.enqueue(jobSpec{
+			workflow:     req.Workflow,
+			shardRecords: req.ShardRecords,
+			synthetic: &SyntheticSpec{
+				ReferenceLength: req.ReferenceLength,
+				Reads:           req.Reads,
+				ReadLength:      req.ReadLength,
+				SNVs:            req.SNVs,
+				ErrorRate:       req.ErrorRate,
+				Seed:            req.Seed,
+			},
+		})
+		if apiErr != nil {
+			writeError(w, http.StatusServiceUnavailable, "%s", apiErr.Message)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v1View(job))
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]JobInfo, 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, v1View(s.jobs[id].job))
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", idStr)
+		return
+	}
+	s.mu.Lock()
+	rec, ok := s.jobs[id]
+	var info JobInfo
+	if ok {
+		info = v1View(rec.job)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := s.platform.KB().Query(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query failed: %v", err)
+		return
+	}
+	// Zero-row results must serialize as [], not null — clients iterate
+	// "rows" without a nil check.
+	resp := QueryResponse{
+		Vars: append([]string{}, res.Vars...),
+		Rows: make([]map[string]string, 0, len(res.Rows)),
+	}
+	for _, row := range res.Rows {
+		m := make(map[string]string, len(row))
+		for v, term := range row {
+			m[v] = term.String()
+		}
+		resp.Rows = append(resp.Rows, m)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	ps, err := s.platform.KB().Profiles()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "profiles: %v", err)
+		return
+	}
+	out := make([]ProfileInfo, len(ps))
+	for i, p := range ps {
+		out[i] = ProfileInfo{
+			Name: p.Name, InputFileSize: p.InputFileSize, Steps: p.Steps,
+			RAM: p.RAM, CPU: p.CPU, ETime: p.ETime,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExport serves the knowledge base as Turtle (default) or RDF/XML
+// (?format=rdfxml), the paper's listing format.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "turtle":
+		writeDocument(w, "text/turtle", s.platform.KB().Export)
+	case "rdfxml":
+		writeDocument(w, "application/rdf+xml", s.platform.KB().ExportRDFXML)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
+	}
+}
+
+// writeDocument encodes a document fully into memory before touching the
+// ResponseWriter. Streaming straight into the writer looks cheaper but has
+// a broken failure mode: once the 200 header and a partial body are out, a
+// mid-stream encode error can only append a JSON error blob (and a
+// superfluous-500 log) onto the partial document. Buffering guarantees the
+// client gets either a complete document or a clean JSON error.
+func writeDocument(w http.ResponseWriter, contentType string, encode func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := encode(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "export: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	cat := s.platform.Catalogue()
+	out := make([]WorkflowInfo, 0, cat.Len())
+	for _, name := range cat.Names() {
+		wf, err := cat.Get(name)
+		if err != nil {
+			continue // registry is append-only; cannot happen
+		}
+		info := WorkflowInfo{
+			Name:        wf.Name,
+			Family:      wf.Family,
+			Description: wf.Description,
+			Consumes:    string(wf.Consumes()),
+			Produces:    string(wf.Produces()),
+			Runnable:    true,
+			Stages:      make([]StageInfo, 0, len(wf.Stages)),
+		}
+		for _, st := range wf.Stages {
+			info.Stages = append(info.Stages, StageInfo{
+				Name: st.Name, Tool: st.Tool,
+				Consumes: string(st.Consumes), Produces: string(st.Produces),
+				Parallelizable: st.Parallelizable,
+			})
+		}
+		if err := s.platform.Engine().CanRun(wf); err != nil {
+			info.Runnable = false
+			info.Reason = err.Error()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,338 @@
+package rpc
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"scan/internal/core"
+	"scan/internal/genomics"
+)
+
+// The /api/v2 handlers: resource-oriented jobs with machine-readable error
+// codes, cancellation, filtered + paginated listing, and SSE event streams.
+
+// writeV2Error sends the structured v2 error envelope.
+func writeV2Error(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, v2ErrorResponse{Error: APIError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// maxInlineBases bounds the inline payload (reference + reads) so one
+// submission cannot hold the daemon's memory hostage.
+const maxInlineBases = 16 << 20
+
+// maxSubmitBody bounds the raw v2 submission body *before* JSON decoding —
+// without it the inline-bases check runs only after an arbitrarily large
+// body has been materialized. Sized for a maxInlineBases payload with
+// per-read quality strings and JSON structure overhead.
+const maxSubmitBody = 3*maxInlineBases + 1<<20
+
+// handleV2Jobs routes the job collection: POST submits, GET lists.
+func (s *Server) handleV2Jobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleV2Submit(w, r)
+	case http.MethodGet:
+		s.handleV2List(w, r)
+	default:
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) handleV2Submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitJobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody)).Decode(&req); err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: %v", err)
+		return
+	}
+	spec, apiErr := s.normalizeSubmission(req)
+	if apiErr != nil {
+		writeJSON(w, http.StatusBadRequest, v2ErrorResponse{Error: *apiErr})
+		return
+	}
+	job, apiErr := s.enqueue(spec)
+	if apiErr != nil {
+		writeJSON(w, http.StatusServiceUnavailable, v2ErrorResponse{Error: *apiErr})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// normalizeSubmission validates a v2 submission into a jobSpec.
+func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) {
+	invalid := func(format string, args ...any) (jobSpec, *APIError) {
+		return jobSpec{}, &APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf(format, args...)}
+	}
+	if (req.Synthetic == nil) == (req.Inline == nil) {
+		return invalid("exactly one of synthetic or inline must be set")
+	}
+	if req.Workflow == "" {
+		req.Workflow = core.VariantDetectionWorkflow
+	}
+	if err := s.submittable(req.Workflow); err != nil {
+		return invalid("workflow %q: %v", req.Workflow, err)
+	}
+	spec := jobSpec{workflow: req.Workflow, shardRecords: req.ShardRecords}
+	if syn := req.Synthetic; syn != nil {
+		if syn.ReferenceLength < 200 || syn.Reads < 1 {
+			return invalid("synthetic: reference_length must be >= 200 and reads >= 1")
+		}
+		if syn.ReadLength != nil && *syn.ReadLength == 0 {
+			return invalid("synthetic: read_length 0 is invalid; omit the field for the default (%d)",
+				DefaultReadLength)
+		}
+		cp := *syn
+		spec.synthetic = &cp
+		return spec, nil
+	}
+	in, err := normalizeInline(req.Inline)
+	if err != nil {
+		return invalid("inline: %v", err)
+	}
+	spec.inline = in
+	return spec, nil
+}
+
+// normalizeInline validates an inline dataset and converts it to genomics
+// form: bases upper-cased and checked, read IDs and qualities defaulted.
+func normalizeInline(in *InlineDataset) (*inlineInput, error) {
+	refSeq := genomics.Upper([]byte(in.Reference.Sequence))
+	if len(refSeq) < 16 {
+		return nil, fmt.Errorf("reference must be at least 16 bases (the aligner's seed length), got %d", len(refSeq))
+	}
+	if err := genomics.ValidateBases(refSeq); err != nil {
+		return nil, fmt.Errorf("reference: %w", err)
+	}
+	if len(in.Reads) == 0 {
+		return nil, fmt.Errorf("at least one read is required")
+	}
+	name := in.Reference.Name
+	if name == "" {
+		name = "ref"
+	}
+	total := len(refSeq)
+	reads := make([]genomics.Read, 0, len(in.Reads))
+	for i, r := range in.Reads {
+		seq := genomics.Upper([]byte(r.Sequence))
+		if len(seq) == 0 {
+			return nil, fmt.Errorf("read %d: empty sequence", i)
+		}
+		if err := genomics.ValidateBases(seq); err != nil {
+			return nil, fmt.Errorf("read %d: %w", i, err)
+		}
+		if r.Quality != "" && len(r.Quality) != len(seq) {
+			return nil, fmt.Errorf("read %d: quality length %d != sequence length %d",
+				i, len(r.Quality), len(seq))
+		}
+		total += len(seq)
+		if total > maxInlineBases {
+			return nil, fmt.Errorf("payload exceeds %d bases", maxInlineBases)
+		}
+		id := r.ID
+		if id == "" {
+			id = fmt.Sprintf("read%d", i)
+		}
+		qual := []byte(r.Quality)
+		if len(qual) == 0 {
+			qual = make([]byte, len(seq))
+			for j := range qual {
+				qual[j] = 'I' // Phred+33 Q40: "no quality given" means high confidence
+			}
+		}
+		reads = append(reads, genomics.Read{ID: id, Seq: seq, Qual: qual})
+	}
+	return &inlineInput{ref: genomics.Sequence{Name: name, Seq: refSeq}, reads: reads}, nil
+}
+
+// List pagination bounds.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// encodePageToken renders an opaque continuation token: the listing resumes
+// after the given job ID. Position-based tokens stay valid across eviction.
+func encodePageToken(afterID int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("jobs/" + strconv.Itoa(afterID)))
+}
+
+func decodePageToken(tok string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	idStr, ok := strings.CutPrefix(string(raw), "jobs/")
+	if !ok {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	return id, nil
+}
+
+var knownStates = map[JobState]bool{
+	StatePending: true, StateRunning: true,
+	StateDone: true, StateFailed: true, StateCanceled: true,
+}
+
+func (s *Server) handleV2List(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := defaultPageLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "limit must be a positive integer")
+			return
+		}
+		limit = min(n, maxPageLimit)
+	}
+	state := JobState(q.Get("state"))
+	if state != "" && !knownStates[state] {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "unknown state %q", state)
+		return
+	}
+	workflowFilter := q.Get("workflow")
+	after := -1
+	if tok := q.Get("page_token"); tok != "" {
+		id, err := decodePageToken(tok)
+		if err != nil {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+			return
+		}
+		after = id
+	}
+
+	page := JobPage{Jobs: []Job{}}
+	s.mu.Lock()
+	for _, id := range s.order {
+		if id <= after {
+			continue
+		}
+		job := s.jobs[id].job
+		if state != "" && job.State != state {
+			continue
+		}
+		if workflowFilter != "" && job.Workflow != workflowFilter {
+			continue
+		}
+		if len(page.Jobs) == limit {
+			// One more match exists beyond the page: hand out a token.
+			page.NextPageToken = encodePageToken(page.Jobs[limit-1].ID)
+			break
+		}
+		page.Jobs = append(page.Jobs, job.clone())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleV2Job routes one job resource: GET fetches, DELETE cancels, and the
+// /events subresource streams.
+func (s *Server) handleV2Job(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v2/jobs/")
+	idStr, sub, _ := strings.Cut(rest, "/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "bad job id %q", idStr)
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			s.handleV2Get(w, id)
+		case http.MethodDelete:
+			s.handleV2Cancel(w, id)
+		default:
+			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or DELETE only")
+		}
+	case "events":
+		if r.Method != http.MethodGet {
+			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+			return
+		}
+		s.handleV2Events(w, r, id)
+	default:
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "no such resource")
+	}
+}
+
+func (s *Server) handleV2Get(w http.ResponseWriter, id int) {
+	s.mu.Lock()
+	rec, ok := s.jobs[id]
+	var job Job
+	if ok {
+		job = rec.job.clone()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleV2Cancel(w http.ResponseWriter, id int) {
+	job, status, apiErr := s.cancelJob(id)
+	if apiErr != nil {
+		writeJSON(w, status, v2ErrorResponse{Error: *apiErr})
+		return
+	}
+	writeJSON(w, status, job)
+}
+
+// handleV2Events streams the job's event log as Server-Sent Events: the
+// full history replays first (so a watcher attached late still sees every
+// transition), then live events follow until the job reaches a terminal
+// state. Clients stop polling; scand pushes.
+func (s *Server) handleV2Events(w http.ResponseWriter, r *http.Request, id int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeV2Error(w, http.StatusInternalServerError, CodeInternal, "response writer cannot stream")
+		return
+	}
+	s.mu.Lock()
+	rec, exists := s.jobs[id]
+	s.mu.Unlock()
+	if !exists {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "no job %d", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	for {
+		s.mu.Lock()
+		pending := append([]JobEvent(nil), rec.events[next:]...)
+		wake := rec.wake
+		s.mu.Unlock()
+		for _, ev := range pending {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return // cannot happen for these types; drop the stream
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			flusher.Flush()
+			if ev.Type == EventState && ev.State.Terminal() {
+				return
+			}
+		}
+		next += len(pending)
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

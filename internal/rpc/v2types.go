@@ -1,0 +1,251 @@
+package rpc
+
+import (
+	"fmt"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// /api/v2 wire types: the resource-oriented job surface. A Job is a
+// first-class resource with a lifecycle (pending → running → done | failed |
+// canceled), machine-readable errors, and a structured result carrying the
+// per-stage breakdown the workflow engine computes. /api/v1's flat JobInfo
+// remains served unchanged for old clients; both views render from the same
+// job store.
+// ---------------------------------------------------------------------------
+
+// Machine-readable error codes. Request-level codes ride in the v2 error
+// envelope ({"error":{"code":...,"message":...}}); job-level codes ride in
+// Job.Error.
+const (
+	// Request-level codes.
+	CodeInvalidArgument  = "invalid_argument"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeConflict         = "conflict"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+
+	// Job-level codes.
+	CodeCanceled        = "canceled"
+	CodeShutdown        = "shutdown"
+	CodeExecutionFailed = "execution_failed"
+)
+
+// APIError is the v2 machine-readable error: a stable code plus a
+// human-readable message. Client methods wrap it, so callers can
+// errors.As(err, *&APIError) and switch on Code.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// v2ErrorResponse is the v2 JSON error envelope. (v1 keeps its original
+// {"error":"<string>"} envelope; the two are distinguishable by the type of
+// the "error" member.)
+type v2ErrorResponse struct {
+	Error APIError `json:"error"`
+}
+
+// SyntheticSpec describes a daemon-generated dataset: a seeded reference
+// with planted SNVs and simulated reads. It is the v2 form of the v1
+// SubmitRequest's dataset fields, with identical tri-state semantics for the
+// optional read-simulation fields.
+type SyntheticSpec struct {
+	// ReferenceLength is the synthetic genome size in bases (>= 200).
+	ReferenceLength int `json:"reference_length"`
+	// Reads is the number of simulated reads (>= 1).
+	Reads int `json:"reads"`
+	// ReadLength is the simulated read length. DefaultReadLength applies
+	// only when the field is absent or negative; an explicit 0 is rejected.
+	ReadLength *int `json:"read_length,omitempty"`
+	// SNVs is the number of planted mutations.
+	SNVs int `json:"snvs,omitempty"`
+	// ErrorRate is the per-base sequencing error. DefaultErrorRate applies
+	// only when the field is absent or negative; an explicit 0 means
+	// error-free reads and is honored.
+	ErrorRate *float64 `json:"error_rate,omitempty"`
+	// Seed makes the synthetic data reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// EffectiveReadLength resolves the tri-state ReadLength field.
+func (s *SyntheticSpec) EffectiveReadLength() int {
+	if s.ReadLength == nil || *s.ReadLength < 0 {
+		return DefaultReadLength
+	}
+	return *s.ReadLength
+}
+
+// EffectiveErrorRate resolves the tri-state ErrorRate field.
+func (s *SyntheticSpec) EffectiveErrorRate() float64 {
+	if s.ErrorRate == nil || *s.ErrorRate < 0 {
+		return DefaultErrorRate
+	}
+	return *s.ErrorRate
+}
+
+// InlineDataset carries real sequencing input in the submission body — the
+// first non-synthetic workload: a reference sequence plus FASTQ records.
+type InlineDataset struct {
+	Reference InlineSequence `json:"reference"`
+	Reads     []InlineRead   `json:"reads"`
+}
+
+// InlineSequence is a FASTA record inline in a request.
+type InlineSequence struct {
+	// Name is the sequence name (default "ref").
+	Name string `json:"name,omitempty"`
+	// Sequence is the nucleotide string (A/C/G/T/N, case-insensitive),
+	// at least 16 bases (the aligner's seed length).
+	Sequence string `json:"sequence"`
+}
+
+// InlineRead is one FASTQ record inline in a request.
+type InlineRead struct {
+	// ID names the read (default "read<N>").
+	ID string `json:"id,omitempty"`
+	// Sequence is the read's bases (A/C/G/T/N, case-insensitive).
+	Sequence string `json:"sequence"`
+	// Quality is the Phred+33 quality string; when present it must match
+	// the sequence length, when absent a uniform high quality is assumed.
+	Quality string `json:"quality,omitempty"`
+}
+
+// SubmitJobRequest creates a job. Exactly one of Synthetic or Inline must
+// be set.
+type SubmitJobRequest struct {
+	// Workflow names the catalogued workflow to execute (default:
+	// dna-variant-detection). It must consume FASTQ and have an executor
+	// for every stage; see GET /api/v1/workflows.
+	Workflow string `json:"workflow,omitempty"`
+	// Synthetic asks the daemon to generate the dataset.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+	// Inline carries the dataset in the request body.
+	Inline *InlineDataset `json:"inline,omitempty"`
+	// ShardRecords overrides the Data Broker's shard sizing when > 0.
+	ShardRecords int `json:"shard_records,omitempty"`
+}
+
+// Job source values.
+const (
+	SourceSynthetic = "synthetic"
+	SourceInline    = "inline"
+)
+
+// Job is the v2 job resource.
+type Job struct {
+	ID        int        `json:"id"`
+	State     JobState   `json:"state"`
+	Workflow  string     `json:"workflow"`
+	Source    string     `json:"source"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Error is set for failed and canceled jobs.
+	Error *JobError `json:"error,omitempty"`
+	// Result is set for done jobs.
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// JobError explains a terminal failure with a machine-readable code
+// (canceled, shutdown, execution_failed).
+type JobError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// JobResult is a completed job's structured outcome.
+type JobResult struct {
+	Mapped     int     `json:"mapped"`
+	TotalReads int     `json:"total_reads"`
+	Variants   int     `json:"variants"`
+	Features   int     `json:"features"`
+	Recovered  int     `json:"recovered"`
+	Planted    int     `json:"planted"`
+	Shards     int     `json:"shards"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Stages is the per-stage breakdown, in execution order — never null.
+	Stages []StageBreakdown `json:"stages"`
+}
+
+// StageBreakdown reports one executed workflow stage.
+type StageBreakdown struct {
+	Name       string  `json:"name"`
+	Tool       string  `json:"tool"`
+	Shards     int     `json:"shards"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// JobPage is one page of GET /api/v2/jobs. Jobs is never null; a non-empty
+// NextPageToken means more jobs match the filters.
+type JobPage struct {
+	Jobs          []Job  `json:"jobs"`
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+// ListJobsOptions filters and paginates GET /api/v2/jobs.
+type ListJobsOptions struct {
+	// State keeps only jobs in the given state when non-empty.
+	State JobState
+	// Workflow keeps only jobs of the given workflow when non-empty.
+	Workflow string
+	// Limit bounds the page size (default 100, max 1000).
+	Limit int
+	// PageToken resumes a previous listing from its NextPageToken.
+	PageToken string
+}
+
+// Event types on the job event stream.
+const (
+	EventState = "state"
+	EventStage = "stage"
+)
+
+// JobEvent is one entry on a job's event stream
+// (GET /api/v2/jobs/{id}/events, served as SSE): a lifecycle state
+// transition or a completed workflow stage. Seq numbers events from 0 per
+// job; terminal state events carry the full Job resource so watchers need no
+// follow-up fetch.
+type JobEvent struct {
+	Seq   int             `json:"seq"`
+	Type  string          `json:"type"`
+	Time  time.Time       `json:"time"`
+	State JobState        `json:"state,omitempty"`
+	Stage *StageBreakdown `json:"stage,omitempty"`
+	Job   *Job            `json:"job,omitempty"`
+}
+
+// Terminal reports whether the state is final (done, failed or canceled).
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// clone deep-copies the job so snapshots handed to clients cannot alias the
+// store's mutable record.
+func (j Job) clone() Job {
+	out := j
+	if j.Started != nil {
+		t := *j.Started
+		out.Started = &t
+	}
+	if j.Finished != nil {
+		t := *j.Finished
+		out.Finished = &t
+	}
+	if j.Error != nil {
+		e := *j.Error
+		out.Error = &e
+	}
+	if j.Result != nil {
+		r := *j.Result
+		r.Stages = append([]StageBreakdown(nil), j.Result.Stages...)
+		if r.Stages == nil {
+			r.Stages = []StageBreakdown{}
+		}
+		out.Result = &r
+	}
+	return out
+}

@@ -91,6 +91,13 @@ type RunOptions struct {
 	// MinQual is the VariantFiltration quality floor (default 0: keep
 	// every call, matching the caller's own thresholds).
 	MinQual float64
+	// StageObserver, when non-nil, is invoked synchronously after each
+	// stage completes, with that stage's StageResult (name, tool, scatter
+	// width, elapsed time, shard plan). It is the engine's progress
+	// surface: scand streams these callbacks to API clients as per-stage
+	// events. The callback runs on the engine's goroutine between stages,
+	// so it must not block on the run it is observing.
+	StageObserver func(StageResult)
 }
 
 // StageResult reports one executed stage.
@@ -207,6 +214,9 @@ func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptio
 		}
 		sr.Elapsed = time.Since(start)
 		res.Stages = append(res.Stages, sr)
+		if opts.StageObserver != nil {
+			opts.StageObserver(sr)
+		}
 		ds = out
 	}
 	res.Output = ds

@@ -417,3 +417,60 @@ func TestDatasetRecordsAndString(t *testing.T) {
 		t.Fatal("unknown payload should count 0 records")
 	}
 }
+
+// TestStageObserverStreamsResults: the observer fires once per stage, in
+// catalogue order, with the same StageResult the engine records — the hook
+// scand's event stream is built on.
+func TestStageObserverStreamsResults(t *testing.T) {
+	e := testEngine(t, 2)
+	ds := synthDataset(t, 4000, 800, 2)
+	var observed []StageResult
+	res, err := e.RunByName(context.Background(), "dna-variant-detection", ds, RunOptions{
+		StageObserver: func(sr StageResult) { observed = append(observed, sr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != len(res.Stages) {
+		t.Fatalf("observer saw %d stages, engine recorded %d", len(observed), len(res.Stages))
+	}
+	for i, sr := range res.Stages {
+		if observed[i] != sr {
+			t.Fatalf("stage %d: observed %+v != recorded %+v", i, observed[i], sr)
+		}
+	}
+}
+
+// TestStageObserverStopsWithRun: a failing stage ends the observer stream —
+// stages after the failure are never reported.
+func TestStageObserverStopsWithRun(t *testing.T) {
+	cat := NewRegistry()
+	boom := errors.New("stage exploded")
+	if err := cat.Register(Workflow{
+		Name: "two-stage", Family: "genomic",
+		Stages: []Stage{
+			{Name: "ok", Tool: "okTool", Consumes: FASTQ, Produces: BAM},
+			{Name: "fail", Tool: "failTool", Consumes: BAM, Produces: VCF},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	execs := NewExecutorRegistry()
+	_ = execs.Register("okTool", "", executorFunc(func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+		return &Dataset{Type: BAM, Reference: in.Reference}, nil
+	}))
+	_ = execs.Register("failTool", "", executorFunc(func(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+		return nil, boom
+	}))
+	e := NewEngine(EngineOptions{Catalogue: cat, Executors: execs, Workers: 1})
+	var observed []string
+	_, err := e.RunByName(context.Background(), "two-stage", synthDataset(t, 2000, 50, 3), RunOptions{
+		StageObserver: func(sr StageResult) { observed = append(observed, sr.Stage) },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the stage failure", err)
+	}
+	if len(observed) != 1 || observed[0] != "ok" {
+		t.Fatalf("observed stages = %v, want [ok]", observed)
+	}
+}
