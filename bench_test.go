@@ -211,7 +211,12 @@ var brokerBench struct {
 }
 
 // recordBrokerBench stores one benchmark measurement and rewrites the JSON
-// artifact, so any -bench selection leaves a consistent file behind.
+// artifact, so any -bench selection leaves a consistent file behind. When
+// the same entry records more than once in one process (`-count N`), the
+// fastest measurement wins: min-of-N is the standard scheduler-noise
+// reducer, and CI's regression guard compares these trajectories across
+// machines, so each entry should be the machine's best case, not its
+// noisiest run.
 func recordBrokerBench(b *testing.B, name string, kbRuns int, lost *int) {
 	b.Helper()
 	entry := brokerBenchEntry{
@@ -226,7 +231,9 @@ func recordBrokerBench(b *testing.B, name string, kbRuns int, lost *int) {
 	replaced := false
 	for i, e := range brokerBench.entries {
 		if e.Name == name {
-			brokerBench.entries[i] = entry
+			if entry.NsPerOp < e.NsPerOp {
+				brokerBench.entries[i] = entry
+			}
 			replaced = true
 			break
 		}

@@ -1,0 +1,57 @@
+// Command benchguard is CI's Data Broker performance gate: it compares a
+// freshly produced BENCH_broker.json trajectory against the committed
+// baseline and exits non-zero when any guarded entry (advice or ingest
+// ns/op) regresses past the allowance.
+//
+//	cp BENCH_broker.json /tmp/baseline.json
+//	go test -run '^$' -bench Broker -benchtime 20000x .
+//	benchguard -baseline /tmp/baseline.json -current BENCH_broker.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scan/internal/benchguard"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed trajectory to compare against")
+	currentPath := flag.String("current", "BENCH_broker.json", "freshly benchmarked trajectory")
+	maxRegression := flag.Float64("max-regression", 0.30, "allowed ns/op slowdown (0.30 = +30%)")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+	baseline, err := benchguard.Load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := benchguard.Load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cs, err := benchguard.Compare(baseline, current, *maxRegression)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	for _, c := range cs {
+		status := "ok"
+		if c.Regressed {
+			status = "REGRESSED"
+		}
+		fmt.Printf("%-28s baseline %12.2f ns/op  current %12.2f ns/op  %6.2fx  %s\n",
+			c.Name, c.BaselineNs, c.CurrentNs, c.Ratio, status)
+	}
+	if regs := benchguard.Regressions(cs); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d guarded entries regressed past +%.0f%%\n",
+			len(regs), *maxRegression*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: all %d guarded entries within +%.0f%%\n", len(cs), *maxRegression*100)
+}

@@ -9,6 +9,9 @@
 //	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
 //	scanctl submit -workflow somatic-mutation-detection -reads 4000 [-wait]
 //	scanctl submit -reads 4000 -read-length 150 -error-rate 0 [-wait]
+//	scanctl submit -spectra 400 -proteins 20 [-wait]
+//	scanctl submit -images 4 -cells 6 [-wait]
+//	scanctl submit -genes 200 -modules 5 [-wait]
 //	scanctl jobs [-state done] [-workflow NAME] [-limit 20] [-page TOKEN]
 //	scanctl job <id>
 //	scanctl watch <id>
@@ -17,9 +20,18 @@
 //	scanctl query 'PREFIX scan: <...> SELECT ?app WHERE { ... }'
 //	scanctl export rdfxml
 //
-// Submitting a named workflow runs any catalogued genomic analysis through
-// the daemon's workflow engine; `scanctl workflows` lists the catalogue and
-// marks which entries the engine can execute.
+// Submitting a named workflow runs any catalogued analysis through the
+// daemon's workflow engine; `scanctl workflows` lists the catalogue, whose
+// four data-process families are all executable. The flags pick the
+// dataset family: the default is synthetic sequencing reads, -spectra /
+// -proteins generate a proteomic (MGF) dataset, -images / -cells a
+// microscopy (TIFF) dataset, and -genes / -modules an integrative
+// feature-table dataset — each defaulting to its family's canonical
+// workflow when -workflow is not given. Naming a workflow without any
+// family flag also works: the client looks up the workflow's consumed
+// data type in the catalogue and generates a matching dataset, so
+// `scanctl submit -workflow proteome-gpm -wait` runs with default
+// spectra instead of shipping reads the workflow would reject.
 //
 // `scanctl watch` (and `submit -wait`) subscribes to the job's server-sent
 // event stream instead of polling: state transitions and per-stage
@@ -129,7 +141,7 @@ func cmdStatus(ctx context.Context, c *rpc.Client) error {
 
 func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
-	workflowName := fs.String("workflow", "", "catalogued workflow to run (default dna-variant-detection; see `scanctl workflows`)")
+	workflowName := fs.String("workflow", "", "catalogued workflow to run (default: the dataset family's canonical analysis; see `scanctl workflows`)")
 	refLen := fs.Int("ref", 20000, "synthetic reference length (bases)")
 	reads := fs.Int("reads", 4000, "simulated read count")
 	snvs := fs.Int("snvs", 12, "planted SNVs")
@@ -137,32 +149,70 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	shardRecs := fs.Int("shard-records", 0, "records per shard (0 = knowledge base decides)")
 	readLen := fs.Int("read-length", rpc.DefaultReadLength, "simulated read length (bases)")
 	errRate := fs.Float64("error-rate", rpc.DefaultErrorRate, "per-base sequencing error rate (0 = error-free reads)")
+	spectra := fs.Int("spectra", 400, "proteomic: simulated MS/MS spectra (selects the MGF dataset family)")
+	proteins := fs.Int("proteins", 20, "proteomic: synthetic proteins in the peptide database (selects the MGF dataset family)")
+	images := fs.Int("images", 2, "imaging: microscopy frames (selects the TIFF dataset family)")
+	cells := fs.Int("cells", 6, "imaging: planted cells per frame (selects the TIFF dataset family)")
+	genes := fs.Int("genes", 200, "integrative: gene measurements (selects the feature-table dataset family)")
+	modules := fs.Int("modules", 4, "integrative: planted modules (selects the feature-table dataset family)")
 	wait := fs.Bool("wait", false, "stream the job's events until it finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec := &rpc.SyntheticSpec{
-		ReferenceLength: *refLen,
-		Reads:           *reads,
-		SNVs:            *snvs,
-		Seed:            *seed,
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// The dataset family follows the flags the user actually passed; with
+	// only -workflow given, it follows the catalogue's consumed data type
+	// instead of silently shipping reads a non-genomic workflow rejects.
+	consumes := ""
+	switch {
+	case set["spectra"] || set["proteins"]:
+		consumes = "MGF"
+	case set["images"] || set["cells"]:
+		consumes = "TIFF"
+	case set["genes"] || set["modules"]:
+		consumes = "FeatureTable"
+	case *workflowName != "":
+		wfs, err := c.Workflows(ctx)
+		if err != nil {
+			return err
+		}
+		for _, wf := range wfs {
+			if wf.Name == *workflowName {
+				consumes = wf.Consumes
+				break
+			}
+		}
+		// An unknown name submits as FASTQ and gets the server's
+		// machine-readable "not found".
 	}
-	// Only explicitly passed flags go on the wire: the daemon distinguishes
-	// "absent" from "zero" (an explicit -error-rate 0 means error-free
-	// reads, not "use the default").
-	fs.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "read-length":
+	req := rpc.SubmitJobRequest{Workflow: *workflowName, ShardRecords: *shardRecs}
+	switch consumes {
+	case "MGF":
+		req.Proteome = &rpc.ProteomeSpec{Proteins: *proteins, Spectra: *spectra, Seed: *seed}
+	case "TIFF":
+		req.Imaging = &rpc.ImagingSpec{Images: *images, CellsPerImage: *cells, Seed: *seed}
+	case "FeatureTable":
+		req.Network = &rpc.NetworkSpec{Genes: *genes, Modules: *modules, Seed: *seed}
+	default:
+		spec := &rpc.SyntheticSpec{
+			ReferenceLength: *refLen,
+			Reads:           *reads,
+			SNVs:            *snvs,
+			Seed:            *seed,
+		}
+		// Only explicitly passed flags go on the wire: the daemon
+		// distinguishes "absent" from "zero" (an explicit -error-rate 0
+		// means error-free reads, not "use the default").
+		if set["read-length"] {
 			spec.ReadLength = readLen
-		case "error-rate":
+		}
+		if set["error-rate"] {
 			spec.ErrorRate = errRate
 		}
-	})
-	job, err := c.CreateJob(ctx, rpc.SubmitJobRequest{
-		Workflow:     *workflowName,
-		Synthetic:    spec,
-		ShardRecords: *shardRecs,
-	})
+		req.Synthetic = spec
+	}
+	job, err := c.CreateJob(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -265,13 +315,47 @@ func cmdCancel(ctx context.Context, c *rpc.Client, idStr string) error {
 	return nil
 }
 
+// jobFamily classifies a done job for rendering: the server reports the
+// catalogue family on the Job resource; against an older daemon without
+// the field, fall back to sniffing the executing tools — never output
+// counts, since a zero-hit proteomic or imaging run must still print as
+// its own family.
+func jobFamily(j rpc.Job) string {
+	if j.Family != "" {
+		return j.Family
+	}
+	for _, st := range j.Result.Stages {
+		switch st.Tool {
+		case "MaxQuant", "GPM":
+			return "proteomic"
+		case "CellProfiler":
+			return "imaging"
+		case "Cytoscape":
+			return "integrative"
+		}
+	}
+	return "genomic"
+}
+
 func printJob(j rpc.Job) {
 	switch j.State {
 	case rpc.StateDone:
 		r := j.Result
-		fmt.Printf("job %d %-8s %-26s mapped %d/%d  variants %d  features %d  recovered %d/%d  shards %d  %.2fs\n",
-			j.ID, j.State, j.Workflow, r.Mapped, r.TotalReads, r.Variants, r.Features,
-			r.Recovered, r.Planted, r.Shards, r.ElapsedSec)
+		switch jobFamily(j) {
+		case "integrative":
+			fmt.Printf("job %d %-8s %-26s nodes %d  edges %d  modules %d  shards %d  %.2fs\n",
+				j.ID, j.State, j.Workflow, r.Nodes, r.Edges, r.Modules, r.Shards, r.ElapsedSec)
+		case "proteomic":
+			fmt.Printf("job %d %-8s %-26s spectra %d  proteins %d  shards %d  %.2fs\n",
+				j.ID, j.State, j.Workflow, r.TotalRecords, r.Proteins, r.Shards, r.ElapsedSec)
+		case "imaging":
+			fmt.Printf("job %d %-8s %-26s images %d  cells %d  shards %d  %.2fs\n",
+				j.ID, j.State, j.Workflow, r.TotalRecords, r.Features, r.Shards, r.ElapsedSec)
+		default:
+			fmt.Printf("job %d %-8s %-26s mapped %d/%d  variants %d  features %d  recovered %d/%d  shards %d  %.2fs\n",
+				j.ID, j.State, j.Workflow, r.Mapped, r.TotalReads, r.Variants, r.Features,
+				r.Recovered, r.Planted, r.Shards, r.ElapsedSec)
+		}
 	case rpc.StateFailed, rpc.StateCanceled:
 		fmt.Printf("job %d %-8s %-26s %s: %s\n",
 			j.ID, j.State, j.Workflow, j.Error.Code, j.Error.Message)

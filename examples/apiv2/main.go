@@ -1,12 +1,18 @@
 // API v2 walkthrough: the resource-oriented job lifecycle end to end —
-// submit, stream progress over SSE, cancel, and page through the bounded
-// job store — against an in-process scand.
+// submit, stream progress over SSE, run a non-genomic family, cancel, and
+// page through the bounded job store.
 //
-//	go run ./examples/apiv2
+//	go run ./examples/apiv2                              # in-process scand
+//	go run ./examples/apiv2 -addr http://localhost:7390  # external scand
+//
+// With -addr the walkthrough drives an already-running daemon (CI's
+// examples-smoke job starts `scand -executors 1` and points this at it);
+// without it an in-process daemon is spun up on an ephemeral port.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -17,21 +23,28 @@ import (
 )
 
 func main() {
-	// An in-process daemon on an ephemeral port: the same core.Platform +
-	// rpc.Server pair `scand` runs, so everything below works unchanged
-	// against a real deployment.
-	platform := core.NewPlatform(core.Options{Workers: 4})
-	server := rpc.NewServerOptions(platform, rpc.ServerOptions{Executors: 1, Retention: 64})
-	defer server.Close()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	httpServer := &http.Server{Handler: server.Handler()}
-	go func() { _ = httpServer.Serve(ln) }()
-	defer httpServer.Close()
+	addr := flag.String("addr", "", "base URL of a running scand (empty: start one in-process)")
+	flag.Parse()
 
-	client := rpc.NewClient("http://" + ln.Addr().String())
+	base := *addr
+	if base == "" {
+		// An in-process daemon on an ephemeral port: the same
+		// core.Platform + rpc.Server pair `scand` runs, so everything below
+		// works unchanged against a real deployment.
+		platform := core.NewPlatform(core.Options{Workers: 4})
+		server := rpc.NewServerOptions(platform, rpc.ServerOptions{Executors: 1, Retention: 64})
+		defer server.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpServer := &http.Server{Handler: server.Handler()}
+		go func() { _ = httpServer.Serve(ln) }()
+		defer httpServer.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	client := rpc.NewClient(base)
 	ctx := context.Background()
 
 	// 1. Submit: a synthetic dna-variant-detection job. (Submissions can
@@ -64,7 +77,29 @@ func main() {
 	fmt.Printf("done: mapped %d/%d reads, %d variants, recovered %d/%d planted SNVs\n",
 		r.Mapped, r.TotalReads, r.Variants, r.Recovered, r.Planted)
 
-	// 3. Cancel: with the single executor held by a long-running job, a
+	// 3. Other families ride the same surface: a synthetic microscopy
+	// dataset runs the imaging workflow (tile-scattered cell segmentation),
+	// and the structured result reports cells instead of variants. The
+	// proteomic (proteome:{proteins,spectra}) and integrative
+	// (network:{genes,modules}) specs submit the same way.
+	imgJob, err := client.CreateJob(ctx, rpc.SubmitJobRequest{
+		Imaging: &rpc.ImagingSpec{Images: 2, CellsPerImage: 6, Seed: 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgFinal, err := client.Watch(ctx, imgJob.ID, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if imgFinal.Result == nil {
+		log.Fatalf("imaging job ended %s: %+v", imgFinal.State, imgFinal.Error)
+	}
+	fmt.Printf("%s: %d cells quantified across %d frames (%d tile shards)\n",
+		imgFinal.Workflow, imgFinal.Result.Features, imgFinal.Result.TotalRecords,
+		imgFinal.Result.Stages[0].Shards)
+
+	// 4. Cancel: with the single executor held by a long-running job, a
 	// second submission sits in the queue; DELETE takes it out before it
 	// ever runs. A *running* job cancels the same way — its per-job
 	// context is cancelled and the watcher sees the canceled state.
@@ -100,7 +135,7 @@ func main() {
 	fmt.Printf("canceled job %d mid-run (%s: %s)\n",
 		busy.ID, busy.Error.Code, busy.Error.Message)
 
-	// 4. Paged listing: the store is bounded (Retention evicts the oldest
+	// 5. Paged listing: the store is bounded (Retention evicts the oldest
 	// finished jobs), and listing walks it in fixed-size pages.
 	token := ""
 	for page := 1; ; page++ {

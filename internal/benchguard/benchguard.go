@@ -1,0 +1,118 @@
+// Package benchguard compares a fresh Data Broker benchmark trajectory
+// (BENCH_broker.json, rewritten by `go test -bench Broker`) against the
+// committed baseline and reports regressions — the logic behind CI's
+// bench-regression gate, which keeps the knowledge base's two fast paths
+// (advice serving, run-log ingestion) from quietly losing their speedups.
+package benchguard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Entry is one trajectory measurement; extra fields in the JSON artifact
+// are ignored.
+type Entry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the BENCH_broker.json shape the guard consumes.
+type Report struct {
+	Trajectory []Entry `json:"trajectory"`
+}
+
+// Load reads a trajectory report from disk.
+func Load(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Report{}, fmt.Errorf("benchguard: parsing %s: %w", path, err)
+	}
+	if len(r.Trajectory) == 0 {
+		return Report{}, fmt.Errorf("benchguard: %s has no trajectory entries", path)
+	}
+	return r, nil
+}
+
+// GuardedPrefixes name the trajectory families the gate watches: advice
+// serving and run-log ingestion ns/op. The mixed-workload entry is
+// informational only — it composes the other two.
+var GuardedPrefixes = []string{"advice/", "ingest/"}
+
+func guarded(name string) bool {
+	for _, p := range GuardedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Comparison is one guarded entry measured against its baseline.
+type Comparison struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	// Ratio is current/baseline; > 1 means slower.
+	Ratio float64
+	// Regressed marks entries past the allowance.
+	Regressed bool
+}
+
+// Compare evaluates every guarded baseline entry against the current
+// trajectory. maxRegression is the slowdown allowance (0.30 = fail past
+// +30% ns/op). A guarded baseline entry missing from the current run is an
+// error — a silently dropped benchmark must not read as a pass.
+func Compare(baseline, current Report, maxRegression float64) ([]Comparison, error) {
+	if maxRegression <= 0 {
+		return nil, fmt.Errorf("benchguard: max regression must be positive, got %v", maxRegression)
+	}
+	byName := make(map[string]Entry, len(current.Trajectory))
+	for _, e := range current.Trajectory {
+		byName[e.Name] = e
+	}
+	var out []Comparison
+	for _, base := range baseline.Trajectory {
+		if !guarded(base.Name) {
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchguard: baseline entry %q has ns_per_op %v", base.Name, base.NsPerOp)
+		}
+		cur, ok := byName[base.Name]
+		if !ok {
+			return nil, fmt.Errorf("benchguard: guarded entry %q missing from the current trajectory", base.Name)
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		out = append(out, Comparison{
+			Name:       base.Name,
+			BaselineNs: base.NsPerOp,
+			CurrentNs:  cur.NsPerOp,
+			Ratio:      ratio,
+			Regressed:  ratio > 1+maxRegression,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchguard: baseline has no guarded (advice/, ingest/) entries")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Regressions filters a comparison set down to the failures.
+func Regressions(cs []Comparison) []Comparison {
+	var out []Comparison
+	for _, c := range cs {
+		if c.Regressed {
+			out = append(out, c)
+		}
+	}
+	return out
+}

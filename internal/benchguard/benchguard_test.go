@@ -1,0 +1,136 @@
+package benchguard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(entries ...Entry) Report { return Report{Trajectory: entries} }
+
+func baselineFixture() Report {
+	return report(
+		Entry{Name: "advice/cached/10000runs", NsPerOp: 25},
+		Entry{Name: "advice/uncached/10000runs", NsPerOp: 60000},
+		Entry{Name: "ingest/batched", NsPerOp: 110},
+		Entry{Name: "ingest/lock-per-log", NsPerOp: 26000},
+		Entry{Name: "mixed/advice+ingest", NsPerOp: 280}, // not guarded
+	)
+}
+
+func TestCompareWithinAllowancePasses(t *testing.T) {
+	current := report(
+		Entry{Name: "advice/cached/10000runs", NsPerOp: 30}, // +20%
+		Entry{Name: "advice/uncached/10000runs", NsPerOp: 55000},
+		Entry{Name: "ingest/batched", NsPerOp: 100},
+		Entry{Name: "ingest/lock-per-log", NsPerOp: 30000}, // +15%
+		Entry{Name: "mixed/advice+ingest", NsPerOp: 9999},  // unguarded: may drift
+	)
+	cs, err := Compare(baselineFixture(), current, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("compared %d entries, want the 4 guarded ones", len(cs))
+	}
+	if regs := Regressions(cs); len(regs) != 0 {
+		t.Fatalf("within-allowance run flagged: %+v", regs)
+	}
+}
+
+// TestCompareTripsOnSlowedBenchmark is the acceptance demonstration: an
+// artificially slowed broker benchmark (cached advice 3× the baseline)
+// trips the guard.
+func TestCompareTripsOnSlowedBenchmark(t *testing.T) {
+	current := report(
+		Entry{Name: "advice/cached/10000runs", NsPerOp: 75}, // 3× slower
+		Entry{Name: "advice/uncached/10000runs", NsPerOp: 60000},
+		Entry{Name: "ingest/batched", NsPerOp: 150}, // +36%, also over
+		Entry{Name: "ingest/lock-per-log", NsPerOp: 26000},
+		Entry{Name: "mixed/advice+ingest", NsPerOp: 280},
+	)
+	cs, err := Compare(baselineFixture(), current, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(cs)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want the slowed advice and ingest entries", regs)
+	}
+	if regs[0].Name != "advice/cached/10000runs" || regs[0].Ratio < 2.9 {
+		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Name != "ingest/batched" {
+		t.Fatalf("regs[1] = %+v", regs[1])
+	}
+}
+
+func TestCompareBoundaryIsExclusive(t *testing.T) {
+	// Exactly +30% is allowed; anything past it fails.
+	base := report(Entry{Name: "ingest/batched", NsPerOp: 100})
+	atLimit, err := Compare(base, report(Entry{Name: "ingest/batched", NsPerOp: 130}), 0.30)
+	if err != nil || len(Regressions(atLimit)) != 0 {
+		t.Fatalf("at-limit run flagged: %+v, %v", atLimit, err)
+	}
+	over, err := Compare(base, report(Entry{Name: "ingest/batched", NsPerOp: 130.5}), 0.30)
+	if err != nil || len(Regressions(over)) != 1 {
+		t.Fatalf("over-limit run passed: %+v, %v", over, err)
+	}
+}
+
+func TestCompareMissingGuardedEntryFails(t *testing.T) {
+	current := report(Entry{Name: "advice/cached/10000runs", NsPerOp: 20})
+	if _, err := Compare(baselineFixture(), current, 0.30); err == nil {
+		t.Fatal("missing guarded entries accepted — a dropped benchmark must not pass")
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	if _, err := Compare(baselineFixture(), baselineFixture(), 0); err == nil {
+		t.Fatal("zero allowance accepted")
+	}
+	bad := report(Entry{Name: "ingest/batched", NsPerOp: 0})
+	if _, err := Compare(bad, bad, 0.30); err == nil {
+		t.Fatal("zero baseline ns/op accepted")
+	}
+	unguarded := report(Entry{Name: "mixed/advice+ingest", NsPerOp: 100})
+	if _, err := Compare(unguarded, unguarded, 0.30); err == nil {
+		t.Fatal("baseline without guarded entries accepted")
+	}
+}
+
+func TestLoadRealArtifactShape(t *testing.T) {
+	// The on-disk artifact carries extra fields (kb_runs, ops, note); Load
+	// must accept the real shape the benchmarks write.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_broker.json")
+	doc := `{
+  "benchmark": "data-broker-fast-path",
+  "note": "x",
+  "trajectory": [
+    {"name": "advice/cached/10000runs", "kb_runs": 10000, "ops": 20000, "ns_per_op": 24.1},
+    {"name": "ingest/batched", "ops": 20000, "ns_per_op": 110.9, "lost_observations": 0}
+  ],
+  "advice_speedup_10k_runs": 2808.3
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trajectory) != 2 || r.Trajectory[0].NsPerOp != 24.1 {
+		t.Fatalf("loaded = %+v", r)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"trajectory":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Fatal("empty trajectory accepted")
+	}
+}

@@ -1,7 +1,10 @@
 // Package core assembles the SCAN platform's public face: the Data Broker
 // (knowledge-base-advised sharding), a pool of SCAN workers, and the
-// workflow engine that executes the catalogued analyses with the in-repo
-// substrates (k-mer aligner, pileup caller, format codecs).
+// workflow engine that executes every catalogued analysis with the in-repo
+// substrates — k-mer aligner, pileup caller and format codecs for the
+// genomic family, spectral peptide matching for the proteomic, tiled cell
+// segmentation for the imaging, and partitioned network construction for
+// the integrative family.
 //
 // Two execution surfaces exist: this package runs real analyses on real
 // data with goroutine workers (the paper's prototype, scaled to a
@@ -76,6 +79,9 @@ func NewPlatform(opts Options) *Platform {
 	if opts.KB == nil {
 		opts.KB = knowledge.New()
 		opts.KB.SeedPaperProfiles()
+		// Profiles for the proteomic/imaging/integrative tools, so the
+		// Data Broker's advice is grounded for every catalogued family.
+		opts.KB.SeedFamilyProfiles()
 		opts.KB.SeedCloudOntology(cloud.DefaultTiers(50))
 		opts.KB.SeedDomainLinks()
 		// The full Figure 1 analysis catalogue, queryable over SPARQL.

@@ -38,9 +38,10 @@ func TestPlatformDefaults(t *testing.T) {
 	if p.KB() == nil {
 		t.Fatal("no knowledge base")
 	}
-	// The default KB carries the paper's profiles.
+	// The default KB carries the paper's GATK profiles plus one per
+	// non-genomic tool family.
 	ps, err := p.KB().Profiles()
-	if err != nil || len(ps) != 4 {
+	if err != nil || len(ps) != 8 {
 		t.Fatalf("profiles: %d, %v", len(ps), err)
 	}
 }

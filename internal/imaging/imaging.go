@@ -1,0 +1,291 @@
+// Package imaging implements SCAN's microscopy substrate: a deterministic
+// cell-segmentation and feature-extraction toolkit standing in for
+// CellProfiler in the paper's Figure 1 microscopy path.
+//
+// Images are synthetic fluorescence fields — bright cell disks over a dim
+// noise background — segmented by intensity thresholding and connected
+// components, with per-cell features (area, centroid, mean intensity)
+// extracted from each region.
+//
+// The scatter unit is the image tile: a tile's core rectangle partitions
+// the image exactly, and a halo border widens the segmented window so a
+// cell lying across a core boundary is still seen whole by the tile that
+// owns its centroid — the 2-D analogue of the overlap-aware genomic region
+// scatter in package shard.
+package imaging
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Default simulated-cell geometry, shared between the generator and the
+// tile halo sizing.
+const (
+	// DefaultMinRadius and DefaultMaxRadius bound simulated cell radii in
+	// pixels.
+	DefaultMinRadius = 3
+	DefaultMaxRadius = 6
+	// DefaultHalo is the tile halo width that guarantees a cell whose
+	// centroid lies in a tile's core is entirely inside the tile's
+	// segmented window: one full cell diameter plus margin.
+	DefaultHalo = 2*DefaultMaxRadius + 2
+)
+
+// Image is one grayscale microscopy frame: row-major intensities in [0,1].
+type Image struct {
+	ID   string
+	W, H int
+	Pix  []float64
+}
+
+// At returns the intensity at (x, y).
+func (im *Image) At(x, y int) float64 { return im.Pix[y*im.W+x] }
+
+// Cell is one planted ground-truth cell.
+type Cell struct {
+	X, Y      int // center
+	R         int // radius
+	Intensity float64
+}
+
+// SimConfig controls image generation.
+type SimConfig struct {
+	// W, H are the frame dimensions in pixels (default 128×128).
+	W, H int
+	// Cells is the number of planted cells.
+	Cells int
+	// Noise is the background intensity ceiling (default 0.3, below the
+	// default segmentation threshold so background never segments).
+	Noise float64
+}
+
+// Generate builds one synthetic frame: uniform background noise with Cells
+// bright disks planted at mutually separated positions, so thresholding
+// recovers exactly the planted count. Cell centers keep at least one
+// diameter of clearance from each other and from the frame border;
+// generation fails if the frame is too small to place them all.
+func Generate(rng *rand.Rand, id string, cfg SimConfig) (Image, []Cell, error) {
+	if cfg.W <= 0 {
+		cfg.W = 128
+	}
+	if cfg.H <= 0 {
+		cfg.H = 128
+	}
+	if cfg.Noise <= 0 {
+		cfg.Noise = 0.3
+	}
+	if cfg.Cells < 0 {
+		return Image{}, nil, fmt.Errorf("imaging: negative cell count %d", cfg.Cells)
+	}
+	im := Image{ID: id, W: cfg.W, H: cfg.H, Pix: make([]float64, cfg.W*cfg.H)}
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64() * cfg.Noise
+	}
+	margin := DefaultMaxRadius + 2
+	if cfg.Cells > 0 && (cfg.W <= 2*margin || cfg.H <= 2*margin) {
+		return Image{}, nil, fmt.Errorf("imaging: %dx%d frame too small for cells (need > %d per side)",
+			cfg.W, cfg.H, 2*margin)
+	}
+	minSep := 2*DefaultMaxRadius + 3 // disjoint components under 4-connectivity
+	cells := make([]Cell, 0, cfg.Cells)
+	const maxTries = 10000
+	for len(cells) < cfg.Cells {
+		placed := false
+		for try := 0; try < maxTries; try++ {
+			x := margin + rng.Intn(cfg.W-2*margin)
+			y := margin + rng.Intn(cfg.H-2*margin)
+			ok := true
+			for _, c := range cells {
+				dx, dy := float64(x-c.X), float64(y-c.Y)
+				if math.Hypot(dx, dy) < float64(minSep) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			r := DefaultMinRadius + rng.Intn(DefaultMaxRadius-DefaultMinRadius+1)
+			cell := Cell{X: x, Y: y, R: r, Intensity: 0.7 + 0.25*rng.Float64()}
+			for py := y - r; py <= y+r; py++ {
+				for px := x - r; px <= x+r; px++ {
+					dx, dy := float64(px-x), float64(py-y)
+					if dx*dx+dy*dy <= float64(r*r) {
+						im.Pix[py*im.W+px] = cell.Intensity
+					}
+				}
+			}
+			cells = append(cells, cell)
+			placed = true
+			break
+		}
+		if !placed {
+			return Image{}, nil, fmt.Errorf("imaging: cannot place %d separated cells in %dx%d",
+				cfg.Cells, cfg.W, cfg.H)
+		}
+	}
+	return im, cells, nil
+}
+
+// Rect is a half-open pixel rectangle [X0,X1)×[Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Contains reports whether the point lies inside the rectangle.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= float64(r.X0) && x < float64(r.X1) && y >= float64(r.Y0) && y < float64(r.Y1)
+}
+
+// Tile is one scatter unit: the Core rectangles of a grid partition the
+// image exactly; Halo is the core widened by the halo margin (clipped to
+// the frame), the window the tile actually segments.
+type Tile struct {
+	Core Rect
+	Halo Rect
+}
+
+// TileGrid covers a w×h frame with approximately `tiles` tiles arranged in
+// a near-square grid, each with the given halo margin. At least one tile is
+// always returned, and core rectangles partition the frame exactly.
+func TileGrid(w, h, tiles, halo int) []Tile {
+	if tiles < 1 {
+		tiles = 1
+	}
+	gx := int(math.Ceil(math.Sqrt(float64(tiles))))
+	gy := (tiles + gx - 1) / gx
+	if gx > w {
+		gx = w
+	}
+	if gy > h {
+		gy = h
+	}
+	out := make([]Tile, 0, gx*gy)
+	for ty := 0; ty < gy; ty++ {
+		y0, y1 := ty*h/gy, (ty+1)*h/gy
+		for tx := 0; tx < gx; tx++ {
+			x0, x1 := tx*w/gx, (tx+1)*w/gx
+			core := Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+			out = append(out, Tile{Core: core, Halo: Rect{
+				X0: max(0, x0-halo), Y0: max(0, y0-halo),
+				X1: min(w, x1+halo), Y1: min(h, y1+halo),
+			}})
+		}
+	}
+	return out
+}
+
+// Region is one segmented connected component — a detected cell.
+type Region struct {
+	// Area is the component's pixel count.
+	Area int
+	// CX, CY is the intensity-unweighted centroid.
+	CX, CY float64
+	// Mean is the mean intensity over the component.
+	Mean float64
+	// Bounding box (inclusive).
+	MinX, MinY, MaxX, MaxY int
+}
+
+// SegConfig controls segmentation.
+type SegConfig struct {
+	// Threshold separates cells from background (default 0.5: above the
+	// default noise ceiling, below the cell intensity floor).
+	Threshold float64
+	// MinArea drops components smaller than this many pixels (default 4).
+	MinArea int
+}
+
+func (c SegConfig) withDefaults() SegConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinArea <= 0 {
+		c.MinArea = 4
+	}
+	return c
+}
+
+// SegmentTile thresholds the tile's halo window and extracts 4-connected
+// components, keeping only regions whose centroid falls in the tile core —
+// so a cell spanning a core boundary is reported exactly once, by the tile
+// owning its centroid. Coordinates are in frame space.
+func SegmentTile(im *Image, t Tile, cfg SegConfig) []Region {
+	cfg = cfg.withDefaults()
+	w := t.Halo.X1 - t.Halo.X0
+	h := t.Halo.Y1 - t.Halo.Y0
+	if w <= 0 || h <= 0 {
+		return nil
+	}
+	visited := make([]bool, w*h)
+	var regions []Region
+	var stack []int
+	for start := 0; start < w*h; start++ {
+		sx, sy := t.Halo.X0+start%w, t.Halo.Y0+start/w
+		if visited[start] || im.At(sx, sy) < cfg.Threshold {
+			continue
+		}
+		// Flood-fill one component.
+		reg := Region{MinX: sx, MinY: sy, MaxX: sx, MaxY: sy}
+		sumX, sumY, sumI := 0.0, 0.0, 0.0
+		visited[start] = true
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := t.Halo.X0+idx%w, t.Halo.Y0+idx/w
+			reg.Area++
+			sumX += float64(x)
+			sumY += float64(y)
+			sumI += im.At(x, y)
+			reg.MinX, reg.MaxX = min(reg.MinX, x), max(reg.MaxX, x)
+			reg.MinY, reg.MaxY = min(reg.MinY, y), max(reg.MaxY, y)
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < t.Halo.X0 || nx >= t.Halo.X1 || ny < t.Halo.Y0 || ny >= t.Halo.Y1 {
+					continue
+				}
+				nidx := (ny-t.Halo.Y0)*w + (nx - t.Halo.X0)
+				if !visited[nidx] && im.At(nx, ny) >= cfg.Threshold {
+					visited[nidx] = true
+					stack = append(stack, nidx)
+				}
+			}
+		}
+		if reg.Area < cfg.MinArea {
+			continue
+		}
+		reg.CX = sumX / float64(reg.Area)
+		reg.CY = sumY / float64(reg.Area)
+		reg.Mean = sumI / float64(reg.Area)
+		if t.Core.Contains(reg.CX, reg.CY) {
+			regions = append(regions, reg)
+		}
+	}
+	sortRegions(regions)
+	return regions
+}
+
+// Segment runs single-tile segmentation over the whole frame.
+func Segment(im *Image, cfg SegConfig) []Region {
+	full := Rect{X1: im.W, Y1: im.H}
+	return SegmentTile(im, Tile{Core: full, Halo: full}, cfg)
+}
+
+// sortRegions orders regions by centroid (row-major), the deterministic
+// gather order regardless of tiling.
+func sortRegions(rs []Region) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].CY != rs[j].CY {
+			return rs[i].CY < rs[j].CY
+		}
+		return rs[i].CX < rs[j].CX
+	})
+}
+
+// SortRegions exposes the canonical region order for gathers that merge
+// per-tile outputs.
+func SortRegions(rs []Region) { sortRegions(rs) }

@@ -1,0 +1,106 @@
+package imaging
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, cellsA, err := Generate(rand.New(rand.NewSource(5)), "img", SimConfig{Cells: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cellsB, err := Generate(rand.New(rand.NewSource(5)), "img", SimConfig{Cells: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cellsA) != 6 || len(cellsB) != 6 {
+		t.Fatalf("cells = %d, %d", len(cellsA), len(cellsB))
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestSegmentRecoversPlantedCells(t *testing.T) {
+	im, cells, err := Generate(rand.New(rand.NewSource(9)), "img", SimConfig{W: 160, H: 120, Cells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := Segment(&im, SegConfig{})
+	if len(regions) != len(cells) {
+		t.Fatalf("segmented %d regions, planted %d cells", len(regions), len(cells))
+	}
+	for _, r := range regions {
+		if r.Area < 9 { // a radius-3 disk covers ≥ 29 px; noise never segments
+			t.Fatalf("implausible region %+v", r)
+		}
+		if r.Mean < 0.7 {
+			t.Fatalf("region mean %v below cell intensity floor", r.Mean)
+		}
+	}
+}
+
+// TestTiledSegmentationMatchesWholeFrame is the overlap-correctness check:
+// every tiling with the default halo yields exactly the whole-frame region
+// set — boundary-straddling cells are counted once, by centroid ownership.
+func TestTiledSegmentationMatchesWholeFrame(t *testing.T) {
+	im, _, err := Generate(rand.New(rand.NewSource(21)), "img", SimConfig{W: 200, H: 140, Cells: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Segment(&im, SegConfig{})
+	for _, tiles := range []int{2, 4, 9, 16} {
+		grid := TileGrid(im.W, im.H, tiles, DefaultHalo)
+		var got []Region
+		for _, tile := range grid {
+			got = append(got, SegmentTile(&im, tile, SegConfig{})...)
+		}
+		SortRegions(got)
+		if len(got) != len(want) {
+			t.Fatalf("%d tiles: %d regions, whole frame found %d", tiles, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%d tiles: region %d = %+v, whole frame %+v", tiles, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTileGridPartitionsFrame(t *testing.T) {
+	for _, tc := range []struct{ w, h, tiles int }{
+		{128, 128, 1}, {128, 128, 4}, {100, 60, 7}, {16, 16, 64},
+	} {
+		tiles := TileGrid(tc.w, tc.h, tc.tiles, DefaultHalo)
+		if len(tiles) == 0 {
+			t.Fatalf("%+v: no tiles", tc)
+		}
+		covered := make([]int, tc.w*tc.h)
+		for _, tile := range tiles {
+			c := tile.Core
+			if c.X0 < tile.Halo.X0 || c.X1 > tile.Halo.X1 || c.Y0 < tile.Halo.Y0 || c.Y1 > tile.Halo.Y1 {
+				t.Fatalf("%+v: core escapes halo: %+v", tc, tile)
+			}
+			for y := c.Y0; y < c.Y1; y++ {
+				for x := c.X0; x < c.X1; x++ {
+					covered[y*tc.w+x]++
+				}
+			}
+		}
+		for i, n := range covered {
+			if n != 1 {
+				t.Fatalf("%+v: pixel %d covered %d times; cores must partition the frame", tc, i, n)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsOvercrowdedFrame(t *testing.T) {
+	// 32×32 cannot hold 50 separated cells.
+	if _, _, err := Generate(rand.New(rand.NewSource(1)), "x", SimConfig{W: 32, H: 32, Cells: 50}); err == nil {
+		t.Fatal("overcrowded frame accepted")
+	}
+}

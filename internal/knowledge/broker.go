@@ -8,9 +8,14 @@ package knowledge
 // traffic. Two mechanisms make the hot path O(1) amortized:
 //
 //   - A materialized profile/advice cache. Profiles are computed from
-//     SPARQL once per graph write epoch (ontology.Graph.Epoch advances on
-//     every effective mutation, so AddProfile, Import and run-log folding
-//     all invalidate it) and per-job-size advice is memoized on top.
+//     SPARQL once per *profile epoch* (Base.profileEpoch advances on every
+//     mutation that can change the profile list — AddProfile, Import,
+//     ontology seeding) and per-job-size advice is memoized on top.
+//     Run-log folds deliberately do not advance it: a RunLog individual is
+//     typed scan:RunLog with no subclass link to Application, so it can
+//     never match the profile query — pure telemetry ingestion leaves the
+//     materialized list valid instead of forcing a SPARQL re-evaluation
+//     per fold (the ROADMAP's profile-only-epoch follow-up).
 //
 //   - Batched asynchronous run-log ingestion. LogRunAsync appends to a
 //     bounded in-memory buffer; once a batch accumulates, a background
@@ -26,9 +31,10 @@ package knowledge
 //     before the call is folded into the graph.
 //   - RunCount always equals folded + buffered observations, so accounting
 //     is exact at any quiescent point.
-//   - Cache reads never return a view older than the epoch they validated
-//     against; any graph mutation (profile, import, run-log fold) bumps
-//     the epoch and forces recomputation on the next advice call.
+//   - Cache reads never return a view older than the profile epoch they
+//     validated against; any profile-affecting mutation (AddProfile,
+//     Import, seeding) bumps the epoch and forces recomputation on the
+//     next advice call, while run-log folds reuse the materialized list.
 
 import (
 	"fmt"
@@ -47,11 +53,11 @@ const (
 	adviceMemoLimit = 1024
 )
 
-// adviceCache is the materialized Data Broker state for one graph epoch.
+// adviceCache is the materialized Data Broker state for one profile epoch.
 // A published cache is immutable — extending the memo publishes a copy —
 // so the lock-free hit path in ShardAdvice never races a mutation.
 type adviceCache struct {
-	epoch    uint64
+	epoch    uint64             // Base.profileEpoch at materialization
 	profiles []AppProfile       // Profiles() order: eTime, then input size
 	memo     map[float64]Advice // jobSize -> advice, bounded
 }
@@ -168,29 +174,32 @@ func (b *Base) kickFlusher() {
 	}()
 }
 
-// currentCache returns a published cache valid for the current graph
-// epoch, or nil. Epoch is atomic and a published cache is immutable, so
-// this is safe without any lock: if the epochs match, no effective
-// mutation has happened since the cache's view was snapshotted.
+// currentCache returns a published cache valid for the current profile
+// epoch, or nil. The epoch is atomic and a published cache is immutable,
+// so this is safe without any lock: if the epochs match, no
+// profile-affecting mutation has happened since the cache's view was
+// snapshotted — run-log folds bump only the graph's write epoch, which the
+// cache no longer watches.
 func (b *Base) currentCache() *adviceCache {
-	if c := b.cache.Load(); c != nil && c.epoch == b.graph.Epoch() {
+	if c := b.cache.Load(); c != nil && c.epoch == b.profileEpoch.Load() {
 		return c
 	}
 	return nil
 }
 
-// refreshedCacheLocked returns a cache valid for the current epoch,
-// rebuilding the profile list from SPARQL if any write has occurred since
-// the last build. The caller must hold cacheMu.
+// refreshedCacheLocked returns a cache valid for the current profile
+// epoch, rebuilding the profile list from SPARQL if a profile-affecting
+// write has occurred since the last build. The caller must hold cacheMu.
 func (b *Base) refreshedCacheLocked() (*adviceCache, error) {
-	// Snapshot epoch and evaluate in one read-critical section, so the
-	// cached view corresponds exactly to the recorded epoch.
+	// Snapshot epoch and evaluate in one read-critical section (mutators
+	// bump the epoch while holding the write lock), so the cached view
+	// corresponds exactly to the recorded epoch.
 	b.mu.RLock()
 	if c := b.currentCache(); c != nil {
 		b.mu.RUnlock()
 		return c, nil
 	}
-	epoch := b.graph.Epoch()
+	epoch := b.profileEpoch.Load()
 	ps, err := profilesLocked(b.graph)
 	b.mu.RUnlock()
 	if err != nil {

@@ -166,8 +166,9 @@ func TestAdviceCacheInvalidation(t *testing.T) {
 	if adv.BasedOn != "GATK5" || adv.Threads != 16 {
 		t.Fatalf("advice after profile write = %+v, want GATK5", adv)
 	}
-	// Run-log folds advance the epoch too; advice must stay correct (and
-	// stable, since run logs are not profiles).
+	// Run logs are not profiles; advice must stay correct and stable
+	// across folds (which no longer touch the profile epoch at all — see
+	// TestRunFoldKeepsMaterializedProfiles).
 	for i := 0; i < ingestBatchSize+1; i++ {
 		if err := b.LogRunAsync(RunLog{App: "GATK5", Stage: 0, InputSize: 5, Threads: 1, ETime: 1}); err != nil {
 			t.Fatal(err)
@@ -177,6 +178,111 @@ func TestAdviceCacheInvalidation(t *testing.T) {
 	adv2, err := b.ShardAdvice(25)
 	if err != nil || adv2 != adv {
 		t.Fatalf("advice after ingest = %+v, %v; want %+v", adv2, err, adv)
+	}
+}
+
+// TestRunFoldKeepsMaterializedProfiles is the profile-only-epoch proof:
+// folding run-log telemetry — the platform's highest-frequency write — must
+// not invalidate the materialized profile cache, so the fold after every
+// batch no longer forces a SPARQL re-evaluation on the next advice call. A
+// profile write still must.
+func TestRunFoldKeepsMaterializedProfiles(t *testing.T) {
+	b := New()
+	b.SeedPaperProfiles()
+	if _, err := b.ShardAdvice(25); err != nil {
+		t.Fatal(err)
+	}
+	before := b.cache.Load()
+	if before == nil {
+		t.Fatal("advice did not materialize a cache")
+	}
+	// Fold several full batches of telemetry.
+	for i := 0; i < 3*ingestBatchSize; i++ {
+		if err := b.LogRunAsync(RunLog{App: "GATK1", Stage: i % 7, InputSize: 5, Threads: 1, ETime: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Flush()
+	if adv, err := b.ShardAdvice(25); err != nil || adv.BasedOn != "GATK3" {
+		t.Fatalf("advice after folds = %+v, %v", adv, err)
+	}
+	// Pointer identity: the memo hit served from the same immutable cache,
+	// no re-materialization happened.
+	if after := b.cache.Load(); after != before {
+		t.Fatal("run-log fold re-materialized the profile cache")
+	}
+	// A profile write invalidates as before.
+	if err := b.AddProfile(AppProfile{Name: "GATK9", InputFileSize: 24, ETime: 60, CPU: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if adv, err := b.ShardAdvice(25); err != nil || adv.BasedOn != "GATK9" {
+		t.Fatalf("advice after profile write = %+v, %v", adv, err)
+	}
+	if after := b.cache.Load(); after == before {
+		t.Fatal("profile write did not re-materialize the cache")
+	}
+}
+
+// TestFamilyProfilesGroundAdvice: the family seed extends the Data Broker's
+// knowledge to the proteomic/imaging/integrative tools without disturbing a
+// single genomic recommendation — family throughputs sit strictly below the
+// GATK profiles'.
+func TestFamilyProfilesGroundAdvice(t *testing.T) {
+	gatkOnly := New()
+	gatkOnly.SeedPaperProfiles()
+	b := New()
+	b.SeedPaperProfiles()
+	b.SeedFamilyProfiles()
+
+	ps, err := b.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 8 {
+		t.Fatalf("profiles = %d, want 4 GATK + 4 family", len(ps))
+	}
+	families := map[string]bool{}
+	for _, p := range ps {
+		families[p.Name] = true
+	}
+	for _, name := range []string{"MaxQuant1", "GPM1", "CellProfiler1", "Cytoscape1"} {
+		if !families[name] {
+			t.Errorf("family profile %s missing", name)
+		}
+	}
+	// Genomic advice is identical with and without the family seed, at
+	// every job-size regime (fallback, GATK4's band, GATK1's, GATK3's).
+	for _, jobSize := range []float64{0.5, 2, 4, 7, 10, 15, 25, 100} {
+		want, err := gatkOnly.ShardAdvice(jobSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ShardAdvice(jobSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("jobSize %v: family seed changed genomic advice: %+v vs %+v", jobSize, got, want)
+		}
+	}
+	// Family telemetry accumulates under the family tool names and is
+	// regression-fittable exactly like GATK's (experiment T2's loop).
+	for _, d := range []float64{1, 3, 5, 7, 9} {
+		if err := b.LogRunAsync(RunLog{App: "MaxQuant", Stage: 0, InputSize: d, Threads: 1, ETime: 3*d + 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, th := range []int{2, 4, 8} {
+		if err := b.LogRunAsync(RunLog{App: "MaxQuant", Stage: 0, InputSize: 5, Threads: th, ETime: 17 / float64(th)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.FitStageModel("MaxQuant", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.A < 2.5 || m.A > 3.5 {
+		t.Fatalf("recovered MaxQuant slope = %v, want ~3", m.A)
 	}
 }
 

@@ -56,6 +56,7 @@ func (b *Base) SeedCloudOntology(tiers []cloud.Tier) {
 				iri(PropCores): ontology.NewInt(int64(size)),
 			})
 	}
+	b.profileEpoch.Add(1)
 }
 
 // SeedDomainLinks records the SCAN linker triples for the GATK workflow:
@@ -83,6 +84,7 @@ func (b *Base) SeedDomainLinks() {
 		iri(PropRequiresData): iri("FASTQ"),
 		iri(PropProducesData): iri("AlignedGenomicData"),
 	})
+	b.profileEpoch.Add(1)
 }
 
 // CheapestTierFor returns the lowest-price tier individual able to host an
@@ -132,6 +134,7 @@ func (b *Base) AddWorkflowIndividual(name, family string, steps int, consumes, p
 		iri(PropRequiresData): iri(consumes),
 		iri(PropProducesData): iri(produces),
 	})
+	b.profileEpoch.Add(1)
 	return nil
 }
 

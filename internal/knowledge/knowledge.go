@@ -65,10 +65,19 @@ type Base struct {
 	flusherBusy atomic.Bool
 
 	// Materialized Data Broker cache (broker.go): an immutable snapshot
-	// valid for one graph write epoch, read lock-free on the hot path.
+	// valid for one profile epoch, read lock-free on the hot path.
 	// cacheMu serializes rebuilds and memo extensions only.
 	cacheMu sync.Mutex
 	cache   atomic.Pointer[adviceCache]
+
+	// profileEpoch advances on every mutation that can change the
+	// materialized profile list — AddProfile, Import, ontology seeding —
+	// but NOT on run-log folds: RunLog individuals are typed scan:RunLog
+	// (no subclass link to Application) and never match the profile query,
+	// so pure telemetry ingestion leaves cached advice valid. Mutators
+	// bump it while holding b.mu, so a reader under RLock sees a value
+	// consistent with the graph it evaluates.
+	profileEpoch atomic.Uint64
 }
 
 // New returns an empty knowledge base with the SCAN namespaces registered
@@ -130,6 +139,7 @@ func (b *Base) AddProfile(p AppProfile) error {
 		props[iri(PropPerformance)] = ontology.NewString(p.Performance)
 	}
 	b.graph.AddIndividual(iri(p.Name), iri(ClassApplication), props)
+	b.profileEpoch.Add(1)
 	return nil
 }
 
@@ -141,6 +151,27 @@ func (b *Base) SeedPaperProfiles() {
 		{Name: "GATK2", InputFileSize: 5, Steps: 1, RAM: 4, ETime: 200, CPU: 8},
 		{Name: "GATK3", InputFileSize: 20, Steps: 1, RAM: 4, ETime: 280, CPU: 8},
 		{Name: "GATK4", InputFileSize: 4, Steps: 1, RAM: 4, ETime: 80, CPU: 8},
+	} {
+		// Seed profiles are well-formed by construction.
+		if err := b.AddProfile(p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// SeedFamilyProfiles extends the seeded knowledge past the paper's GATK
+// listings with one profiled configuration per non-genomic tool family
+// (MaxQuant, GPM, CellProfiler, Cytoscape), grounding the Data Broker's
+// advice for every catalogued workflow family the way "profiling some of
+// the most common genome applications" grounds it for GATK. Every family
+// profile's throughput sits below the GATK profiles' (and its eTime above
+// GATK4's), so loading them changes no genomic recommendation.
+func (b *Base) SeedFamilyProfiles() {
+	for _, p := range []AppProfile{
+		{Name: "MaxQuant1", InputFileSize: 6, Steps: 1, RAM: 8, ETime: 240, CPU: 8},
+		{Name: "GPM1", InputFileSize: 5, Steps: 1, RAM: 4, ETime: 260, CPU: 4},
+		{Name: "CellProfiler1", InputFileSize: 8, Steps: 1, RAM: 8, ETime: 320, CPU: 8},
+		{Name: "Cytoscape1", InputFileSize: 4, Steps: 1, RAM: 4, ETime: 160, CPU: 4},
 	} {
 		// Seed profiles are well-formed by construction.
 		if err := b.AddProfile(p); err != nil {
@@ -464,6 +495,9 @@ func (b *Base) Import(r io.Reader) error {
 	})
 	b.rescanRunSeqLocked()
 	b.runs = len(b.graph.SubjectsOfType(iri(ClassRunLog)))
+	// A document can carry anything, profiles included: conservatively
+	// invalidate the materialized advice.
+	b.profileEpoch.Add(1)
 	return nil
 }
 

@@ -1,0 +1,169 @@
+// Package network implements SCAN's integrative substrate: interaction-
+// network construction and module detection standing in for Cytoscape in
+// the paper's Figure 1 integration path.
+//
+// The input is a table of gene-level measurements (the FeatureTable the
+// other families produce); the output is an interaction network — nodes,
+// similarity edges, and the connected-component modules the edges imply.
+//
+// The scatter unit is the graph partition: node index ranges split the
+// O(n²) pairwise edge construction into independent slabs (each range
+// compares its nodes against every later node), and the per-slab edge sets
+// gather into one network for a single module-detection pass.
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Measurement is one gene-level observation, the integrative input row.
+type Measurement struct {
+	Name  string
+	Value float64
+}
+
+// moduleSpacing separates planted module centers; moduleSpread bounds the
+// within-module jitter. Spread is well under the default edge epsilon and
+// spacing well over it, so planted modules are exactly the connected
+// components the builder recovers.
+const (
+	moduleSpacing = 10.0
+	moduleSpread  = 1.0
+)
+
+// SimulateMeasurements draws `genes` measurements from `modules` planted
+// modules: genes are assigned round-robin, and each value sits within
+// ±moduleSpread/2 of its module center. Seeded generation regenerates
+// identical tables. Returns the measurements and each gene's true module.
+func SimulateMeasurements(rng *rand.Rand, genes, modules int) ([]Measurement, []int, error) {
+	if genes < 1 {
+		return nil, nil, fmt.Errorf("network: gene count %d invalid", genes)
+	}
+	if modules < 1 || modules > genes {
+		return nil, nil, fmt.Errorf("network: module count %d invalid for %d genes", modules, genes)
+	}
+	ms := make([]Measurement, genes)
+	truth := make([]int, genes)
+	for i := range ms {
+		m := i % modules
+		center := moduleSpacing * float64(m+1)
+		ms[i] = Measurement{
+			Name:  fmt.Sprintf("gene%04d", i),
+			Value: center + (rng.Float64()-0.5)*moduleSpread,
+		}
+		truth[i] = m
+	}
+	return ms, truth, nil
+}
+
+// Node is one network node.
+type Node struct {
+	Name  string
+	Value float64
+}
+
+// Edge is one undirected similarity edge; A < B index into the node list.
+type Edge struct {
+	A, B   int
+	Weight float64
+}
+
+// Network is the integrative output: the interaction graph plus its
+// detected modules (connected components, each a sorted node-index list,
+// ordered by first member).
+type Network struct {
+	Nodes   []Node
+	Edges   []Edge
+	Modules [][]int
+}
+
+// Config tunes network construction.
+type Config struct {
+	// Epsilon is the measurement-distance ceiling for an edge (default 2).
+	Epsilon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 2
+	}
+	return c
+}
+
+// EdgesInRange computes the similarity edges whose lower endpoint lies in
+// [lo, hi): node a connects to every later node b with |value(a)-value(b)|
+// <= Epsilon, weighted by closeness. Ranges partition the pair space, so
+// per-range edge sets concatenate without duplicates — the scatter unit of
+// the Integrate stage.
+func EdgesInRange(nodes []Node, lo, hi int, cfg Config) []Edge {
+	cfg = cfg.withDefaults()
+	var out []Edge
+	for a := lo; a < hi && a < len(nodes); a++ {
+		for b := a + 1; b < len(nodes); b++ {
+			d := math.Abs(nodes[a].Value - nodes[b].Value)
+			if d <= cfg.Epsilon {
+				out = append(out, Edge{A: a, B: b, Weight: 1 - d/cfg.Epsilon})
+			}
+		}
+	}
+	return out
+}
+
+// Modules returns the connected components the edges imply over n nodes:
+// each component's node indexes sorted ascending, components ordered by
+// their smallest member. Isolated nodes form singleton modules.
+func Modules(n int, edges []Edge) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ra, rb := find(e.A), find(e.B)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// SortEdges puts a gathered edge set into canonical (A, B) order.
+func SortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+}
+
+// Build constructs the full network in one pass — the unscattered
+// reference implementation tiled executions must reproduce.
+func Build(nodes []Node, cfg Config) *Network {
+	edges := EdgesInRange(nodes, 0, len(nodes), cfg)
+	return &Network{Nodes: nodes, Edges: edges, Modules: Modules(len(nodes), edges)}
+}

@@ -116,9 +116,15 @@ func TestWorkflowsEndpoint(t *testing.T) {
 	if !dna.Runnable || len(dna.Stages) != 8 || dna.Consumes != "FASTQ" || dna.Produces != "VCF" {
 		t.Fatalf("dna-variant-detection = %+v", dna)
 	}
-	// The proteomic catalogue entry is listed but has no engine substrate.
+	// Every catalogued workflow is runnable — all four families have
+	// engine substrates.
+	for _, wf := range wfs {
+		if !wf.Runnable {
+			t.Errorf("%s not runnable: %s", wf.Name, wf.Reason)
+		}
+	}
 	mq := byName["proteome-maxquant"]
-	if mq.Runnable || !strings.Contains(mq.Reason, "no executor") {
+	if mq.Consumes != "MGF" || mq.Produces != "ProteinTable" {
 		t.Fatalf("proteome-maxquant = %+v", mq)
 	}
 }
@@ -243,10 +249,10 @@ SELECT ?app ?t WHERE { ?app scan:eTime ?t . } ORDER BY ?t`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 4 {
-		t.Fatalf("rows = %d, want 4 seeded profiles", len(res.Rows))
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 4 GATK + 4 family seeded profiles", len(res.Rows))
 	}
-	if res.Rows[0]["t"] != "80" {
+	if res.Rows[0]["t"] != "80" { // GATK4 stays the fastest profile
 		t.Fatalf("first row = %v", res.Rows[0])
 	}
 	// Malformed SPARQL is a client error, not a crash.
@@ -261,7 +267,8 @@ func TestProfilesEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ps) != 4 || ps[0].Name != "GATK1" {
+	// Name-sorted: the family seeds surround the paper's GATK profiles.
+	if len(ps) != 8 || ps[0].Name != "CellProfiler1" || ps[2].Name != "GATK1" {
 		t.Fatalf("profiles = %+v", ps)
 	}
 }

@@ -11,6 +11,9 @@ import (
 
 	"scan/internal/core"
 	"scan/internal/genomics"
+	"scan/internal/imaging"
+	"scan/internal/network"
+	"scan/internal/proteome"
 	"scan/internal/variant"
 	"scan/internal/workflow"
 )
@@ -70,13 +73,18 @@ type jobRecord struct {
 	wake            chan struct{} // closed and replaced on every event
 }
 
-// jobSpec is a normalized submission: exactly one of synthetic or inline is
-// set (validated at the API boundary).
+// jobSpec is a normalized submission: exactly one dataset source is set
+// (validated at the API boundary). The daemon-generated sources span the
+// four data-process families — sequencing reads, MS/MS spectra, microscopy
+// frames, gene measurements.
 type jobSpec struct {
 	workflow     string
 	shardRecords int
 	synthetic    *SyntheticSpec
 	inline       *inlineInput
+	proteome     *ProteomeSpec
+	imaging      *ImagingSpec
+	network      *NetworkSpec
 }
 
 func (s jobSpec) source() string {
@@ -84,6 +92,20 @@ func (s jobSpec) source() string {
 		return SourceInline
 	}
 	return SourceSynthetic
+}
+
+// inputType is the workflow data type the spec's dataset materializes as.
+func (s jobSpec) inputType() workflow.DataType {
+	switch {
+	case s.proteome != nil:
+		return workflow.MGF
+	case s.imaging != nil:
+		return workflow.TIFF
+	case s.network != nil:
+		return workflow.FeatureTable
+	default:
+		return workflow.FASTQ
+	}
 }
 
 // inlineInput is a prevalidated inline dataset, already in genomics form.
@@ -209,10 +231,15 @@ func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 		return Job{}, errQueueFull
 	}
 	s.nextID++
+	family := ""
+	if wf, err := s.platform.Catalogue().Get(spec.workflow); err == nil {
+		family = wf.Family
+	}
 	rec := &jobRecord{
 		job: Job{
 			ID:        id,
 			State:     StatePending,
+			Family:    family,
 			Workflow:  spec.workflow,
 			Source:    spec.source(),
 			Submitted: s.now(),
@@ -387,33 +414,81 @@ func (s *Server) runJob(ctx context.Context, id int) {
 	s.evictLocked()
 }
 
-// execute materializes the job's dataset (synthetic generation or the
-// prevalidated inline payload) and runs the requested workflow through the
-// platform's engine, streaming per-stage completions to watchers.
-func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, error) {
-	var (
-		ref     genomics.Sequence
-		reads   []genomics.Read
-		planted []genomics.Mutation
-	)
-	if syn := spec.synthetic; syn != nil {
+// materialize turns a normalized spec into the workflow input dataset —
+// seeded synthetic generation for the daemon-built families, or the
+// prevalidated inline payload. Synthetic sequencing runs also return the
+// planted-SNV ground truth for recovery scoring.
+func materialize(spec jobSpec) (*workflow.Dataset, []genomics.Mutation, error) {
+	switch {
+	case spec.synthetic != nil:
+		syn := spec.synthetic
 		rng := rand.New(rand.NewSource(syn.Seed))
-		ref = genomics.GenerateReference(rng, "chr1", syn.ReferenceLength)
-		var mutated genomics.Sequence
-		mutated, planted = genomics.PlantSNVs(rng, ref, syn.SNVs)
-		var err error
-		reads, err = genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
+		ref := genomics.GenerateReference(rng, "chr1", syn.ReferenceLength)
+		mutated, planted := genomics.PlantSNVs(rng, ref, syn.SNVs)
+		reads, err := genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
 			Count: syn.Reads, Length: syn.EffectiveReadLength(), ErrorRate: syn.EffectiveErrorRate(),
 		})
 		if err != nil {
-			return JobResult{}, err
+			return nil, nil, err
 		}
-	} else {
-		ref, reads = spec.inline.ref, spec.inline.reads
+		return workflow.NewFASTQDataset(ref, reads), planted, nil
+	case spec.inline != nil:
+		return workflow.NewFASTQDataset(spec.inline.ref, spec.inline.reads), nil, nil
+	case spec.proteome != nil:
+		p := spec.proteome
+		rng := rand.New(rand.NewSource(p.Seed))
+		db := proteome.GenerateDatabase(rng, p.Proteins, 3)
+		spectra, _, err := proteome.SimulateSpectra(rng, db, proteome.SimConfig{
+			Count:      p.Spectra,
+			NoisePeaks: p.EffectiveNoisePeaks(),
+			// Realistic acquisition defaults; jitter stays inside the
+			// search tolerance.
+			DropoutRate: 0.1,
+			Jitter:      0.1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return workflow.NewMGFDataset(db, spectra), nil, nil
+	case spec.imaging != nil:
+		im := spec.imaging
+		rng := rand.New(rand.NewSource(im.Seed))
+		frames := make([]imaging.Image, 0, im.Images)
+		for i := 0; i < im.Images; i++ {
+			frame, _, err := imaging.Generate(rng, fmt.Sprintf("img%d", i), imaging.SimConfig{
+				W: im.Width, H: im.Height, Cells: im.CellsPerImage,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			frames = append(frames, frame)
+		}
+		return workflow.NewTIFFDataset(frames), nil, nil
+	case spec.network != nil:
+		n := spec.network
+		ms, _, err := network.SimulateMeasurements(rand.New(rand.NewSource(n.Seed)), n.Genes, n.Modules)
+		if err != nil {
+			return nil, nil, err
+		}
+		features := make([]workflow.Feature, len(ms))
+		for i, m := range ms {
+			features[i] = workflow.Feature{Name: m.Name, Count: 1, Value: m.Value}
+		}
+		return workflow.NewFeatureDataset(features), nil, nil
 	}
+	return nil, nil, fmt.Errorf("job spec has no dataset source")
+}
 
-	wres, err := s.platform.RunWorkflow(ctx, spec.workflow,
-		workflow.NewFASTQDataset(ref, reads),
+// execute materializes the job's dataset and runs the requested workflow
+// through the platform's engine, streaming per-stage completions to
+// watchers.
+func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, error) {
+	in, planted, err := materialize(spec)
+	if err != nil {
+		return JobResult{}, err
+	}
+	inputRecords := in.Records()
+	wres, err := s.platform.RunWorkflow(ctx, spec.workflow, in,
 		workflow.RunOptions{
 			Caller:        variant.Config{MinDepth: 8, MinAltFraction: 0.6},
 			ShardRecords:  spec.shardRecords,
@@ -422,13 +497,23 @@ func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, 
 	if err != nil {
 		return JobResult{}, err
 	}
-	calls := wres.Output.Variants
+	out := wres.Output
+	calls := out.Variants
 	result := JobResult{
-		Mapped:     wres.Output.Mapped,
-		TotalReads: len(reads),
-		Variants:   len(calls),
-		Features:   len(wres.Output.Features),
-		Stages:     make([]StageBreakdown, 0, len(wres.Stages)),
+		Mapped:       out.Mapped,
+		TotalRecords: inputRecords,
+		Variants:     len(calls),
+		Features:     len(out.Features),
+		Proteins:     len(out.Proteins),
+		Stages:       make([]StageBreakdown, 0, len(wres.Stages)),
+	}
+	if in.Type == workflow.FASTQ {
+		result.TotalReads = inputRecords
+	}
+	if out.Net != nil {
+		result.Nodes = len(out.Net.Nodes)
+		result.Edges = len(out.Net.Edges)
+		result.Modules = len(out.Net.Modules)
 	}
 	for _, sr := range wres.Stages {
 		result.Stages = append(result.Stages, StageBreakdown{
@@ -440,6 +525,12 @@ func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, 
 	}
 	if sr, ok := wres.RecordScatter(); ok {
 		result.Shards = sr.Plan.NumShards
+	} else {
+		// Stages that scatter by something other than records — image
+		// tiles, graph partitions — still report their widest fan-out.
+		for _, sr := range wres.Stages {
+			result.Shards = max(result.Shards, sr.Shards)
+		}
 	}
 	// Planted-SNV recovery scoring applies to every synthetic
 	// variant-calling run. It is gated on the catalogue's output type, not
@@ -462,16 +553,16 @@ func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, 
 	return result, nil
 }
 
-// submittable checks a workflow can run on the daemon's FASTQ job surface:
-// it must be catalogued, consume FASTQ, and have an executor for every
-// stage.
-func (s *Server) submittable(name string) error {
+// submittable checks a workflow can run over a submission's dataset: it
+// must be catalogued, consume the dataset's data type, and have an
+// executor for every stage.
+func (s *Server) submittable(name string, consumes workflow.DataType) error {
 	wf, err := s.platform.Catalogue().Get(name)
 	if err != nil {
 		return err
 	}
-	if wf.Consumes() != workflow.FASTQ {
-		return fmt.Errorf("consumes %s; the job surface accepts FASTQ reads only", wf.Consumes())
+	if wf.Consumes() != consumes {
+		return fmt.Errorf("consumes %s; this submission supplies %s", wf.Consumes(), consumes)
 	}
 	return s.platform.Engine().CanRun(wf)
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"scan/internal/core"
+	"scan/internal/workflow"
 )
 
 // The /api/v1 handlers: the original flat RPC surface, wire-compatible with
@@ -81,7 +82,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if req.Workflow == "" {
 			req.Workflow = core.VariantDetectionWorkflow
 		}
-		if err := s.submittable(req.Workflow); err != nil {
+		// v1 predates the family specs: its submissions are always
+		// synthetic sequencing reads.
+		if err := s.submittable(req.Workflow, workflow.FASTQ); err != nil {
 			writeError(w, http.StatusBadRequest, "workflow %q: %v", req.Workflow, err)
 			return
 		}

@@ -64,22 +64,61 @@ func (s *Server) handleV2Submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
+// Synthetic-generation bounds: one submission must not be able to ask the
+// daemon to materialize an effectively unbounded dataset.
+const (
+	maxSyntheticSpectra  = 50000
+	maxSyntheticProteins = 2000
+	maxSyntheticImages   = 64
+	maxImageSide         = 1024
+	maxSyntheticGenes    = 20000 // edge construction is O(genes²) time
+	// maxSyntheticEdgePairs bounds genes²/modules — a proxy for ~2× the
+	// edge count the generator's module structure implies. Edge *memory*
+	// scales with genes²/modules (each planted module is near-complete),
+	// so the genes cap alone would let network:{genes:20000,modules:1}
+	// materialize ~2e8 edges and OOM the daemon.
+	maxSyntheticEdgePairs = 1 << 20
+)
+
+// defaultWorkflowFor maps a dataset source to the workflow it runs when
+// the submission names none — one canonical analysis per family.
+func defaultWorkflowFor(req SubmitJobRequest) string {
+	switch {
+	case req.Proteome != nil:
+		return "proteome-maxquant"
+	case req.Imaging != nil:
+		return "cell-imaging"
+	case req.Network != nil:
+		return "integrative-network"
+	default:
+		return core.VariantDetectionWorkflow
+	}
+}
+
 // normalizeSubmission validates a v2 submission into a jobSpec.
 func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) {
 	invalid := func(format string, args ...any) (jobSpec, *APIError) {
 		return jobSpec{}, &APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf(format, args...)}
 	}
-	if (req.Synthetic == nil) == (req.Inline == nil) {
-		return invalid("exactly one of synthetic or inline must be set")
+	sources := 0
+	for _, set := range []bool{
+		req.Synthetic != nil, req.Inline != nil,
+		req.Proteome != nil, req.Imaging != nil, req.Network != nil,
+	} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return invalid("exactly one of synthetic, inline, proteome, imaging or network must be set")
 	}
 	if req.Workflow == "" {
-		req.Workflow = core.VariantDetectionWorkflow
-	}
-	if err := s.submittable(req.Workflow); err != nil {
-		return invalid("workflow %q: %v", req.Workflow, err)
+		req.Workflow = defaultWorkflowFor(req)
 	}
 	spec := jobSpec{workflow: req.Workflow, shardRecords: req.ShardRecords}
-	if syn := req.Synthetic; syn != nil {
+	switch {
+	case req.Synthetic != nil:
+		syn := req.Synthetic
 		if syn.ReferenceLength < 200 || syn.Reads < 1 {
 			return invalid("synthetic: reference_length must be >= 200 and reads >= 1")
 		}
@@ -89,13 +128,62 @@ func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) 
 		}
 		cp := *syn
 		spec.synthetic = &cp
-		return spec, nil
+	case req.Inline != nil:
+		in, err := normalizeInline(req.Inline)
+		if err != nil {
+			return jobSpec{}, &APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf("inline: %v", err)}
+		}
+		spec.inline = in
+	case req.Proteome != nil:
+		p := *req.Proteome
+		if p.Proteins < 1 || p.Spectra < 1 {
+			return invalid("proteome: proteins and spectra must be >= 1")
+		}
+		if p.Proteins > maxSyntheticProteins || p.Spectra > maxSyntheticSpectra {
+			return invalid("proteome: at most %d proteins and %d spectra", maxSyntheticProteins, maxSyntheticSpectra)
+		}
+		spec.proteome = &p
+	case req.Imaging != nil:
+		im := *req.Imaging
+		if im.Images < 1 || im.Images > maxSyntheticImages {
+			return invalid("imaging: images must be in [1, %d]", maxSyntheticImages)
+		}
+		if im.Width == 0 {
+			im.Width = 128
+		}
+		if im.Height == 0 {
+			im.Height = 128
+		}
+		if im.Width < 32 || im.Width > maxImageSide || im.Height < 32 || im.Height > maxImageSide {
+			return invalid("imaging: width and height must be in [32, %d]", maxImageSide)
+		}
+		if im.CellsPerImage == 0 {
+			im.CellsPerImage = 6
+		}
+		// The generator requires mutually separated cells; bound the count
+		// by a conservative packing density so placement always succeeds.
+		if maxCells := (im.Width / 32) * (im.Height / 32); im.CellsPerImage < 1 || im.CellsPerImage > maxCells {
+			return invalid("imaging: cells_per_image must be in [1, %d] for %dx%d frames",
+				maxCells, im.Width, im.Height)
+		}
+		spec.imaging = &im
+	case req.Network != nil:
+		n := *req.Network
+		if n.Genes < 1 || n.Genes > maxSyntheticGenes {
+			return invalid("network: genes must be in [1, %d]", maxSyntheticGenes)
+		}
+		if n.Modules < 1 || n.Modules > n.Genes {
+			return invalid("network: modules must be in [1, genes]")
+		}
+		if n.Genes*n.Genes/n.Modules > maxSyntheticEdgePairs {
+			return invalid("network: genes²/modules must be <= %d (edge memory); spread %d genes over more modules",
+				maxSyntheticEdgePairs, n.Genes)
+		}
+		spec.network = &n
 	}
-	in, err := normalizeInline(req.Inline)
-	if err != nil {
-		return invalid("inline: %v", err)
+	if err := s.submittable(req.Workflow, spec.inputType()); err != nil {
+		return invalid("workflow %q: %v", req.Workflow, err)
 	}
-	spec.inline = in
 	return spec, nil
 }
 

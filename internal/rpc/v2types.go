@@ -87,6 +87,63 @@ func (s *SyntheticSpec) EffectiveErrorRate() float64 {
 	return *s.ErrorRate
 }
 
+// ProteomeSpec describes a daemon-generated proteomic dataset: a synthetic
+// peptide database plus simulated MS/MS spectra — the MGF input of the
+// proteomic workflows (proteome-maxquant, proteome-gpm).
+type ProteomeSpec struct {
+	// Proteins is the synthetic protein count in the peptide database
+	// (>= 1).
+	Proteins int `json:"proteins"`
+	// Spectra is the number of simulated MS/MS spectra (>= 1).
+	Spectra int `json:"spectra"`
+	// NoisePeaks is the number of spurious peaks per spectrum. Same
+	// tri-state semantics as SyntheticSpec's read fields: the default (3)
+	// applies only when the field is absent or negative; an explicit 0
+	// means clean spectra and is honored.
+	NoisePeaks *int `json:"noise_peaks,omitempty"`
+	// Seed makes the synthetic data reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DefaultNoisePeaks is the spurious-peak count simulated when a proteome
+// spec leaves noise_peaks unset.
+const DefaultNoisePeaks = 3
+
+// EffectiveNoisePeaks resolves the tri-state NoisePeaks field.
+func (s *ProteomeSpec) EffectiveNoisePeaks() int {
+	if s.NoisePeaks == nil || *s.NoisePeaks < 0 {
+		return DefaultNoisePeaks
+	}
+	return *s.NoisePeaks
+}
+
+// ImagingSpec describes a daemon-generated microscopy dataset: frames of
+// planted fluorescent cells — the TIFF input of cell-imaging.
+type ImagingSpec struct {
+	// Images is the number of frames (>= 1).
+	Images int `json:"images"`
+	// Width and Height are the frame dimensions in pixels (default 128,
+	// minimum 32).
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+	// CellsPerImage is the number of planted cells per frame (default 6).
+	CellsPerImage int `json:"cells_per_image,omitempty"`
+	// Seed makes the synthetic data reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// NetworkSpec describes a daemon-generated integrative dataset: gene-level
+// measurements drawn from planted modules — the FeatureTable input of
+// integrative-network.
+type NetworkSpec struct {
+	// Genes is the number of measurements (>= 1).
+	Genes int `json:"genes"`
+	// Modules is the number of planted modules (>= 1, <= genes).
+	Modules int `json:"modules"`
+	// Seed makes the synthetic data reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
 // InlineDataset carries real sequencing input in the submission body — the
 // first non-synthetic workload: a reference sequence plus FASTQ records.
 type InlineDataset struct {
@@ -114,17 +171,25 @@ type InlineRead struct {
 	Quality string `json:"quality,omitempty"`
 }
 
-// SubmitJobRequest creates a job. Exactly one of Synthetic or Inline must
-// be set.
+// SubmitJobRequest creates a job. Exactly one dataset source must be set —
+// Synthetic or Inline (FASTQ), Proteome (MGF), Imaging (TIFF), or Network
+// (FeatureTable) — and the workflow must consume that source's data type.
 type SubmitJobRequest struct {
-	// Workflow names the catalogued workflow to execute (default:
-	// dna-variant-detection). It must consume FASTQ and have an executor
-	// for every stage; see GET /api/v1/workflows.
+	// Workflow names the catalogued workflow to execute. It defaults by
+	// dataset source (dna-variant-detection, proteome-maxquant,
+	// cell-imaging, integrative-network) and must have an executor for
+	// every stage; see GET /api/v1/workflows.
 	Workflow string `json:"workflow,omitempty"`
-	// Synthetic asks the daemon to generate the dataset.
+	// Synthetic asks the daemon to generate a sequencing dataset (FASTQ).
 	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
-	// Inline carries the dataset in the request body.
+	// Inline carries a sequencing dataset in the request body (FASTQ).
 	Inline *InlineDataset `json:"inline,omitempty"`
+	// Proteome asks the daemon to generate MS/MS spectra (MGF).
+	Proteome *ProteomeSpec `json:"proteome,omitempty"`
+	// Imaging asks the daemon to generate microscopy frames (TIFF).
+	Imaging *ImagingSpec `json:"imaging,omitempty"`
+	// Network asks the daemon to generate gene measurements (FeatureTable).
+	Network *NetworkSpec `json:"network,omitempty"`
 	// ShardRecords overrides the Data Broker's shard sizing when > 0.
 	ShardRecords int `json:"shard_records,omitempty"`
 }
@@ -137,8 +202,13 @@ const (
 
 // Job is the v2 job resource.
 type Job struct {
-	ID        int        `json:"id"`
-	State     JobState   `json:"state"`
+	ID    int      `json:"id"`
+	State JobState `json:"state"`
+	// Workflow and Family mirror the catalogue entry being executed;
+	// Family ("genomic", "proteomic", "imaging", "integrative") lets
+	// clients render family-shaped results without re-deriving the
+	// classification from tool names.
+	Family    string     `json:"family,omitempty"`
 	Workflow  string     `json:"workflow"`
 	Source    string     `json:"source"`
 	Submitted time.Time  `json:"submitted"`
@@ -157,16 +227,26 @@ type JobError struct {
 	Message string `json:"message"`
 }
 
-// JobResult is a completed job's structured outcome.
+// JobResult is a completed job's structured outcome. The counts populate
+// by family: Mapped/Variants for sequencing runs, Features for imaging
+// (one row per segmented cell) and expression, Proteins for proteomics,
+// Nodes/Edges/Modules for network integration. TotalRecords counts the
+// input payload's records whatever its type (reads, spectra, frames,
+// measurements); TotalReads keeps the original name for FASTQ runs.
 type JobResult struct {
-	Mapped     int     `json:"mapped"`
-	TotalReads int     `json:"total_reads"`
-	Variants   int     `json:"variants"`
-	Features   int     `json:"features"`
-	Recovered  int     `json:"recovered"`
-	Planted    int     `json:"planted"`
-	Shards     int     `json:"shards"`
-	ElapsedSec float64 `json:"elapsed_sec"`
+	Mapped       int     `json:"mapped"`
+	TotalReads   int     `json:"total_reads"`
+	TotalRecords int     `json:"total_records,omitempty"`
+	Variants     int     `json:"variants"`
+	Features     int     `json:"features"`
+	Proteins     int     `json:"proteins,omitempty"`
+	Nodes        int     `json:"nodes,omitempty"`
+	Edges        int     `json:"edges,omitempty"`
+	Modules      int     `json:"modules,omitempty"`
+	Recovered    int     `json:"recovered"`
+	Planted      int     `json:"planted"`
+	Shards       int     `json:"shards"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
 	// Stages is the per-stage breakdown, in execution order — never null.
 	Stages []StageBreakdown `json:"stages"`
 }

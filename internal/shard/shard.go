@@ -138,42 +138,36 @@ func MergeFASTQ(w io.Writer, inputs ...io.Reader) (int, error) {
 	return total, fw.Flush()
 }
 
-// ChunkReads splits an in-memory read set into shards of at most
-// maxPerShard records, preserving order. The last shard may be smaller.
-func ChunkReads(reads []genomics.Read, maxPerShard int) ([][]genomics.Read, error) {
+// Chunk splits an in-memory record set into shards of at most maxPerShard
+// records, preserving order; the last shard may be smaller. An empty input
+// yields one empty shard, so scatter loops always have at least one unit.
+// Shards alias the input slice — no records are copied.
+func Chunk[T any](records []T, maxPerShard int) ([][]T, error) {
 	if maxPerShard <= 0 {
 		return nil, ErrBadShardSize
 	}
-	var out [][]genomics.Read
-	for start := 0; start < len(reads); start += maxPerShard {
+	var out [][]T
+	for start := 0; start < len(records); start += maxPerShard {
 		end := start + maxPerShard
-		if end > len(reads) {
-			end = len(reads)
+		if end > len(records) {
+			end = len(records)
 		}
-		out = append(out, reads[start:end])
+		out = append(out, records[start:end])
 	}
 	if out == nil {
-		out = [][]genomics.Read{{}}
+		out = [][]T{{}}
 	}
 	return out, nil
+}
+
+// ChunkReads splits an in-memory read set into shards of at most
+// maxPerShard records, preserving order. The last shard may be smaller.
+func ChunkReads(reads []genomics.Read, maxPerShard int) ([][]genomics.Read, error) {
+	return Chunk(reads, maxPerShard)
 }
 
 // ChunkAlignments splits alignments into shards of at most maxPerShard
 // records, preserving order.
 func ChunkAlignments(alns []genomics.Alignment, maxPerShard int) ([][]genomics.Alignment, error) {
-	if maxPerShard <= 0 {
-		return nil, ErrBadShardSize
-	}
-	var out [][]genomics.Alignment
-	for start := 0; start < len(alns); start += maxPerShard {
-		end := start + maxPerShard
-		if end > len(alns) {
-			end = len(alns)
-		}
-		out = append(out, alns[start:end])
-	}
-	if out == nil {
-		out = [][]genomics.Alignment{{}}
-	}
-	return out, nil
+	return Chunk(alns, maxPerShard)
 }

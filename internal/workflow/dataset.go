@@ -4,16 +4,21 @@ import (
 	"fmt"
 
 	"scan/internal/genomics"
+	"scan/internal/imaging"
+	"scan/internal/network"
+	"scan/internal/proteome"
 )
 
 // Dataset is the typed payload the engine drives through a workflow's stage
-// chain. Type names the format of the *current* payload (matching the
-// stage's Consumes/Produces declaration); downstream fields accumulate: a
-// stage that turns alignments into variant calls keeps the alignments it
-// consumed, so the workflow's final output still carries the derived
-// artifacts a caller may want (the SAM records behind a VCF, say). The one
-// exception is raw Reads, which alignment stages release once consumed —
-// they are the caller's own input and dominate the payload's memory.
+// chain — one struct spanning all four data-process families, so any
+// catalogued workflow runs through the same engine. Type names the format
+// of the *current* payload (matching the stage's Consumes/Produces
+// declaration); downstream fields accumulate: a stage that turns alignments
+// into variant calls keeps the alignments it consumed, so the workflow's
+// final output still carries the derived artifacts a caller may want (the
+// SAM records behind a VCF, say). The exception is the raw input payload —
+// Reads, Spectra, Images — which the consuming stage releases: it is the
+// caller's own input and dominates the payload's memory.
 type Dataset struct {
 	// Type is the data type of the current payload.
 	Type DataType
@@ -22,6 +27,9 @@ type Dataset struct {
 	Reference genomics.Sequence
 	// Header is the SAM header (populated once reads are aligned).
 	Header genomics.Header
+	// PeptideDB is the reference peptide index MGF spectra are searched
+	// against; proteomic stages require it.
+	PeptideDB proteome.Database
 
 	// Reads is the FASTQ payload.
 	Reads []genomics.Read
@@ -33,6 +41,14 @@ type Dataset struct {
 	Variants []genomics.Variant
 	// Features is the FeatureTable payload.
 	Features []Feature
+	// Spectra is the MGF payload.
+	Spectra []proteome.Spectrum
+	// Proteins is the ProteinTable payload (sorted by protein name).
+	Proteins []proteome.ProteinQuant
+	// Images is the TIFF payload.
+	Images []imaging.Image
+	// Net is the Network payload.
+	Net *network.Network
 }
 
 // Feature is one row of a FeatureTable payload: a quantified signal over a
@@ -61,6 +77,17 @@ func (d *Dataset) Records() int {
 		return len(d.Variants)
 	case FeatureTable:
 		return len(d.Features)
+	case MGF:
+		return len(d.Spectra)
+	case ProteinTable:
+		return len(d.Proteins)
+	case TIFF:
+		return len(d.Images)
+	case Network:
+		if d.Net == nil {
+			return 0
+		}
+		return len(d.Net.Nodes)
 	default:
 		return 0
 	}
@@ -75,6 +102,23 @@ func NewFASTQDataset(ref genomics.Sequence, reads []genomics.Read) *Dataset {
 // such as variants-to-vcf).
 func NewVCFDataset(ref genomics.Sequence, variants []genomics.Variant) *Dataset {
 	return &Dataset{Type: VCF, Reference: ref, Variants: variants}
+}
+
+// NewMGFDataset wraps MS/MS spectra and their reference peptide database as
+// a proteomic workflow input.
+func NewMGFDataset(db proteome.Database, spectra []proteome.Spectrum) *Dataset {
+	return &Dataset{Type: MGF, PeptideDB: db, Spectra: spectra}
+}
+
+// NewTIFFDataset wraps microscopy frames as an imaging workflow input.
+func NewTIFFDataset(images []imaging.Image) *Dataset {
+	return &Dataset{Type: TIFF, Images: images}
+}
+
+// NewFeatureDataset wraps a feature table as an integrative workflow input
+// (gene-level measurements feeding network construction).
+func NewFeatureDataset(features []Feature) *Dataset {
+	return &Dataset{Type: FeatureTable, Features: features}
 }
 
 // String renders a short payload summary for logs.

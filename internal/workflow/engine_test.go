@@ -125,21 +125,41 @@ func TestExecutorOutputTypeChecked(t *testing.T) {
 	}
 }
 
-func TestNoExecutorForUnboundTools(t *testing.T) {
+// TestEveryCataloguedWorkflowRunnable: with the family substrates bound,
+// the default registry has an executor for every stage of every catalogued
+// workflow — the catalogue is 100% executable, not a menu of aspirations.
+func TestEveryCataloguedWorkflowRunnable(t *testing.T) {
 	e := testEngine(t, 2)
-	// The proteomic workflow is catalogued but MaxQuant has no substrate.
-	in := &Dataset{Type: MGF}
-	_, err := e.RunByName(context.Background(), "proteome-maxquant", in, RunOptions{})
+	for _, name := range e.Catalogue().Names() {
+		w, err := e.Catalogue().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.CanRun(w); err != nil {
+			t.Errorf("CanRun(%s) = %v", name, err)
+		}
+	}
+}
+
+// TestNoExecutorForUnknownTool: ErrNoExecutor survives for genuinely
+// unknown tools — a workflow registered around an unbound tool still fails
+// loudly at CanRun and Run.
+func TestNoExecutorForUnknownTool(t *testing.T) {
+	cat := NewRegistry()
+	w := Workflow{
+		Name: "hypothetical", Family: "genomic",
+		Stages: []Stage{{Name: "Fold", Tool: "AlphaFold", Consumes: FASTQ, Produces: VCF}},
+	}
+	if err := cat.Register(w); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineOptions{Catalogue: cat, KB: seededKB(t)})
+	if err := e.CanRun(w); !errors.Is(err, ErrNoExecutor) {
+		t.Fatalf("CanRun = %v, want ErrNoExecutor", err)
+	}
+	_, err := e.RunByName(context.Background(), "hypothetical", &Dataset{Type: FASTQ}, RunOptions{})
 	if !errors.Is(err, ErrNoExecutor) {
 		t.Fatalf("err = %v, want ErrNoExecutor", err)
-	}
-	w, _ := e.Catalogue().Get("proteome-maxquant")
-	if err := e.CanRun(w); !errors.Is(err, ErrNoExecutor) {
-		t.Fatalf("CanRun = %v", err)
-	}
-	w, _ = e.Catalogue().Get("dna-variant-detection")
-	if err := e.CanRun(w); err != nil {
-		t.Fatalf("CanRun(dna-variant-detection) = %v", err)
 	}
 }
 

@@ -64,12 +64,15 @@ func (r *ExecutorRegistry) Lookup(tool, stage string) (StageExecutor, bool) {
 	return nil, false
 }
 
-// DefaultExecutors binds the in-repo toolkit to the default catalogue's
-// genomic stages: the k-mer aligner stands in for BWA, the pileup caller
-// for the GATK/MuTect calling stages, and coverage quantification for the
-// expression stage. Proteomic, imaging and integrative tools (MaxQuant,
-// GPM, CellProfiler, Cytoscape) have no substrate in this repo and stay
-// unbound — running their workflows reports ErrNoExecutor.
+// DefaultExecutors binds the in-repo toolkits to every default-catalogue
+// stage, so all four data-process families execute end to end: the k-mer
+// aligner stands in for BWA, the pileup caller for the GATK/MuTect calling
+// stages, coverage quantification for the expression stage, spectral
+// peptide matching (internal/proteome) for MaxQuant and GPM, tile-scattered
+// cell segmentation (internal/imaging) for CellProfiler, and partitioned
+// network construction (internal/network) for Cytoscape. ErrNoExecutor now
+// only reports genuinely unknown tools — every catalogued workflow passes
+// Engine.CanRun under this registry.
 func DefaultExecutors() *ExecutorRegistry {
 	r := NewExecutorRegistry()
 	must := func(tool, stage string, ex StageExecutor) {
@@ -97,6 +100,13 @@ func DefaultExecutors() *ExecutorRegistry {
 	} {
 		must("GATK", stage, identityExecutor{})
 	}
+	// The non-genomic families (executor_families.go): spectrum shards,
+	// image tiles and node-range partitions, each logging telemetry under
+	// its own tool name.
+	must("MaxQuant", "Quantify", spectralSearchExecutor{quantify: true})
+	must("GPM", "Search", spectralSearchExecutor{})
+	must("CellProfiler", "Profile", cellProfileExecutor{})
+	must("Cytoscape", "Integrate", integrateExecutor{})
 	return r
 }
 

@@ -1,0 +1,179 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"scan/internal/imaging"
+	"scan/internal/network"
+	"scan/internal/proteome"
+	"scan/internal/shard"
+)
+
+// This file binds the non-genomic data-process families of the paper's
+// Figure 1 to the engine. Each executor owns the scatter/gather shape its
+// tool family needs — spectrum shards for database search, image tiles for
+// segmentation, node-range partitions for network construction — and logs
+// per-shard telemetry under its tool name, so the Data Broker accumulates
+// performance profiles for every family, not just the GATK chain.
+
+// spectralSearchExecutor implements the proteomic stages (MaxQuant
+// Quantify, GPM Search): scatter spectra into Data-Broker-sized shards,
+// search each shard against the dataset's peptide database on the pool,
+// and gather the per-shard matches into one sorted ProteinTable. In
+// quantify mode the table carries summed match scores (label-free
+// quantification); in search mode it carries identification counts only.
+type spectralSearchExecutor struct{ quantify bool }
+
+func (e spectralSearchExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	if len(in.PeptideDB.Peptides) == 0 {
+		return nil, errors.New("spectral search needs a peptide database")
+	}
+	per, err := env.RecordShardSize(len(in.Spectra))
+	if err != nil {
+		return nil, err
+	}
+	shards, err := shard.Chunk(in.Spectra, per)
+	if err != nil {
+		return nil, err
+	}
+	matchShards := make([][]proteome.Match, len(shards))
+	err = env.Pool(ctx, len(shards), func(i int) error {
+		start := time.Now()
+		ms := make([]proteome.Match, 0, len(shards[i]))
+		for _, sp := range shards[i] {
+			ms = append(ms, proteome.Search(in.PeptideDB, sp, proteome.Config{}))
+		}
+		matchShards[i] = ms
+		env.LogShard(len(shards[i]), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var matches []proteome.Match
+	for _, ms := range matchShards {
+		matches = append(matches, ms...)
+	}
+	quants := proteome.Quantify(in.PeptideDB, matches)
+	if !e.quantify {
+		for i := range quants {
+			quants[i].Abundance = 0
+		}
+	}
+	out := *in
+	out.Type = ProteinTable
+	out.Spectra = nil // the caller's own input; release once consumed
+	out.Proteins = quants
+	return &out, nil
+}
+
+// cellProfileExecutor implements the imaging Profile stage: scatter every
+// frame into overlapping tiles (core partition + halo, so a cell on a tile
+// boundary is counted once by the tile owning its centroid), segment tiles
+// on the pool, and gather per-cell features into one FeatureTable row per
+// detected cell.
+type cellProfileExecutor struct{}
+
+func (cellProfileExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	type unit struct {
+		img  int
+		tile imaging.Tile
+	}
+	tilesPerImage := env.RegionCount()
+	var units []unit
+	for i := range in.Images {
+		im := &in.Images[i]
+		for _, t := range imaging.TileGrid(im.W, im.H, tilesPerImage, imaging.DefaultHalo) {
+			units = append(units, unit{img: i, tile: t})
+		}
+	}
+	regionShards := make([][]imaging.Region, len(units))
+	err := env.Pool(ctx, len(units), func(i int) error {
+		start := time.Now()
+		u := units[i]
+		regionShards[i] = imaging.SegmentTile(&in.Images[u.img], u.tile, imaging.SegConfig{})
+		// The tile's work scales with its segmented window, so telemetry
+		// records halo pixels as the shard's input size.
+		halo := u.tile.Halo
+		env.LogShard((halo.X1-halo.X0)*(halo.Y1-halo.Y0), time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var features []Feature
+	for i := range in.Images {
+		var regions []imaging.Region
+		for j, u := range units {
+			if u.img == i {
+				regions = append(regions, regionShards[j]...)
+			}
+		}
+		imaging.SortRegions(regions) // canonical order regardless of tiling
+		for n, r := range regions {
+			features = append(features, Feature{
+				Name:  fmt.Sprintf("%s:cell%03d", in.Images[i].ID, n),
+				Count: r.Area,
+				Value: r.Mean,
+			})
+		}
+	}
+	out := *in
+	out.Type = FeatureTable
+	out.Images = nil // the caller's own input; release once consumed
+	out.Features = features
+	return &out, nil
+}
+
+// integrateExecutor implements the integrative Integrate stage: treat each
+// feature as a network node, scatter the O(n²) pairwise edge construction
+// over Data-Broker-sized node-range partitions on the pool, then gather the
+// edge slabs and detect modules in one pass — the Cytoscape-style network
+// build.
+type integrateExecutor struct{}
+
+func (integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	nodes := make([]network.Node, len(in.Features))
+	for i, f := range in.Features {
+		nodes[i] = network.Node{Name: f.Name, Value: f.Value}
+	}
+	per, err := env.RecordShardSize(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	type nodeRange struct{ lo, hi int }
+	ranges := []nodeRange{{0, 0}} // empty input still runs one (empty) unit
+	if len(nodes) > 0 {
+		ranges = ranges[:0]
+		for lo := 0; lo < len(nodes); lo += per {
+			ranges = append(ranges, nodeRange{lo, min(lo+per, len(nodes))})
+		}
+	}
+	edgeSlabs := make([][]network.Edge, len(ranges))
+	err = env.Pool(ctx, len(ranges), func(i int) error {
+		start := time.Now()
+		r := ranges[i]
+		edgeSlabs[i] = network.EdgesInRange(nodes, r.lo, r.hi, network.Config{})
+		env.LogShard(r.hi-r.lo, time.Since(start))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var edges []network.Edge
+	for _, slab := range edgeSlabs {
+		edges = append(edges, slab...)
+	}
+	network.SortEdges(edges)
+	out := *in
+	out.Type = Network
+	out.Net = &network.Network{
+		Nodes:   nodes,
+		Edges:   edges,
+		Modules: network.Modules(len(nodes), edges),
+	}
+	return &out, nil
+}

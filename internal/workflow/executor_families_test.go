@@ -1,0 +1,235 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scan/internal/imaging"
+	"scan/internal/knowledge"
+	"scan/internal/network"
+	"scan/internal/proteome"
+)
+
+func mgfDataset(t testing.TB, proteins, spectra int, seed int64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := proteome.GenerateDatabase(rng, proteins, 3)
+	sp, _, err := proteome.SimulateSpectra(rng, db, proteome.SimConfig{
+		Count: spectra, NoisePeaks: 3, DropoutRate: 0.1, Jitter: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMGFDataset(db, sp)
+}
+
+func tiffDataset(t testing.TB, images, cells int, seed int64) (*Dataset, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([]imaging.Image, 0, images)
+	planted := 0
+	for i := 0; i < images; i++ {
+		im, cs, err := imaging.Generate(rng, fmt.Sprintf("img%d", i), imaging.SimConfig{W: 96, H: 96, Cells: cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, im)
+		planted += len(cs)
+	}
+	return NewTIFFDataset(frames), planted
+}
+
+func featureDataset(t testing.TB, genes, modules int, seed int64) *Dataset {
+	t.Helper()
+	ms, _, err := network.SimulateMeasurements(rand.New(rand.NewSource(seed)), genes, modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([]Feature, len(ms))
+	for i, m := range ms {
+		features[i] = Feature{Name: m.Name, Count: 1, Value: m.Value}
+	}
+	return NewFeatureDataset(features)
+}
+
+// runLogCount queries the KB for RunLog individuals of one tool at one
+// stage position — the per-family telemetry the executors must leave
+// behind.
+func runLogCount(t testing.TB, kb *knowledge.Base, app string, stage int) int {
+	t.Helper()
+	res, err := kb.Query(fmt.Sprintf(`
+PREFIX scan: <%s>
+SELECT ?run WHERE {
+  ?run a scan:RunLog ;
+       scan:application scan:%s ;
+       scan:stage %d .
+}`, knowledge.NS, app, stage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Len()
+}
+
+func TestProteomeWorkflowsEndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		workflow, stage, tool string
+		quantified            bool
+	}{
+		{"proteome-maxquant", "Quantify", "MaxQuant", true},
+		{"proteome-gpm", "Search", "GPM", false},
+	} {
+		kb := seededKB(t)
+		e := NewEngine(EngineOptions{KB: kb, Workers: 4})
+		ds := mgfDataset(t, 20, 400, 17)
+		res, err := e.RunByName(context.Background(), tc.workflow, ds, RunOptions{ShardRecords: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.workflow, err)
+		}
+		out := res.Output
+		if out.Type != ProteinTable {
+			t.Fatalf("%s: output type = %s", tc.workflow, out.Type)
+		}
+		// 400 spectra over 20 proteins: every protein collects evidence.
+		if len(out.Proteins) != 20 {
+			t.Fatalf("%s: %d proteins quantified, want 20", tc.workflow, len(out.Proteins))
+		}
+		totalSpectra := 0
+		for _, p := range out.Proteins {
+			totalSpectra += p.Spectra
+			if p.Peptides < 1 {
+				t.Fatalf("%s: protein %s with no peptide evidence", tc.workflow, p.Protein)
+			}
+			if tc.quantified && p.Abundance <= 0 {
+				t.Fatalf("%s: protein %s not quantified", tc.workflow, p.Protein)
+			}
+			if !tc.quantified && p.Abundance != 0 {
+				t.Fatalf("%s: search-only run carries abundance %v", tc.workflow, p.Abundance)
+			}
+		}
+		if totalSpectra < 380 { // ≥95% of spectra assign to their source peptide
+			t.Fatalf("%s: only %d/400 spectra matched", tc.workflow, totalSpectra)
+		}
+		// The raw spectra are released once consumed, like FASTQ reads.
+		if out.Spectra != nil {
+			t.Fatalf("%s: consumed spectra not released", tc.workflow)
+		}
+		// Spectrum-shard scatter: 400 spectra at 100/shard = 4 shards, each
+		// logging telemetry under the family's tool name.
+		if len(res.Stages) != 1 || res.Stages[0].Stage != tc.stage || res.Stages[0].Shards != 4 {
+			t.Fatalf("%s: stages = %+v", tc.workflow, res.Stages)
+		}
+		if got := runLogCount(t, kb, tc.tool, 0); got != 4 {
+			t.Fatalf("%s: %d %s run logs, want 4", tc.workflow, got, tc.tool)
+		}
+	}
+}
+
+func TestImagingWorkflowEndToEnd(t *testing.T) {
+	kb := seededKB(t)
+	e := NewEngine(EngineOptions{KB: kb, Workers: 4})
+	ds, planted := tiffDataset(t, 3, 5, 23)
+	res, err := e.RunByName(context.Background(), "cell-imaging", ds, RunOptions{Regions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output
+	if out.Type != FeatureTable {
+		t.Fatalf("output type = %s", out.Type)
+	}
+	// Tile-overlap segmentation recovers exactly the planted cells: no
+	// double counting across tile boundaries, no misses.
+	if len(out.Features) != planted {
+		t.Fatalf("features = %d, want %d planted cells", len(out.Features), planted)
+	}
+	for _, f := range out.Features {
+		if f.Count < 9 || f.Value < 0.7 {
+			t.Fatalf("implausible cell feature %+v", f)
+		}
+	}
+	if out.Images != nil {
+		t.Fatal("consumed images not released")
+	}
+	// 3 images × 4 tiles each = 12 scatter units.
+	if len(res.Stages) != 1 || res.Stages[0].Shards != 12 {
+		t.Fatalf("stages = %+v", res.Stages)
+	}
+	if got := runLogCount(t, kb, "CellProfiler", 0); got != 12 {
+		t.Fatalf("%d CellProfiler run logs, want 12", got)
+	}
+}
+
+func TestNetworkWorkflowEndToEnd(t *testing.T) {
+	kb := seededKB(t)
+	e := NewEngine(EngineOptions{KB: kb, Workers: 4})
+	ds := featureDataset(t, 60, 4, 29)
+	res, err := e.RunByName(context.Background(), "integrative-network", ds, RunOptions{ShardRecords: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output
+	if out.Type != Network || out.Net == nil {
+		t.Fatalf("output = %s, net = %v", out.Type, out.Net)
+	}
+	if len(out.Net.Nodes) != 60 || len(out.Net.Edges) == 0 {
+		t.Fatalf("network = %d nodes, %d edges", len(out.Net.Nodes), len(out.Net.Edges))
+	}
+	// Partitioned edge construction recovers the planted module structure.
+	if len(out.Net.Modules) != 4 {
+		t.Fatalf("modules = %d, want 4 planted", len(out.Net.Modules))
+	}
+	covered := 0
+	for _, m := range out.Net.Modules {
+		covered += len(m)
+	}
+	if covered != 60 {
+		t.Fatalf("modules cover %d nodes, want 60", covered)
+	}
+	// 60 nodes at 20/partition = 3 graph partitions.
+	if len(res.Stages) != 1 || res.Stages[0].Shards != 3 {
+		t.Fatalf("stages = %+v", res.Stages)
+	}
+	if got := runLogCount(t, kb, "Cytoscape", 0); got != 3 {
+		t.Fatalf("%d Cytoscape run logs, want 3", got)
+	}
+}
+
+// TestExpressionFeedsIntegration chains two families: the rna-expression
+// FeatureTable output is a valid integrative-network input, so multi-omics
+// pipelines compose through the catalogue's shared data types.
+func TestExpressionFeedsIntegration(t *testing.T) {
+	e := testEngine(t, 4)
+	ds := synthDataset(t, 8000, 2000, 31)
+	expr, err := e.RunByName(context.Background(), "rna-expression", ds, RunOptions{Regions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunByName(context.Background(), "integrative-network",
+		NewFeatureDataset(expr.Output.Features), RunOptions{ShardRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Type != Network || len(res.Output.Net.Nodes) != 6 {
+		t.Fatalf("chained output = %+v", res.Output)
+	}
+}
+
+// TestProteomeAdviceFromBroker: with no ShardRecords override, the
+// proteomic scatter consults the Data Broker exactly like the genomic
+// aligner — the shard plan and advice land on the stage result.
+func TestProteomeAdviceFromBroker(t *testing.T) {
+	e := testEngine(t, 2)
+	ds := mgfDataset(t, 10, 200, 41)
+	res, err := e.RunByName(context.Background(), "proteome-maxquant", ds, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := res.RecordScatter()
+	if !ok {
+		t.Fatal("no record scatter recorded")
+	}
+	if sr.Advice.BasedOn == "" || sr.Plan.NumShards < 1 {
+		t.Fatalf("scatter = %+v", sr)
+	}
+}

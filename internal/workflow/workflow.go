@@ -12,10 +12,16 @@
 //
 //	catalogue (Workflow, Registry)     what stages exist, in what order,
 //	                                   over which data types
-//	executor registry (executor.go)    binds stage names/tools — BWA,
-//	                                   GATK, MuTect — to the real
+//	executor registry (executor.go,    binds stage names/tools — BWA, GATK,
+//	executor_families.go)              MuTect, MaxQuant, GPM, CellProfiler,
+//	                                   Cytoscape — to the real
 //	                                   implementations in internal/align,
-//	                                   internal/variant, internal/genomics
+//	                                   internal/variant, internal/proteome,
+//	                                   internal/imaging, internal/network;
+//	                                   every stage owns its tool-specific
+//	                                   scatter shape (record shards,
+//	                                   genomic regions, spectrum shards,
+//	                                   image tiles, node partitions)
 //	engine (engine.go)                 drives a typed Dataset through the
 //	                                   stage chain with per-stage
 //	                                   scatter/gather: shard sizes asked
@@ -283,7 +289,9 @@ func DefaultCatalogue() *Registry {
 		Name: "integrative-network", Family: "integrative",
 		Description: "Omics integration into interaction networks (Figure 1, Cytoscape)",
 		Stages: []Stage{
-			{Name: "Integrate", Tool: "Cytoscape", Consumes: FeatureTable, Produces: Network},
+			// Parallelizable: edge construction scatters over node-range
+			// partitions of the O(n²) pair space.
+			{Name: "Integrate", Tool: "Cytoscape", Consumes: FeatureTable, Produces: Network, Parallelizable: true},
 		},
 	})
 	return r
