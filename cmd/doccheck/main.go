@@ -1,0 +1,35 @@
+// Command doccheck is CI's docs gate: it checks every relative markdown
+// link in the repository's *.md files (root + docs/) resolves to a real
+// file, and that every package under internal/, cmd/ and examples/ has a
+// package comment. Findings print one per line and fail the run.
+//
+// Usage:
+//
+//	doccheck [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scan/internal/doccheck"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	problems, err := doccheck.Run(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}

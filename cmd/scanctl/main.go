@@ -12,6 +12,12 @@
 //	scanctl submit -spectra 400 -proteins 20 [-wait]
 //	scanctl submit -images 4 -cells 6 [-wait]
 //	scanctl submit -genes 200 -modules 5 [-wait]
+//	scanctl dataset upload -name sample1 -family fastq -data reads.fq [-reference ref.fa]
+//	scanctl dataset upload -name acq1 -family mgf -peptides db.txt -spectra scans.mgf
+//	scanctl dataset list
+//	scanctl dataset rm <id|name>
+//	scanctl submit -dataset sample1 [-wait]
+//	scanctl submit -dataset reads-only -reference grch-toy [-wait]
 //	scanctl jobs [-state done] [-workflow NAME] [-limit 20] [-page TOKEN]
 //	scanctl job <id>
 //	scanctl watch <id>
@@ -47,12 +53,21 @@
 // cancelling its run context when it is already executing. `scanctl jobs`
 // pages through the daemon's bounded job store; pass the printed next-page
 // token back via -page to continue a listing.
+//
+// `scanctl dataset upload` streams local files into the daemon's dataset
+// registry (FASTQ reads, a FASTA reference genome, MGF spectra plus their
+// peptide database, PGM-encoded frames, or a feature table; "-" reads
+// stdin), after which `submit -dataset NAME` runs any number of jobs over
+// the one stored copy — no records ride along the submission. A registered
+// reference genome (family "reference") is named via `submit -reference`,
+// so the same genome serves every read set uploaded after it.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -92,6 +107,11 @@ func main() {
 			usage()
 		}
 		err = cmdCancel(ctx, client, args[1])
+	case "dataset":
+		if len(args) < 2 {
+			usage()
+		}
+		err = cmdDataset(ctx, client, args[1], args[2:])
 	case "workflows":
 		err = cmdWorkflows(ctx, client)
 	case "profiles":
@@ -117,7 +137,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|submit|jobs|job ID|watch ID|cancel ID|profiles|query SPARQL|export [turtle|rdfxml]>")
+	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|submit|dataset upload|list|rm|jobs|job ID|watch ID|cancel ID|profiles|query SPARQL|export [turtle|rdfxml]>")
 	os.Exit(2)
 }
 
@@ -155,12 +175,37 @@ func cmdSubmit(ctx context.Context, c *rpc.Client, args []string) error {
 	cells := fs.Int("cells", 6, "imaging: planted cells per frame (selects the TIFF dataset family)")
 	genes := fs.Int("genes", 200, "integrative: gene measurements (selects the feature-table dataset family)")
 	modules := fs.Int("modules", 4, "integrative: planted modules (selects the feature-table dataset family)")
+	dataset := fs.String("dataset", "", "registered dataset (id or name) to run over instead of generating data")
+	reference := fs.String("reference", "", "registered reference genome (id or name) for sequencing submissions")
 	wait := fs.Bool("wait", false, "stream the job's events until it finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *reference != "" && *dataset == "" {
+		// Without this, the reference would be silently dropped and the
+		// job run against a freshly generated synthetic genome.
+		return fmt.Errorf("-reference requires -dataset (a registered read set to run against the named genome)")
+	}
+	// A registered dataset is its own source: the daemon already knows its
+	// family, so none of the generation flags apply.
+	if *dataset != "" {
+		job, err := c.CreateJob(ctx, rpc.SubmitJobRequest{
+			Workflow:     *workflowName,
+			Dataset:      *dataset,
+			Reference:    *reference,
+			ShardRecords: *shardRecs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %d (%s) submitted (%s) over dataset %s\n", job.ID, job.Workflow, job.State, job.Dataset)
+		if !*wait {
+			return nil
+		}
+		return watchJob(ctx, c, job.ID)
+	}
 	// The dataset family follows the flags the user actually passed; with
 	// only -workflow given, it follows the catalogue's consumed data type
 	// instead of silently shipping reads a non-genomic workflow rejects.
@@ -362,6 +407,101 @@ func printJob(j rpc.Job) {
 	default:
 		fmt.Printf("job %d %-8s %-26s\n", j.ID, j.State, j.Workflow)
 	}
+}
+
+// cmdDataset drives the dataset registry: upload streams local files into
+// the daemon (multipart, decoded record by record server-side), list and
+// rm manage the bounded store.
+func cmdDataset(ctx context.Context, c *rpc.Client, sub string, args []string) error {
+	switch sub {
+	case "upload":
+		return cmdDatasetUpload(ctx, c, args)
+	case "list":
+		infos, err := c.Datasets(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-20s %-14s %9s %12s  %s\n", "id", "name", "family", "records", "bytes", "hash")
+		for _, d := range infos {
+			fam := d.Family
+			if d.Reference && d.Family == "fastq" {
+				fam += "+ref"
+			}
+			fmt.Printf("%-8s %-20s %-14s %9d %12d  %.12s…\n", d.ID, d.Name, fam, d.Records, d.Bytes, d.Hash)
+		}
+		return nil
+	case "rm":
+		if len(args) < 1 {
+			usage()
+		}
+		d, err := c.DeleteDataset(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset %s (%s) deleted\n", d.ID, d.Name)
+		return nil
+	default:
+		usage()
+		return nil
+	}
+}
+
+func cmdDatasetUpload(ctx context.Context, c *rpc.Client, args []string) error {
+	fs := flag.NewFlagSet("dataset upload", flag.ExitOnError)
+	name := fs.String("name", "", "unique dataset name (required)")
+	family := fs.String("family", "", "dataset family: fastq, mgf, tiff, feature-table or reference (required)")
+	data := fs.String("data", "", "data file: FASTQ reads, PGM frames, feature rows, or the FASTA reference ('-' = stdin)")
+	refFile := fs.String("reference", "", "fastq only: FASTA reference to embed alongside the reads")
+	peptides := fs.String("peptides", "", "mgf only: peptide database file")
+	spectra := fs.String("spectra", "", "mgf only: MGF scan file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *family == "" {
+		return fmt.Errorf("dataset upload needs -name and -family")
+	}
+	var parts []rpc.UploadPart
+	var closers []io.Closer
+	defer func() {
+		for _, cl := range closers {
+			cl.Close()
+		}
+	}()
+	add := func(field, path string) error {
+		if path == "" {
+			return nil
+		}
+		var r io.Reader = os.Stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			closers = append(closers, f)
+			r = f
+		}
+		parts = append(parts, rpc.UploadPart{Field: field, R: r})
+		return nil
+	}
+	// Part order matters for fastq+reference only in that both must arrive;
+	// the daemon accepts either order.
+	for _, p := range []struct{ field, path string }{
+		{"reference", *refFile}, {"data", *data}, {"peptides", *peptides}, {"spectra", *spectra},
+	} {
+		if err := add(p.field, p.path); err != nil {
+			return err
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("dataset upload needs a data source (-data, or -peptides/-spectra for mgf)")
+	}
+	d, err := c.UploadDataset(ctx, *name, *family, parts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s (%s, %s) stored: %d records, %d bytes, sha256 %.12s…\n",
+		d.ID, d.Name, d.Family, d.Records, d.Bytes, d.Hash)
+	return nil
 }
 
 func cmdWorkflows(ctx context.Context, c *rpc.Client) error {

@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	scand [-addr :7390] [-workers N] [-executors N] [-retain N] [-quiet]
+//	scand [-addr :7390] [-workers N] [-executors N] [-retain N]
+//	      [-max-datasets N] [-max-dataset-mb N] [-quiet]
 //
 // scand serves /api/v1 (the original flat RPC surface, kept
 // wire-compatible) and /api/v2 (resource-oriented jobs with cancellation,
-// paginated listing and SSE event streams). -retain bounds how many
-// finished jobs the store keeps before evicting the oldest; -quiet
-// suppresses the per-request access log.
+// paginated listing, SSE event streams, and the dataset registry —
+// streaming uploads jobs reference by id instead of shipping records per
+// submission). -retain bounds how many finished jobs the store keeps
+// before evicting the oldest; -max-datasets and -max-dataset-mb bound the
+// dataset registry the same retention-style way (oldest unreferenced
+// datasets are evicted to admit new uploads); -quiet suppresses the
+// per-request access log.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"runtime"
 
 	"scan/internal/core"
+	"scan/internal/registry"
 	"scan/internal/rpc"
 )
 
@@ -33,6 +39,8 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline workers per job")
 		executors = flag.Int("executors", 2, "concurrent jobs")
 		retain    = flag.Int("retain", rpc.DefaultRetention, "finished jobs kept before eviction")
+		maxDS     = flag.Int("max-datasets", registry.DefaultMaxDatasets, "registered datasets kept before eviction")
+		maxDSMB   = flag.Int64("max-dataset-mb", registry.DefaultMaxBytes>>20, "registered dataset bytes kept before eviction (MiB)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
 	)
 	flag.Parse()
@@ -41,7 +49,10 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	platform := core.NewPlatform(core.Options{Workers: *workers})
+	platform := core.NewPlatform(core.Options{
+		Workers:  *workers,
+		Datasets: registry.NewStore(registry.Options{MaxDatasets: *maxDS, MaxBytes: *maxDSMB << 20}),
+	})
 	server := rpc.NewServerOptions(platform, rpc.ServerOptions{
 		Executors: *executors,
 		Retention: *retain,

@@ -29,21 +29,31 @@
 //	                    executes the catalogued dna-variant-detection
 //	                    workflow; Platform.RunWorkflow runs any
 //	                    catalogued analysis by name
+//	internal/registry   the dataset registry: a bounded store of named,
+//	                    streaming-decoded uploads (FASTQ reads, MGF
+//	                    spectra + peptide databases, microscopy frames,
+//	                    feature tables, and reference genomes) that jobs
+//	                    reference by id instead of shipping records per
+//	                    submission — the registry holds the one copy and
+//	                    evicts oldest unreferenced datasets when full
 //	internal/rpc        scand's HTTP interface. /api/v2 is the
 //	                    resource-oriented job surface: submissions carry
 //	                    a synthetic dataset spec for any family
 //	                    (sequencing reads, MS/MS spectra, microscopy
-//	                    frames, gene measurements) or inline FASTQ
-//	                    records, jobs expose a structured result with the
-//	                    engine's per-stage breakdown, DELETE cancels
-//	                    pending and running jobs through a per-job
-//	                    context, listing is filtered and paginated over
-//	                    a bounded store with terminal-job retention, and
-//	                    GET /jobs/{id}/events streams state transitions
-//	                    and stage completions as SSE. /api/v1 (the
-//	                    paper-prototype RPC shape) stays wire-compatible
-//	                    for old clients. scanctl is the client:
-//	                    submit/watch/cancel/paged jobs.
+//	                    frames, gene measurements), inline FASTQ
+//	                    records, or a reference to a registered dataset
+//	                    (POST /api/v2/datasets uploads one, decoded
+//	                    record-by-record off the wire), jobs expose a
+//	                    structured result with the engine's per-stage
+//	                    breakdown, DELETE cancels pending and running
+//	                    jobs through a per-job context, listing is
+//	                    filtered and paginated over a bounded store with
+//	                    terminal-job retention, and GET /jobs/{id}/events
+//	                    streams state transitions and stage completions
+//	                    as SSE. /api/v1 (the paper-prototype RPC shape)
+//	                    stays wire-compatible for old clients. scanctl is
+//	                    the client: submit/watch/cancel/paged jobs plus
+//	                    dataset upload/list/rm.
 //
 // The Data Broker's knowledge base is built for the hot path: shard
 // advice is served from a materialized profile cache invalidated by a

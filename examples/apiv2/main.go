@@ -1,6 +1,7 @@
 // API v2 walkthrough: the resource-oriented job lifecycle end to end —
-// submit, stream progress over SSE, run a non-genomic family, cancel, and
-// page through the bounded job store.
+// submit, stream progress over SSE, run a non-genomic family, upload a
+// dataset once and run two jobs over it, cancel, and page through the
+// bounded job store.
 //
 //	go run ./examples/apiv2                              # in-process scand
 //	go run ./examples/apiv2 -addr http://localhost:7390  # external scand
@@ -11,14 +12,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 
 	"scan/internal/core"
+	"scan/internal/genomics"
 	"scan/internal/rpc"
 )
 
@@ -99,7 +103,51 @@ func main() {
 		imgFinal.Workflow, imgFinal.Result.Features, imgFinal.Result.TotalRecords,
 		imgFinal.Result.Stages[0].Shards)
 
-	// 4. Cancel: with the single executor held by a long-running job, a
+	// 4. The dataset registry: upload once, reference per job. A FASTQ
+	// dataset (reads + embedded reference) streams up as multipart; any
+	// number of submissions then name it by id and the daemon runs them
+	// over its one stored copy — nothing is re-shipped or re-parsed. A
+	// reference genome can also be registered on its own (family
+	// "reference") and named via SubmitJobRequest.Reference.
+	rng := rand.New(rand.NewSource(5))
+	ref := genomics.GenerateReference(rng, "chrZ", 3000)
+	reads, err := genomics.SimulateReads(rng, ref, genomics.ReadSimConfig{Count: 500, Length: 80, ErrorRate: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fasta, fastq bytes.Buffer
+	if err := genomics.WriteFASTA(&fasta, []genomics.Sequence{ref}, 70); err != nil {
+		log.Fatal(err)
+	}
+	if err := genomics.WriteAllFASTQ(&fastq, reads); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := client.UploadDataset(ctx, fmt.Sprintf("walkthrough-%d", job.ID), "fastq",
+		rpc.UploadPart{Field: "reference", R: &fasta},
+		rpc.UploadPart{Field: "data", R: &fastq},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded dataset %s (%s): %d reads, %d bytes, sha256 %.12s…\n",
+		ds.ID, ds.Name, ds.Records, ds.Bytes, ds.Hash)
+	for i := 0; i < 2; i++ {
+		dsJob, err := client.CreateJob(ctx, rpc.SubmitJobRequest{Dataset: ds.ID})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dsFinal, err := client.Watch(ctx, dsJob.ID, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dsFinal.Result == nil {
+			log.Fatalf("dataset job ended %s: %+v", dsFinal.State, dsFinal.Error)
+		}
+		fmt.Printf("dataset job %d: mapped %d/%d reads, %d variants (registry still holds one copy)\n",
+			dsJob.ID, dsFinal.Result.Mapped, dsFinal.Result.TotalReads, dsFinal.Result.Variants)
+	}
+
+	// 5. Cancel: with the single executor held by a long-running job, a
 	// second submission sits in the queue; DELETE takes it out before it
 	// ever runs. A *running* job cancels the same way — its per-job
 	// context is cancelled and the watcher sees the canceled state.
@@ -135,7 +183,7 @@ func main() {
 	fmt.Printf("canceled job %d mid-run (%s: %s)\n",
 		busy.ID, busy.Error.Code, busy.Error.Message)
 
-	// 5. Paged listing: the store is bounded (Retention evicts the oldest
+	// 6. Paged listing: the store is bounded (Retention evicts the oldest
 	// finished jobs), and listing walks it in fixed-size pages.
 	token := ""
 	for page := 1; ; page++ {

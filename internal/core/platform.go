@@ -23,6 +23,7 @@ import (
 	"scan/internal/cloud"
 	"scan/internal/genomics"
 	"scan/internal/knowledge"
+	"scan/internal/registry"
 	"scan/internal/shard"
 	"scan/internal/variant"
 	"scan/internal/workflow"
@@ -52,14 +53,19 @@ type Options struct {
 	// tests use it to inject stages with controlled blocking behavior when
 	// proving cancellation propagates into a running workflow.
 	Executors *workflow.ExecutorRegistry
+	// Datasets overrides the platform's dataset registry (default: a fresh
+	// store with registry defaults). scand sizes it from flags.
+	Datasets *registry.Store
 }
 
 // Platform is the SCAN application platform: the workflow catalogue, the
-// executor bindings, and the engine that runs any catalogued analysis.
+// executor bindings, the engine that runs any catalogued analysis, and the
+// dataset registry jobs stage uploads into.
 type Platform struct {
 	kb             *knowledge.Base
 	catalogue      *workflow.Registry
 	engine         *workflow.Engine
+	datasets       *registry.Store
 	workers        int
 	recordsPerUnit int
 }
@@ -92,6 +98,9 @@ func NewPlatform(opts Options) *Platform {
 	if opts.RecordsPerUnit <= 0 {
 		opts.RecordsPerUnit = 1000
 	}
+	if opts.Datasets == nil {
+		opts.Datasets = registry.NewStore(registry.Options{})
+	}
 	engine := workflow.NewEngine(workflow.EngineOptions{
 		Catalogue:      catalogue,
 		Executors:      opts.Executors,
@@ -103,6 +112,7 @@ func NewPlatform(opts Options) *Platform {
 		kb:             opts.KB,
 		catalogue:      catalogue,
 		engine:         engine,
+		datasets:       opts.Datasets,
 		workers:        opts.Workers,
 		recordsPerUnit: opts.RecordsPerUnit,
 	}
@@ -123,6 +133,10 @@ func (p *Platform) Workers() int { return p.workers }
 
 // Catalogue exposes the platform's workflow catalogue.
 func (p *Platform) Catalogue() *workflow.Registry { return p.catalogue }
+
+// Datasets exposes the platform's dataset registry — the bounded store of
+// named uploads jobs reference instead of shipping records per submission.
+func (p *Platform) Datasets() *registry.Store { return p.datasets }
 
 // Engine exposes the platform's workflow engine.
 func (p *Platform) Engine() *workflow.Engine { return p.engine }

@@ -1,0 +1,169 @@
+// Package doccheck implements the repository's documentation gate, run by
+// CI's docs job (cmd/doccheck): every relative markdown link must resolve
+// to a real file or directory, and every internal/ package must carry a
+// package comment. Both failure modes are silent rot — a renamed file
+// breaks README links without breaking any test, and a new package without
+// a doc comment erodes the godoc surface PR by PR — so the gate makes them
+// loud instead.
+package doccheck
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Problem is one finding: the file it was found in and what is wrong.
+type Problem struct {
+	File    string
+	Message string
+}
+
+func (p Problem) String() string { return p.File + ": " + p.Message }
+
+// mdLink matches inline markdown links [text](target). Images and
+// reference-style links are out of scope — the repo uses neither.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckMarkdownLinks verifies every relative link in the given markdown
+// files points at an existing file or directory under root. External
+// schemes (http, https, mailto) and pure in-page anchors are skipped;
+// anchors on relative targets are stripped before the existence check.
+func CheckMarkdownLinks(root string, files []string) ([]Problem, error) {
+	var problems []Problem
+	for _, file := range files {
+		raw, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			// Relative to the linking file's directory, like a renderer
+			// resolves it.
+			resolved := filepath.Join(root, filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, Problem{
+					File:    file,
+					Message: fmt.Sprintf("broken link %q (no such file %s)", m[1], filepath.Join(filepath.Dir(file), target)),
+				})
+			}
+		}
+	}
+	return problems, nil
+}
+
+// MarkdownFiles lists the repository's checked markdown set: every *.md at
+// the root plus everything under docs/, relative to root.
+func MarkdownFiles(root string) ([]string, error) {
+	var files []string
+	rootEntries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range rootEntries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, e.Name())
+		}
+	}
+	docs := filepath.Join(root, "docs")
+	if _, err := os.Stat(docs); err == nil {
+		err := filepath.WalkDir(docs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				files = append(files, rel)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// CheckPackageComments verifies every Go package under dir (recursively,
+// skipping testdata) has a package comment on at least one file — the
+// ST1000 guarantee, enforced without needing staticcheck installed.
+func CheckPackageComments(dir string) ([]Problem, error) {
+	var problems []Problem
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" {
+			// Fixture trees may hold intentionally broken or undocumented
+			// Go files the toolchain itself ignores; don't descend.
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				problems = append(problems, Problem{
+					File:    path,
+					Message: fmt.Sprintf("package %s has no package comment", name),
+				})
+			}
+		}
+		return nil
+	})
+	sort.Slice(problems, func(i, j int) bool { return problems[i].File < problems[j].File })
+	return problems, err
+}
+
+// Run executes the whole gate over a repository root and returns every
+// finding.
+func Run(root string) ([]Problem, error) {
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	problems, err := CheckMarkdownLinks(root, files)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range []string{"internal", "cmd", "examples"} {
+		full := filepath.Join(root, dir)
+		if _, err := os.Stat(full); err != nil {
+			continue
+		}
+		pkgProblems, err := CheckPackageComments(full)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, pkgProblems...)
+	}
+	return problems, nil
+}

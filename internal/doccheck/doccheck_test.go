@@ -1,0 +1,93 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "README.md",
+		"[ok](docs/API.md) [ok-dir](docs) [anchor](docs/API.md#routes)\n"+
+			"[http](https://example.com/x.md) [page](#local) [broken](nope.md)\n")
+	write(t, root, "docs/API.md", "[up](../README.md) [gone](missing/ref.md)\n")
+
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0] != "README.md" || files[1] != filepath.Join("docs", "API.md") {
+		t.Fatalf("files = %v", files)
+	}
+	problems, err := CheckMarkdownLinks(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v", problems)
+	}
+	if problems[0].File != "README.md" || !strings.Contains(problems[0].Message, "nope.md") {
+		t.Fatalf("problem 0 = %v", problems[0])
+	}
+	// Links resolve relative to the linking file, so docs/API.md's broken
+	// link reports under docs/.
+	if problems[1].File != filepath.Join("docs", "API.md") || !strings.Contains(problems[1].Message, "missing/ref.md") {
+		t.Fatalf("problem 1 = %v", problems[1])
+	}
+}
+
+func TestCheckPackageComments(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/good/good.go", "// Package good is documented.\npackage good\n")
+	// Documented on a doc.go, undocumented main file: still fine.
+	write(t, root, "internal/split/doc.go", "// Package split is documented here.\npackage split\n")
+	write(t, root, "internal/split/split.go", "package split\n")
+	write(t, root, "internal/bad/bad.go", "package bad\n")
+	// Test files don't count as documentation carriers.
+	write(t, root, "internal/bad/bad_test.go", "// Package bad is only documented in tests.\npackage bad\n")
+	// testdata trees are skipped wholesale — fixtures may be undocumented
+	// or not even valid Go.
+	write(t, root, "internal/good/testdata/fixture.go", "package fixture\n")
+	write(t, root, "internal/good/testdata/nested/broken.go", "this is not go\n")
+
+	problems, err := CheckPackageComments(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0].Message, "package bad") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+// TestRunOnThisRepository is the gate itself as a test: the real tree must
+// stay clean, so a broken README link or an undocumented package fails
+// `go test` as well as CI's docs job.
+func TestRunOnThisRepository(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("repository root not found: %v", err)
+	}
+	problems, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Errorf("%s", p)
+	}
+}

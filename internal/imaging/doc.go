@@ -1,0 +1,24 @@
+// Package imaging implements SCAN's microscopy substrate: a deterministic
+// cell-segmentation and feature-extraction toolkit standing in for
+// CellProfiler in the paper's Figure 1 microscopy path.
+//
+// Images are synthetic fluorescence fields — bright cell disks over a dim
+// noise background — segmented by intensity thresholding and connected
+// components, with per-cell features (area, centroid, mean intensity)
+// extracted from each region.
+//
+// Scatter/gather shape: the image tile is the scatter unit. A tile's core
+// rectangle partitions the frame exactly, and a halo border widens the
+// segmented window so a cell lying across a core boundary is still seen
+// whole; each cell is counted once, by the tile that owns its centroid —
+// the 2-D analogue of the overlap-aware genomic region scatter in package
+// shard. Per-tile region sets gather into one per-frame feature list.
+//
+// Determinism guarantee: generation is seeded (Generate regenerates
+// identical frames from equal seeds), segmentation is a pure function of
+// the pixels, and gathered regions are sorted into canonical order
+// (SortRegions), so tiled and whole-frame segmentation of the same image
+// produce identical region sets regardless of the tile grid — proven by
+// the package's tiled-equals-whole tests and relied on by the workflow
+// engine's Profile stage.
+package imaging

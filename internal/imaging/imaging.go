@@ -1,17 +1,3 @@
-// Package imaging implements SCAN's microscopy substrate: a deterministic
-// cell-segmentation and feature-extraction toolkit standing in for
-// CellProfiler in the paper's Figure 1 microscopy path.
-//
-// Images are synthetic fluorescence fields — bright cell disks over a dim
-// noise background — segmented by intensity thresholding and connected
-// components, with per-cell features (area, centroid, mean intensity)
-// extracted from each region.
-//
-// The scatter unit is the image tile: a tile's core rectangle partitions
-// the image exactly, and a halo border widens the segmented window so a
-// cell lying across a core boundary is still seen whole by the tile that
-// owns its centroid — the 2-D analogue of the overlap-aware genomic region
-// scatter in package shard.
 package imaging
 
 import (

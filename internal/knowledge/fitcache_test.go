@@ -1,0 +1,99 @@
+package knowledge
+
+import (
+	"math"
+	"testing"
+
+	"scan/internal/gatk"
+)
+
+// seedFitRuns logs a clean size sweep and thread sweep for one stage, the
+// minimum a regression needs.
+func seedFitRuns(t *testing.T, b *Base, slope float64) {
+	t.Helper()
+	for _, d := range []float64{1, 3, 5, 7, 9} {
+		if err := b.LogRun(RunLog{App: "GATK", Stage: 0, InputSize: d, Threads: 1, ETime: slope*d + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, th := range []int{2, 4, 8} {
+		if err := b.LogRun(RunLog{App: "GATK", Stage: 0, InputSize: 5, Threads: th, ETime: (slope*5 + 1) / float64(th)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fitMemoModel exposes the memoized model pointer for identity assertions.
+func fitMemoModel(b *Base, app string, stage int) *gatk.StageModel {
+	b.fitMu.Lock()
+	defer b.fitMu.Unlock()
+	e, ok := b.fitMemo[fitKey{app: app, stage: stage}]
+	if !ok {
+		return nil
+	}
+	return e.model
+}
+
+// TestFitStageModelCachedPerEpoch mirrors TestRunFoldKeepsMaterializedProfiles
+// for the fitted-model memo: repeated fits between writes serve the same
+// memoized model (pointer identity — no SPARQL re-evaluation), while any
+// graph mutation — including a run-log fold, which deliberately does NOT
+// invalidate the advice cache — recomputes the fit over the new data.
+func TestFitStageModelCachedPerEpoch(t *testing.T) {
+	b := New()
+	seedFitRuns(t, b, 2)
+	m1, err := b.FitStageModel("GATK", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.A-2) > 0.1 {
+		t.Fatalf("recovered a = %v, want ~2", m1.A)
+	}
+	before := fitMemoModel(b, "GATK", 0)
+	if before == nil {
+		t.Fatal("fit did not memoize a model")
+	}
+	// Pointer identity: a second fit with no intervening writes serves the
+	// memoized model.
+	if _, err := b.FitStageModel("GATK", 0); err != nil {
+		t.Fatal(err)
+	}
+	if after := fitMemoModel(b, "GATK", 0); after != before {
+		t.Fatal("unchanged graph re-evaluated the fit")
+	}
+	// New telemetry folds bump the graph epoch and must invalidate: the
+	// steeper observations move the recovered slope.
+	seedFitRuns(t, b, 6)
+	m2, err := b.FitStageModel("GATK", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := fitMemoModel(b, "GATK", 0); after == before {
+		t.Fatal("run-log fold did not invalidate the fitted-model memo")
+	}
+	if m2.A <= m1.A+0.5 {
+		t.Fatalf("refit ignored new observations: a = %v, was %v", m2.A, m1.A)
+	}
+	// Buffered (async) observations count too: FitStageModel flushes first,
+	// and the fold invalidates the memo in the same call.
+	prev := fitMemoModel(b, "GATK", 0)
+	for _, d := range []float64{2, 4, 6} {
+		if err := b.LogRunAsync(RunLog{App: "GATK", Stage: 0, InputSize: d, Threads: 1, ETime: 20*d + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m3, err := b.FitStageModel("GATK", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitMemoModel(b, "GATK", 0) == prev {
+		t.Fatal("buffered-observation flush did not invalidate the memo")
+	}
+	if m3.A == m2.A {
+		t.Fatalf("refit ignored buffered observations: a stayed %v", m3.A)
+	}
+	// Memo entries are per (app, stage): a different stage misses cleanly.
+	if _, err := b.FitStageModel("GATK", 1); err == nil {
+		t.Fatal("fit with no stage-1 data succeeded")
+	}
+}

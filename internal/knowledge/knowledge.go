@@ -70,6 +70,15 @@ type Base struct {
 	cacheMu sync.Mutex
 	cache   atomic.Pointer[adviceCache]
 
+	// Fitted-stage-model memo (FitStageModel): one entry per (app, stage),
+	// valid for one *graph* write epoch. The regression reads RunLog
+	// individuals, which folds add without touching the profile epoch, so
+	// this cache watches ontology.Graph.Epoch instead: any effective
+	// mutation — a fold, a profile write, an import — invalidates it, and
+	// repeated fits between mutations cost no SPARQL evaluation.
+	fitMu   sync.Mutex
+	fitMemo map[fitKey]fitEntry
+
 	// profileEpoch advances on every mutation that can change the
 	// materialized profile list — AddProfile, Import, ontology seeding —
 	// but NOT on run-log folds: RunLog individuals are typed scan:RunLog
@@ -363,14 +372,64 @@ func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
 	return adv, nil
 }
 
+// fitKey identifies one fitted stage model.
+type fitKey struct {
+	app   string
+	stage int
+}
+
+// fitEntry is one memoized regression: the model pointer is what the
+// invalidation test asserts identity on, the epoch is the graph write
+// epoch the fit evaluated against.
+type fitEntry struct {
+	epoch uint64
+	model *gatk.StageModel
+}
+
+// fitMemoLimit bounds the fitted-model memo; a full memo starts over.
+const fitMemoLimit = 1024
+
 // FitStageModel recovers a stage's (a, b, c) coefficients from the logged
 // runs of one application stage — experiment T2's regression. Single-thread
 // runs at varied input sizes fit E(d) = a·d + b; multi-thread runs at a
 // fixed size fit the Amdahl fraction c.
+//
+// Fits are memoized per (app, stage) behind the graph's write epoch — not
+// the profile-only epoch the advice cache uses, because run-log folds (which
+// never change the profile list, so advice stays cached across them) are
+// exactly what changes a regression's input. The initial Flush folds any
+// buffered telemetry first, bumping the epoch if there was any, so a cached
+// model is always the fit over every accepted observation.
 func (b *Base) FitStageModel(app string, stage int) (gatk.StageModel, error) {
 	b.Flush() // regression must see buffered observations
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	// Epoch and memo are read inside the same read-critical section the
+	// evaluation runs in (mutators bump the epoch under the write lock), so
+	// a hit is exactly the model this evaluation would recompute.
+	key := fitKey{app: app, stage: stage}
+	epoch := b.graph.Epoch()
+	b.fitMu.Lock()
+	if e, ok := b.fitMemo[key]; ok && e.epoch == epoch {
+		b.fitMu.Unlock()
+		return *e.model, nil
+	}
+	b.fitMu.Unlock()
+	model, err := b.fitStageModelLocked(app, stage)
+	if err != nil {
+		return gatk.StageModel{}, err
+	}
+	b.fitMu.Lock()
+	if b.fitMemo == nil || len(b.fitMemo) >= fitMemoLimit {
+		b.fitMemo = make(map[fitKey]fitEntry)
+	}
+	b.fitMemo[key] = fitEntry{epoch: epoch, model: &model}
+	b.fitMu.Unlock()
+	return model, nil
+}
+
+// fitStageModelLocked evaluates the regression; the caller holds b.mu.
+func (b *Base) fitStageModelLocked(app string, stage int) (gatk.StageModel, error) {
 	res, err := sparql.Eval(b.graph, fmt.Sprintf(`
 PREFIX scan: <%s>
 SELECT ?size ?threads ?time WHERE {

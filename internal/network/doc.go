@@ -1,0 +1,23 @@
+// Package network implements SCAN's integrative substrate: interaction-
+// network construction and module detection standing in for Cytoscape in
+// the paper's Figure 1 integration path.
+//
+// The input is a table of gene-level measurements (the FeatureTable the
+// other families produce); the output is an interaction network — nodes,
+// similarity edges, and the connected-component modules the edges imply.
+//
+// Scatter/gather shape: the graph partition is the scatter unit. Node
+// index ranges split the O(n²) pairwise edge construction into independent
+// slabs (each range compares its nodes against every later node, so every
+// pair is examined exactly once across slabs), and the per-slab edge sets
+// gather — sorted into canonical order — into one network for a single
+// union-find module-detection pass.
+//
+// Determinism guarantee: generation is seeded (SimulateMeasurements
+// regenerates identical tables from equal seeds), edge construction is a
+// pure function of the node values, SortEdges canonicalizes the gathered
+// edge order, and module detection sorts members and modules — so the
+// partitioned build equals the full build for any partition size (proven
+// by the package's partitioned-equals-full tests) and repeated runs are
+// byte-identical.
+package network

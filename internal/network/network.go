@@ -1,15 +1,3 @@
-// Package network implements SCAN's integrative substrate: interaction-
-// network construction and module detection standing in for Cytoscape in
-// the paper's Figure 1 integration path.
-//
-// The input is a table of gene-level measurements (the FeatureTable the
-// other families produce); the output is an interaction network — nodes,
-// similarity edges, and the connected-component modules the edges imply.
-//
-// The scatter unit is the graph partition: node index ranges split the
-// O(n²) pairwise edge construction into independent slabs (each range
-// compares its nodes against every later node), and the per-slab edge sets
-// gather into one network for a single module-detection pass.
 package network
 
 import (

@@ -1,18 +1,3 @@
-// Package proteome implements SCAN's proteomic substrate: a deterministic
-// spectral peptide-matching toolkit standing in for MaxQuant and the
-// Global Proteome Machine in the paper's Figure 1 MS path.
-//
-// The model is the core of every database search engine, reduced to what
-// the platform needs to exercise its scatter/gather machinery honestly: a
-// reference peptide database (named fragment-mass lists per protein),
-// simulated MS/MS spectra drawn from it (fragment dropout, mass jitter,
-// noise peaks), and a search that assigns each spectrum to the peptide
-// whose fragments it covers best. Matches gather into a ProteinTable —
-// spectral counts per protein, the label-free quantification proxy.
-//
-// Spectra are the scatter unit: each spectrum searches independently, so a
-// large acquisition fans out into Data-Broker-sized spectrum shards exactly
-// the way FASTQ reads fan out for alignment.
 package proteome
 
 import (

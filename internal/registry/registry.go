@@ -1,0 +1,355 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"scan/internal/genomics"
+	"scan/internal/imaging"
+	"scan/internal/proteome"
+	"scan/internal/workflow"
+)
+
+// Family classifies a stored dataset by the upload format it was decoded
+// from. Four families are submittable as a job's input payload; Reference
+// datasets are the registry's reference genomes, named by a submission's
+// reference field rather than its dataset field.
+type Family string
+
+// The dataset families the registry stores.
+const (
+	FASTQ        Family = "fastq"         // sequencing reads
+	MGF          Family = "mgf"           // MS/MS spectra + their peptide database
+	TIFF         Family = "tiff"          // microscopy frames
+	FeatureTable Family = "feature-table" // gene-level measurements
+	Reference    Family = "reference"     // a reference genome (FASTA)
+)
+
+// ParseFamily validates a wire-level family string.
+func ParseFamily(s string) (Family, error) {
+	switch f := Family(s); f {
+	case FASTQ, MGF, TIFF, FeatureTable, Reference:
+		return f, nil
+	default:
+		return "", fmt.Errorf("registry: unknown dataset family %q (want fastq, mgf, tiff, feature-table or reference)", s)
+	}
+}
+
+// DataType maps a submittable family to the workflow data type its records
+// enter the engine as. Reference datasets have no workflow type of their
+// own — they ride along a FASTQ submission — so they map to "".
+func (f Family) DataType() workflow.DataType {
+	switch f {
+	case FASTQ:
+		return workflow.FASTQ
+	case MGF:
+		return workflow.MGF
+	case TIFF:
+		return workflow.TIFF
+	case FeatureTable:
+		return workflow.FeatureTable
+	default:
+		return ""
+	}
+}
+
+// Payload is a decoded dataset's records, immutable once stored. Jobs that
+// reference a dataset build their workflow input around these very slices —
+// the registry holds the only copy of the records, however many submissions
+// name them.
+type Payload struct {
+	// Ref is the reference sequence: the payload of a Reference dataset, or
+	// the optional embedded reference of a FASTQ upload.
+	Ref genomics.Sequence
+	// Reads is the FASTQ payload.
+	Reads []genomics.Read
+	// PeptideDB and Spectra are the MGF payload.
+	PeptideDB proteome.Database
+	Spectra   []proteome.Spectrum
+	// Images is the TIFF payload.
+	Images []imaging.Image
+	// Features is the FeatureTable payload.
+	Features []workflow.Feature
+}
+
+// Dataset is one stored dataset's metadata — the wire-visible resource.
+type Dataset struct {
+	// ID is the registry-assigned opaque identifier ("ds-N").
+	ID string
+	// Name is the client-chosen unique name.
+	Name string
+	// Family is the dataset family the payload was decoded as.
+	Family Family
+	// Hash is the hex SHA-256 of the uploaded payload bytes, in the order
+	// they were consumed.
+	Hash string
+	// Records counts the payload's records in the family's record unit
+	// (reads, spectra, frames, rows; 1 for a reference).
+	Records int
+	// Bytes is the payload size the store accounts against its byte bound:
+	// the consumed upload size, or the decoded in-memory footprint where
+	// that is larger (text-encoded frames expand into float64 pixels).
+	Bytes int64
+	// HasReference reports an embedded reference sequence (a FASTQ upload
+	// with a reference part, or a Reference dataset itself).
+	HasReference bool
+	// Created is the upload time.
+	Created time.Time
+}
+
+// Store errors.
+var (
+	// ErrNotFound reports an unknown dataset id or name.
+	ErrNotFound = errors.New("registry: no such dataset")
+	// ErrDuplicateName reports a name collision on Put.
+	ErrDuplicateName = errors.New("registry: dataset name already in use")
+	// ErrPinned reports a Delete of a dataset still referenced by jobs.
+	ErrPinned = errors.New("registry: dataset is referenced by unfinished jobs")
+	// ErrStoreFull reports a Put that cannot fit even after evicting every
+	// unreferenced dataset.
+	ErrStoreFull = errors.New("registry: store is full")
+)
+
+// Options bounds a Store.
+type Options struct {
+	// MaxDatasets bounds the stored dataset count (default 64).
+	MaxDatasets int
+	// MaxBytes bounds the summed Dataset.Bytes accounting (default 256 MiB).
+	MaxBytes int64
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Default store bounds.
+const (
+	DefaultMaxDatasets = 64
+	DefaultMaxBytes    = 256 << 20
+)
+
+// Store is the bounded, concurrency-safe dataset registry. Capacity is
+// reclaimed retention-style: when a Put would exceed a bound, the oldest
+// datasets not referenced by any unfinished job are evicted first; a later
+// submission naming an evicted dataset gets ErrNotFound, which the API
+// surfaces as a machine-readable 4xx.
+type Store struct {
+	mu      sync.Mutex
+	byID    map[string]*entry
+	byName  map[string]string // name -> id
+	order   []string          // insertion order (oldest first), compacted on removal
+	next    int
+	total   int64
+	maxN    int
+	maxB    int64
+	now     func() time.Time
+	evicted int
+}
+
+type entry struct {
+	meta    Dataset
+	payload Payload
+	pins    int // unfinished jobs referencing the dataset
+}
+
+// NewStore builds a store with the given bounds.
+func NewStore(opts Options) *Store {
+	if opts.MaxDatasets <= 0 {
+		opts.MaxDatasets = DefaultMaxDatasets
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Store{
+		byID:   make(map[string]*entry),
+		byName: make(map[string]string),
+		next:   1,
+		maxN:   opts.MaxDatasets,
+		maxB:   opts.MaxBytes,
+		now:    opts.Now,
+	}
+}
+
+// Put stores a decoded dataset under a unique name and returns its
+// metadata. The payload's Bytes/Hash/Records come from the decoder's
+// Stats. Oldest unpinned datasets are evicted to make room; if the new
+// dataset still cannot fit (every resident dataset is pinned, or it is
+// larger than the store bound on its own), Put returns ErrStoreFull.
+func (s *Store) Put(name string, family Family, payload Payload, st Stats) (Dataset, error) {
+	if name == "" {
+		return Dataset{}, errors.New("registry: dataset needs a name")
+	}
+	// Names share a resolution namespace with ids (Resolve prefers ids), so
+	// an id-shaped name could silently resolve to — or be shadowed by — a
+	// future dataset's id; reserve the shape. '/' would make the name
+	// unaddressable through the one-segment HTTP resource path.
+	if isIDShaped(name) {
+		return Dataset{}, fmt.Errorf("registry: name %q is reserved for dataset ids", name)
+	}
+	if strings.ContainsAny(name, "/\\") {
+		return Dataset{}, fmt.Errorf("registry: name %q must not contain path separators", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[name]; dup {
+		return Dataset{}, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	if st.Bytes > s.maxB {
+		return Dataset{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte store bound", ErrStoreFull, st.Bytes, s.maxB)
+	}
+	// Retention-style reclamation: drop oldest unpinned entries until the
+	// new dataset fits both bounds.
+	for len(s.byID) >= s.maxN || s.total+st.Bytes > s.maxB {
+		if !s.evictOldestLocked() {
+			return Dataset{}, fmt.Errorf("%w: every resident dataset is referenced by unfinished jobs", ErrStoreFull)
+		}
+	}
+	id := fmt.Sprintf("ds-%d", s.next)
+	s.next++
+	e := &entry{
+		meta: Dataset{
+			ID:           id,
+			Name:         name,
+			Family:       family,
+			Hash:         st.Hash,
+			Records:      st.Records,
+			Bytes:        st.Bytes,
+			HasReference: payload.Ref.Len() > 0,
+			Created:      s.now(),
+		},
+		payload: payload,
+	}
+	s.byID[id] = e
+	s.byName[name] = id
+	s.order = append(s.order, id)
+	s.total += st.Bytes
+	return e.meta, nil
+}
+
+// evictOldestLocked removes the oldest unpinned dataset; false when none
+// qualifies. The caller holds s.mu.
+func (s *Store) evictOldestLocked() bool {
+	for _, id := range s.order {
+		if e := s.byID[id]; e != nil && e.pins == 0 {
+			s.removeLocked(id)
+			s.evicted++
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) removeLocked(id string) {
+	e := s.byID[id]
+	delete(s.byID, id)
+	delete(s.byName, e.meta.Name)
+	s.total -= e.meta.Bytes
+	keep := s.order[:0]
+	for _, o := range s.order {
+		if o != id {
+			keep = append(keep, o)
+		}
+	}
+	s.order = keep
+}
+
+// Resolve finds a dataset by id or name and returns its metadata and
+// payload. The payload's slices alias the stored records — callers must
+// treat them as read-only.
+func (s *Store) Resolve(idOrName string) (Dataset, Payload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.lookupLocked(idOrName)
+	if err != nil {
+		return Dataset{}, Payload{}, err
+	}
+	return e.meta, e.payload, nil
+}
+
+func (s *Store) lookupLocked(idOrName string) (*entry, error) {
+	if e, ok := s.byID[idOrName]; ok {
+		return e, nil
+	}
+	if id, ok := s.byName[idOrName]; ok {
+		return s.byID[id], nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, idOrName)
+}
+
+// Pin resolves a dataset and marks it referenced by one unfinished job:
+// pinned datasets are neither evicted nor deletable. Every successful Pin
+// must be paired with an Unpin of the returned id when the job reaches a
+// terminal state.
+func (s *Store) Pin(idOrName string) (Dataset, Payload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.lookupLocked(idOrName)
+	if err != nil {
+		return Dataset{}, Payload{}, err
+	}
+	e.pins++
+	return e.meta, e.payload, nil
+}
+
+// Unpin releases one job reference. Unknown ids are a no-op, so releasing
+// after an eviction race stays safe.
+func (s *Store) Unpin(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byID[id]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Delete removes a dataset by id or name. Datasets pinned by unfinished
+// jobs return ErrPinned — cancel or wait out the jobs first.
+func (s *Store) Delete(idOrName string) (Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.lookupLocked(idOrName)
+	if err != nil {
+		return Dataset{}, err
+	}
+	if e.pins > 0 {
+		return Dataset{}, fmt.Errorf("%w: %q (%d)", ErrPinned, e.meta.ID, e.pins)
+	}
+	s.removeLocked(e.meta.ID)
+	return e.meta, nil
+}
+
+// List returns every stored dataset's metadata, oldest first.
+func (s *Store) List() []Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Dataset, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id].meta)
+	}
+	return out
+}
+
+// isIDShaped reports whether name matches the store's "ds-N" id pattern.
+func isIDShaped(name string) bool {
+	rest, ok := strings.CutPrefix(name, "ds-")
+	if !ok || rest == "" {
+		return false
+	}
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports store occupancy: datasets resident, bytes accounted, and
+// datasets evicted to make room since the store was built.
+func (s *Store) Stats() (datasets int, bytes int64, evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID), s.total, s.evicted
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime/multipart"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -222,6 +223,88 @@ func (c *Client) Watch(ctx context.Context, id int, fn func(JobEvent)) (Job, err
 		return Job{}, err
 	}
 	return Job{}, fmt.Errorf("rpc: watch job %d: stream ended before a terminal state", id)
+}
+
+// ---------------------------------------------------------------------------
+// v2 dataset API
+// ---------------------------------------------------------------------------
+
+// UploadPart is one data part of a dataset upload. Fields: "data" for the
+// fastq, tiff, feature-table and reference families ("reference" optionally
+// alongside a fastq "data" part), "peptides" + "spectra" for mgf.
+type UploadPart struct {
+	Field string
+	R     io.Reader
+}
+
+// UploadDataset streams a dataset into the daemon's registry as
+// multipart/form-data and returns the stored resource. The parts stream
+// straight from their readers through the request body — nothing is
+// buffered client-side — matching the daemon's record-by-record decode.
+func (c *Client) UploadDataset(ctx context.Context, name, family string, parts ...UploadPart) (DatasetInfo, error) {
+	pr, pw := io.Pipe()
+	mw := multipart.NewWriter(pw)
+	go func() {
+		err := func() error {
+			// Metadata fields first: the daemon needs name and family before
+			// it can pick the part decoder.
+			if err := mw.WriteField("name", name); err != nil {
+				return err
+			}
+			if err := mw.WriteField("family", family); err != nil {
+				return err
+			}
+			for _, p := range parts {
+				w, err := mw.CreateFormFile(p.Field, p.Field)
+				if err != nil {
+					return err
+				}
+				if _, err := io.Copy(w, p.R); err != nil {
+					return err
+				}
+			}
+			return mw.Close()
+		}()
+		pw.CloseWithError(err)
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v2/datasets", pr)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return DatasetInfo{}, decodeError(http.MethodPost, "/api/v2/datasets", resp.StatusCode, resp.Body)
+	}
+	var info DatasetInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	return info, err
+}
+
+// Datasets lists every registered dataset, oldest first.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var list DatasetList
+	err := c.do(ctx, http.MethodGet, "/api/v2/datasets", nil, &list)
+	return list.Datasets, err
+}
+
+// Dataset fetches one dataset's metadata by id or name.
+func (c *Client) Dataset(ctx context.Context, idOrName string) (DatasetInfo, error) {
+	var info DatasetInfo
+	err := c.do(ctx, http.MethodGet, "/api/v2/datasets/"+url.PathEscape(idOrName), nil, &info)
+	return info, err
+}
+
+// DeleteDataset removes a dataset by id or name, returning its final
+// metadata. Datasets referenced by unfinished jobs conflict.
+func (c *Client) DeleteDataset(ctx context.Context, idOrName string) (DatasetInfo, error) {
+	var info DatasetInfo
+	err := c.do(ctx, http.MethodDelete, "/api/v2/datasets/"+url.PathEscape(idOrName), nil, &info)
+	return info, err
 }
 
 // ---------------------------------------------------------------------------

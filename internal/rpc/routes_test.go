@@ -77,6 +77,22 @@ func TestRouteContract(t *testing.T) {
 		{"POST", "/api/v2/jobs/999/events", "", 405, envV2},
 		{"GET", "/api/v2/jobs/999/bogus", "", 404, envV2},
 
+		// v2 dataset registry
+		{"GET", "/api/v2/datasets", "", 200, envNone},
+		{"POST", "/api/v2/datasets?name=rows&family=feature-table", "g0 1.5\n", 201, envNone},
+		{"POST", "/api/v2/datasets?family=feature-table", "g0 1.5\n", 400, envV2}, // no name
+		{"POST", "/api/v2/datasets?name=x&family=bogus", "g0 1.5\n", 400, envV2},
+		{"POST", "/api/v2/datasets?name=x&family=mgf", "spectra", 400, envV2},               // mgf needs multipart
+		{"POST", "/api/v2/datasets?name=rows&family=feature-table", "g0 1.5\n", 409, envV2}, // duplicate name
+		{"PUT", "/api/v2/datasets", "", 405, envV2},
+		{"DELETE", "/api/v2/datasets", "", 405, envV2},
+		{"GET", "/api/v2/datasets/rows", "", 200, envNone},
+		{"POST", "/api/v2/datasets/rows", "", 405, envV2},
+		{"DELETE", "/api/v2/datasets/rows", "", 200, envNone},
+		{"GET", "/api/v2/datasets/ds-404", "", 404, envV2},
+		{"DELETE", "/api/v2/datasets/ds-404", "", 404, envV2},
+		{"GET", "/api/v2/datasets/ds-1/bogus", "", 404, envV2},
+
 		// unrouted
 		{"GET", "/api/v2/other", "", 404, envNone},
 		{"GET", "/api/v3/jobs", "", 404, envNone},

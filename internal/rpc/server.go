@@ -14,6 +14,7 @@ import (
 	"scan/internal/imaging"
 	"scan/internal/network"
 	"scan/internal/proteome"
+	"scan/internal/registry"
 	"scan/internal/variant"
 	"scan/internal/workflow"
 )
@@ -85,11 +86,19 @@ type jobSpec struct {
 	proteome     *ProteomeSpec
 	imaging      *ImagingSpec
 	network      *NetworkSpec
+	dataset      *datasetInput
+	// pinned lists the registry datasets this job references (the dataset
+	// and/or named reference). Pinned at submission; released exactly once,
+	// when the job reaches a state from which it can never run again.
+	pinned []string
 }
 
 func (s jobSpec) source() string {
-	if s.inline != nil {
+	switch {
+	case s.inline != nil:
 		return SourceInline
+	case s.dataset != nil:
+		return SourceDataset
 	}
 	return SourceSynthetic
 }
@@ -103,6 +112,8 @@ func (s jobSpec) inputType() workflow.DataType {
 		return workflow.TIFF
 	case s.network != nil:
 		return workflow.FeatureTable
+	case s.dataset != nil:
+		return s.dataset.family.DataType()
 	default:
 		return workflow.FASTQ
 	}
@@ -112,6 +123,16 @@ func (s jobSpec) inputType() workflow.DataType {
 type inlineInput struct {
 	ref   genomics.Sequence
 	reads []genomics.Read
+}
+
+// datasetInput is a resolved registry reference: the payload slices alias
+// the store's records (the registry holds the one copy, however many jobs
+// name the dataset). payload.Ref is the effective reference — the
+// dataset's embedded one, possibly overridden by a named reference.
+type datasetInput struct {
+	id      string
+	family  registry.Family
+	payload registry.Payload
 }
 
 // NewServer starts a server around the platform with the given number of
@@ -166,7 +187,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	for _, rec := range s.jobs {
 		if !rec.job.State.Terminal() {
-			rec.spec.inline = nil // the payload can never be used; release it
+			s.releaseSpecLocked(rec) // the payload can never be used
 			now := s.now()
 			rec.job.State = StateFailed
 			rec.job.Finished = &now
@@ -197,9 +218,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/kb/query", s.handleQuery)
 	mux.HandleFunc("/api/v1/kb/profiles", s.handleProfiles)
 	mux.HandleFunc("/api/v1/kb/export", s.handleExport)
-	// v2: resource-oriented jobs.
+	// v2: resource-oriented jobs and the dataset registry.
 	mux.HandleFunc("/api/v2/jobs", s.handleV2Jobs)
 	mux.HandleFunc("/api/v2/jobs/", s.handleV2Job)
+	mux.HandleFunc("/api/v2/datasets", s.handleV2Datasets)
+	mux.HandleFunc("/api/v2/datasets/", s.handleV2Dataset)
 	return s.middleware(mux)
 }
 
@@ -214,11 +237,32 @@ var (
 	errQueueFull    = &APIError{Code: CodeUnavailable, Message: "job queue full"}
 )
 
-// enqueue adds a validated submission to the store and queue.
+// unpinSpec releases the spec's registry pins (submission failures; the
+// success path releases through releaseSpecLocked when the job ends).
+func (s *Server) unpinSpec(spec jobSpec) {
+	for _, id := range spec.pinned {
+		s.platform.Datasets().Unpin(id)
+	}
+}
+
+// releaseSpecLocked drops a record's payload references once the job can
+// never (or will never again) run: the inline payload is freed for GC and
+// the registry pins released, making the datasets evictable and deletable.
+// Callers hold s.mu; the registry lock nests inside it.
+func (s *Server) releaseSpecLocked(rec *jobRecord) {
+	rec.spec.inline = nil
+	rec.spec.dataset = nil
+	s.unpinSpec(rec.spec)
+	rec.spec.pinned = nil
+}
+
+// enqueue adds a validated submission to the store and queue. On failure
+// the spec's registry pins are released — the job will never run.
 func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.unpinSpec(spec)
 		return Job{}, errShuttingDown
 	}
 	id := s.nextID
@@ -228,12 +272,17 @@ func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 	select {
 	case s.queue <- id:
 	default:
+		s.unpinSpec(spec)
 		return Job{}, errQueueFull
 	}
 	s.nextID++
 	family := ""
 	if wf, err := s.platform.Catalogue().Get(spec.workflow); err == nil {
 		family = wf.Family
+	}
+	datasetID := ""
+	if spec.dataset != nil {
+		datasetID = spec.dataset.id
 	}
 	rec := &jobRecord{
 		job: Job{
@@ -242,6 +291,7 @@ func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 			Family:    family,
 			Workflow:  spec.workflow,
 			Source:    spec.source(),
+			Dataset:   datasetID,
 			Submitted: s.now(),
 		},
 		spec: spec,
@@ -330,7 +380,7 @@ func (s *Server) cancelJob(id int) (Job, int, *APIError) {
 	switch rec.job.State {
 	case StatePending:
 		rec.cancelRequested = true
-		rec.spec.inline = nil // the payload can never be used; release it
+		s.releaseSpecLocked(rec) // the payload can never be used
 		now := s.now()
 		rec.job.State = StateCanceled
 		rec.job.Finished = &now
@@ -393,7 +443,7 @@ func (s *Server) runJob(ctx context.Context, id int) {
 	defer s.mu.Unlock()
 	finished := s.now()
 	rec.cancel = nil
-	rec.spec.inline = nil // release the payload; the record outlives the run
+	s.releaseSpecLocked(rec) // release the payload; the record outlives the run
 	rec.job.Finished = &finished
 	switch {
 	case err == nil:
@@ -434,6 +484,22 @@ func materialize(spec jobSpec) (*workflow.Dataset, []genomics.Mutation, error) {
 		return workflow.NewFASTQDataset(ref, reads), planted, nil
 	case spec.inline != nil:
 		return workflow.NewFASTQDataset(spec.inline.ref, spec.inline.reads), nil, nil
+	case spec.dataset != nil:
+		// Registered datasets materialize by aliasing the registry's
+		// records — the store holds the one copy, however many jobs
+		// reference it.
+		d := spec.dataset
+		switch d.family {
+		case registry.FASTQ:
+			return workflow.NewFASTQDataset(d.payload.Ref, d.payload.Reads), nil, nil
+		case registry.MGF:
+			return workflow.NewMGFDataset(d.payload.PeptideDB, d.payload.Spectra), nil, nil
+		case registry.TIFF:
+			return workflow.NewTIFFDataset(d.payload.Images), nil, nil
+		case registry.FeatureTable:
+			return workflow.NewFeatureDataset(d.payload.Features), nil, nil
+		}
+		return nil, nil, fmt.Errorf("dataset %s has unrunnable family %q", d.id, d.family)
 	case spec.proteome != nil:
 		p := spec.proteome
 		rng := rand.New(rand.NewSource(p.Seed))

@@ -1,0 +1,291 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"scan/internal/registry"
+)
+
+// The /api/v2/datasets handlers: streaming dataset uploads into the
+// platform's registry, listing, inspection and deletion. Uploads are
+// decoded record-by-record straight off the request body (multipart parts
+// are read with MultipartReader, never buffered through ParseMultipartForm),
+// so the daemon's memory cost is the decoded records, bounded by the
+// per-family caps — not the wire size of the body.
+
+// Per-family decode limits. The synthetic-spec caps bound what the daemon
+// will generate; these bound what it will accept, sized a notch above them
+// so real uploads of the same magnitude fit.
+const (
+	maxUploadBytes     = 128 << 20 // any one upload part
+	maxUploadReads     = 500000
+	maxUploadSpectra   = maxSyntheticSpectra
+	maxUploadPeptides  = 3 * maxSyntheticProteins // peptides, not proteins
+	maxUploadFrames    = maxSyntheticImages
+	maxUploadRows      = maxSyntheticGenes
+	maxUploadFieldSize = 256 // name/family form fields
+)
+
+func uploadLimits(maxRecords int) registry.Limits {
+	return registry.Limits{MaxRecords: maxRecords, MaxBytes: maxUploadBytes}
+}
+
+// handleV2Datasets routes the dataset collection: POST uploads, GET lists.
+func (s *Server) handleV2Datasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleV2DatasetUpload(w, r)
+	case http.MethodGet:
+		list := DatasetList{Datasets: []DatasetInfo{}}
+		for _, d := range s.platform.Datasets().List() {
+			list.Datasets = append(list.Datasets, datasetInfo(d))
+		}
+		writeJSON(w, http.StatusOK, list)
+	default:
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// handleV2Dataset routes one dataset resource: GET fetches, DELETE removes.
+func (s *Server) handleV2Dataset(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/v2/datasets/")
+	if id == "" || strings.Contains(id, "/") {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "no such resource")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		meta, _, err := s.platform.Datasets().Resolve(id)
+		if err != nil {
+			writeV2Error(w, http.StatusNotFound, CodeNotFound, "no dataset %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, datasetInfo(meta))
+	case http.MethodDelete:
+		meta, err := s.platform.Datasets().Delete(id)
+		switch {
+		case errors.Is(err, registry.ErrNotFound):
+			writeV2Error(w, http.StatusNotFound, CodeNotFound, "no dataset %q", id)
+		case errors.Is(err, registry.ErrPinned):
+			writeV2Error(w, http.StatusConflict, CodeConflict,
+				"dataset %q is referenced by unfinished jobs; cancel or wait them out", id)
+		case err != nil:
+			writeV2Error(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		default:
+			writeJSON(w, http.StatusOK, datasetInfo(meta))
+		}
+	default:
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+func datasetInfo(d registry.Dataset) DatasetInfo {
+	return DatasetInfo{
+		ID:        d.ID,
+		Name:      d.Name,
+		Family:    string(d.Family),
+		Hash:      d.Hash,
+		Records:   d.Records,
+		Bytes:     d.Bytes,
+		Reference: d.Family == registry.FASTQ && d.HasReference,
+		Created:   d.Created,
+	}
+}
+
+// handleV2DatasetUpload stores one uploaded dataset. Two body shapes:
+//
+//   - multipart/form-data: "name" and "family" fields first, then the data
+//     part(s) — "data" for fastq/tiff/feature-table/reference (fastq may
+//     add a "reference" FASTA part), "peptides" + "spectra" for mgf.
+//   - any other content type: the raw data stream, with name and family as
+//     query parameters (mgf excluded — it needs two parts).
+//
+// Either way the body is decoded streaming, record by record, under the
+// per-family caps.
+func (s *Server) handleV2DatasetUpload(w http.ResponseWriter, r *http.Request) {
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var (
+		up  upload
+		err error
+	)
+	if mediaType == "multipart/form-data" {
+		up, err = decodeMultipartUpload(r)
+	} else {
+		up, err = decodeRawUpload(r)
+	}
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		return
+	}
+	meta, err := s.platform.Datasets().Put(up.name, up.family, up.payload, up.stats)
+	switch {
+	case errors.Is(err, registry.ErrDuplicateName):
+		writeV2Error(w, http.StatusConflict, CodeConflict, "%v", err)
+	case errors.Is(err, registry.ErrStoreFull):
+		writeV2Error(w, http.StatusInsufficientStorage, CodeUnavailable, "%v", err)
+	case err != nil:
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+	default:
+		writeJSON(w, http.StatusCreated, datasetInfo(meta))
+	}
+}
+
+// upload is one decoded dataset upload, ready for the store.
+type upload struct {
+	name    string
+	family  registry.Family
+	payload registry.Payload
+	stats   registry.Stats
+}
+
+// decodePart streams one data part into the upload's payload. For the
+// multi-part families the per-part stats are combined by the caller.
+func decodePart(up *upload, field string, body io.Reader) (registry.Stats, error) {
+	switch {
+	case up.family == registry.FASTQ && field == "data":
+		reads, st, err := registry.DecodeFASTQ(body, uploadLimits(maxUploadReads))
+		up.payload.Reads = reads
+		return st, err
+	case up.family == registry.FASTQ && field == "reference",
+		up.family == registry.Reference && field == "data":
+		ref, st, err := registry.DecodeFASTA(body, uploadLimits(1))
+		up.payload.Ref = ref
+		return st, err
+	case up.family == registry.MGF && field == "peptides":
+		db, st, err := registry.DecodePeptides(body, uploadLimits(maxUploadPeptides))
+		up.payload.PeptideDB = db
+		return st, err
+	case up.family == registry.MGF && field == "spectra":
+		spectra, st, err := registry.DecodeMGFSpectra(body, uploadLimits(maxUploadSpectra))
+		up.payload.Spectra = spectra
+		return st, err
+	case up.family == registry.TIFF && field == "data":
+		frames, st, err := registry.DecodeFrames(body, uploadLimits(maxUploadFrames))
+		up.payload.Images = frames
+		return st, err
+	case up.family == registry.FeatureTable && field == "data":
+		rows, st, err := registry.DecodeFeatures(body, uploadLimits(maxUploadRows))
+		up.payload.Features = rows
+		return st, err
+	}
+	return registry.Stats{}, fmt.Errorf("unexpected part %q for family %q", field, up.family)
+}
+
+// finishUpload checks every required part arrived and settles the
+// dataset-level stats.
+func finishUpload(up *upload, parts map[string]registry.Stats) error {
+	switch up.family {
+	case registry.FASTQ:
+		data, ok := parts["data"]
+		if !ok {
+			return errors.New(`fastq upload needs a "data" part (FASTQ records)`)
+		}
+		if ref, ok := parts["reference"]; ok {
+			up.stats = registry.CombineStats(data.Records, ref, data)
+		} else {
+			up.stats = data
+		}
+	case registry.MGF:
+		pep, okP := parts["peptides"]
+		spec, okS := parts["spectra"]
+		if !okP || !okS {
+			return errors.New(`mgf upload needs "peptides" and "spectra" parts`)
+		}
+		up.stats = registry.CombineStats(spec.Records, pep, spec)
+	default:
+		data, ok := parts["data"]
+		if !ok {
+			return fmt.Errorf(`%s upload needs a "data" part`, up.family)
+		}
+		up.stats = data
+	}
+	return nil
+}
+
+// decodeMultipartUpload streams a multipart/form-data body: metadata fields
+// first (name, family), then the data part(s), each decoded record by
+// record as it arrives. ParseMultipartForm would buffer file parts to
+// memory or disk; MultipartReader hands them over as streams.
+func decodeMultipartUpload(r *http.Request) (upload, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return upload{}, fmt.Errorf("bad multipart body: %v", err)
+	}
+	var up upload
+	parts := map[string]registry.Stats{}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return upload{}, fmt.Errorf("bad multipart body: %v", err)
+		}
+		field := part.FormName()
+		switch field {
+		case "name", "family":
+			raw, err := io.ReadAll(io.LimitReader(part, maxUploadFieldSize+1))
+			if err != nil {
+				return upload{}, fmt.Errorf("bad %s field: %v", field, err)
+			}
+			if len(raw) > maxUploadFieldSize {
+				return upload{}, fmt.Errorf("%s field longer than %d bytes", field, maxUploadFieldSize)
+			}
+			if field == "name" {
+				up.name = string(raw)
+			} else if up.family, err = registry.ParseFamily(string(raw)); err != nil {
+				return upload{}, err
+			}
+		default:
+			// A data part: metadata must already be known, because the
+			// decoder and its caps are family-specific and the body is
+			// consumed in order.
+			if up.name == "" || up.family == "" {
+				return upload{}, errors.New(`"name" and "family" fields must precede the data parts`)
+			}
+			if _, dup := parts[field]; dup {
+				return upload{}, fmt.Errorf("duplicate part %q", field)
+			}
+			st, err := decodePart(&up, field, part)
+			if err != nil {
+				return upload{}, fmt.Errorf("part %q: %v", field, err)
+			}
+			parts[field] = st
+		}
+		part.Close()
+	}
+	if up.name == "" || up.family == "" {
+		return upload{}, errors.New(`upload needs "name" and "family" fields`)
+	}
+	if err := finishUpload(&up, parts); err != nil {
+		return upload{}, err
+	}
+	return up, nil
+}
+
+// decodeRawUpload streams a non-multipart body as the single data part,
+// with name and family taken from the query string.
+func decodeRawUpload(r *http.Request) (upload, error) {
+	q := r.URL.Query()
+	up := upload{name: q.Get("name")}
+	if up.name == "" {
+		return upload{}, errors.New("upload needs a name (?name=... or a multipart name field)")
+	}
+	var err error
+	if up.family, err = registry.ParseFamily(q.Get("family")); err != nil {
+		return upload{}, err
+	}
+	if up.family == registry.MGF {
+		return upload{}, errors.New("mgf uploads need multipart/form-data with peptides and spectra parts")
+	}
+	st, err := decodePart(&up, "data", r.Body)
+	if err != nil {
+		return upload{}, err
+	}
+	return up, finishUpload(&up, map[string]registry.Stats{"data": st})
+}

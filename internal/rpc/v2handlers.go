@@ -10,6 +10,8 @@ import (
 
 	"scan/internal/core"
 	"scan/internal/genomics"
+	"scan/internal/registry"
+	"scan/internal/workflow"
 )
 
 // The /api/v2 handlers: resource-oriented jobs with machine-readable error
@@ -53,7 +55,13 @@ func (s *Server) handleV2Submit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, apiErr := s.normalizeSubmission(req)
 	if apiErr != nil {
-		writeJSON(w, http.StatusBadRequest, v2ErrorResponse{Error: *apiErr})
+		status := http.StatusBadRequest
+		if apiErr.Code == CodeNotFound {
+			// The named dataset/reference is gone (never uploaded, deleted,
+			// or evicted) — a machine-readable 404, not a malformed request.
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, v2ErrorResponse{Error: *apiErr})
 		return
 	}
 	job, apiErr := s.enqueue(spec)
@@ -80,42 +88,51 @@ const (
 	maxSyntheticEdgePairs = 1 << 20
 )
 
-// defaultWorkflowFor maps a dataset source to the workflow it runs when
-// the submission names none — one canonical analysis per family.
-func defaultWorkflowFor(req SubmitJobRequest) string {
-	switch {
-	case req.Proteome != nil:
+// defaultWorkflowFor maps a submission's input data type to the workflow it
+// runs when it names none — one canonical analysis per family.
+func defaultWorkflowFor(t workflow.DataType) string {
+	switch t {
+	case workflow.MGF:
 		return "proteome-maxquant"
-	case req.Imaging != nil:
+	case workflow.TIFF:
 		return "cell-imaging"
-	case req.Network != nil:
+	case workflow.FeatureTable:
 		return "integrative-network"
 	default:
 		return core.VariantDetectionWorkflow
 	}
 }
 
-// normalizeSubmission validates a v2 submission into a jobSpec.
+// normalizeSubmission validates a v2 submission into a jobSpec. Registry
+// datasets the submission names are resolved and pinned here; every error
+// path releases the pins (the job will never run), the success path keeps
+// them until the job reaches a terminal state.
 func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) {
+	spec := jobSpec{shardRecords: req.ShardRecords}
+	fail := func(apiErr *APIError) (jobSpec, *APIError) {
+		s.unpinSpec(spec)
+		return jobSpec{}, apiErr
+	}
 	invalid := func(format string, args ...any) (jobSpec, *APIError) {
-		return jobSpec{}, &APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf(format, args...)}
+		return fail(&APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf(format, args...)})
+	}
+	notFound := func(idOrName string) (jobSpec, *APIError) {
+		return fail(&APIError{Code: CodeNotFound, Message: fmt.Sprintf(
+			"dataset %q is not registered (it may have been evicted); re-upload via POST /api/v2/datasets", idOrName)})
 	}
 	sources := 0
 	for _, set := range []bool{
 		req.Synthetic != nil, req.Inline != nil,
 		req.Proteome != nil, req.Imaging != nil, req.Network != nil,
+		req.Dataset != "",
 	} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return invalid("exactly one of synthetic, inline, proteome, imaging or network must be set")
+		return invalid("exactly one of synthetic, inline, proteome, imaging, network or dataset must be set")
 	}
-	if req.Workflow == "" {
-		req.Workflow = defaultWorkflowFor(req)
-	}
-	spec := jobSpec{workflow: req.Workflow, shardRecords: req.ShardRecords}
 	switch {
 	case req.Synthetic != nil:
 		syn := req.Synthetic
@@ -129,9 +146,9 @@ func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) 
 		cp := *syn
 		spec.synthetic = &cp
 	case req.Inline != nil:
-		in, err := normalizeInline(req.Inline)
+		in, err := normalizeInline(req.Inline, req.Reference != "")
 		if err != nil {
-			return jobSpec{}, &APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf("inline: %v", err)}
+			return invalid("inline: %v", err)
 		}
 		spec.inline = in
 	case req.Proteome != nil:
@@ -180,7 +197,45 @@ func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) 
 				maxSyntheticEdgePairs, n.Genes)
 		}
 		spec.network = &n
+	case req.Dataset != "":
+		meta, payload, err := s.platform.Datasets().Pin(req.Dataset)
+		if err != nil {
+			return notFound(req.Dataset)
+		}
+		spec.pinned = append(spec.pinned, meta.ID)
+		if meta.Family == registry.Reference {
+			return invalid("dataset %q is a reference genome; name it via the reference field alongside reads", req.Dataset)
+		}
+		spec.dataset = &datasetInput{id: meta.ID, family: meta.Family, payload: payload}
 	}
+	// A named reference genome rides along sequencing submissions: it
+	// replaces the inline reference or overrides/supplies a FASTQ dataset's
+	// embedded one.
+	if req.Reference != "" {
+		if spec.inline == nil && (spec.dataset == nil || spec.dataset.family != registry.FASTQ) {
+			return invalid("reference applies to sequencing submissions only (inline reads or a fastq dataset)")
+		}
+		meta, payload, err := s.platform.Datasets().Pin(req.Reference)
+		if err != nil {
+			return notFound(req.Reference)
+		}
+		spec.pinned = append(spec.pinned, meta.ID)
+		if meta.Family != registry.Reference {
+			return invalid("dataset %q is family %s, not a reference genome", req.Reference, meta.Family)
+		}
+		if spec.inline != nil {
+			spec.inline.ref = payload.Ref
+		} else {
+			spec.dataset.payload.Ref = payload.Ref
+		}
+	}
+	if spec.dataset != nil && spec.dataset.family == registry.FASTQ && spec.dataset.payload.Ref.Len() == 0 {
+		return invalid("fastq dataset %q carries no reference; upload one with a reference part or name a registered reference genome", req.Dataset)
+	}
+	if req.Workflow == "" {
+		req.Workflow = defaultWorkflowFor(spec.inputType())
+	}
+	spec.workflow = req.Workflow
 	if err := s.submittable(req.Workflow, spec.inputType()); err != nil {
 		return invalid("workflow %q: %v", req.Workflow, err)
 	}
@@ -189,13 +244,21 @@ func (s *Server) normalizeSubmission(req SubmitJobRequest) (jobSpec, *APIError) 
 
 // normalizeInline validates an inline dataset and converts it to genomics
 // form: bases upper-cased and checked, read IDs and qualities defaulted.
-func normalizeInline(in *InlineDataset) (*inlineInput, error) {
-	refSeq := genomics.Upper([]byte(in.Reference.Sequence))
-	if len(refSeq) < 16 {
-		return nil, fmt.Errorf("reference must be at least 16 bases (the aligner's seed length), got %d", len(refSeq))
+// With namedRef the submission names a registered reference genome: the
+// inline reference must then be absent (the caller fills inlineInput.ref
+// from the registry after validation).
+func normalizeInline(in *InlineDataset, namedRef bool) (*inlineInput, error) {
+	if namedRef && in.Reference.Sequence != "" {
+		return nil, fmt.Errorf("an inline reference and a named reference are mutually exclusive")
 	}
-	if err := genomics.ValidateBases(refSeq); err != nil {
-		return nil, fmt.Errorf("reference: %w", err)
+	refSeq := genomics.Upper([]byte(in.Reference.Sequence))
+	if !namedRef {
+		if len(refSeq) < 16 {
+			return nil, fmt.Errorf("reference must be at least 16 bases (the aligner's seed length), got %d", len(refSeq))
+		}
+		if err := genomics.ValidateBases(refSeq); err != nil {
+			return nil, fmt.Errorf("reference: %w", err)
+		}
 	}
 	if len(in.Reads) == 0 {
 		return nil, fmt.Errorf("at least one read is required")

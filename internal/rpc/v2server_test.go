@@ -377,9 +377,9 @@ func TestV2SubmitValidation(t *testing.T) {
 		req  SubmitJobRequest
 		want string
 	}{
-		"neither dataset": {SubmitJobRequest{}, "exactly one of synthetic, inline, proteome, imaging or network"},
+		"neither dataset": {SubmitJobRequest{}, "exactly one of synthetic, inline, proteome, imaging, network or dataset"},
 		"both datasets": {SubmitJobRequest{Synthetic: smallSynthetic(1), Inline: inlineOK()},
-			"exactly one of synthetic, inline, proteome, imaging or network"},
+			"exactly one of synthetic, inline, proteome, imaging, network or dataset"},
 		"unknown workflow": {SubmitJobRequest{Workflow: "no-such", Synthetic: smallSynthetic(1)},
 			"not found"},
 		"non-FASTQ workflow": {SubmitJobRequest{Workflow: "variants-to-vcf", Synthetic: smallSynthetic(1)},

@@ -172,8 +172,9 @@ type InlineRead struct {
 }
 
 // SubmitJobRequest creates a job. Exactly one dataset source must be set —
-// Synthetic or Inline (FASTQ), Proteome (MGF), Imaging (TIFF), or Network
-// (FeatureTable) — and the workflow must consume that source's data type.
+// Synthetic or Inline (FASTQ), Proteome (MGF), Imaging (TIFF), Network
+// (FeatureTable), or Dataset (a registered upload of any family) — and the
+// workflow must consume that source's data type.
 type SubmitJobRequest struct {
 	// Workflow names the catalogued workflow to execute. It defaults by
 	// dataset source (dna-variant-detection, proteome-maxquant,
@@ -190,6 +191,16 @@ type SubmitJobRequest struct {
 	Imaging *ImagingSpec `json:"imaging,omitempty"`
 	// Network asks the daemon to generate gene measurements (FeatureTable).
 	Network *NetworkSpec `json:"network,omitempty"`
+	// Dataset references a registered dataset (POST /api/v2/datasets) by id
+	// or name. The job runs over the registry's copy of the records — no
+	// payload rides in the submission.
+	Dataset string `json:"dataset,omitempty"`
+	// Reference names a registered reference genome (a dataset of family
+	// "reference") by id or name. Valid for sequencing submissions only:
+	// with Inline it replaces the inline reference sequence, with a FASTQ
+	// Dataset it overrides (or supplies) the dataset's reference — so one
+	// registered genome serves any number of read sets.
+	Reference string `json:"reference,omitempty"`
 	// ShardRecords overrides the Data Broker's shard sizing when > 0.
 	ShardRecords int `json:"shard_records,omitempty"`
 }
@@ -198,7 +209,36 @@ type SubmitJobRequest struct {
 const (
 	SourceSynthetic = "synthetic"
 	SourceInline    = "inline"
+	SourceDataset   = "dataset"
 )
+
+// DatasetInfo is the v2 dataset resource: a named, uploaded dataset jobs
+// reference by id instead of shipping records per submission.
+type DatasetInfo struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Family is the upload family: fastq, mgf, tiff, feature-table or
+	// reference.
+	Family string `json:"family"`
+	// Hash is the hex SHA-256 of the uploaded payload bytes.
+	Hash string `json:"hash"`
+	// Records counts the payload's records (reads, spectra, frames, rows;
+	// 1 for a reference).
+	Records int `json:"records"`
+	// Bytes is the upload size accounted against the registry's byte bound.
+	Bytes int64 `json:"bytes"`
+	// Reference reports whether a FASTQ dataset carries an embedded
+	// reference sequence (and is therefore submittable without naming one).
+	Reference bool      `json:"reference,omitempty"`
+	Created   time.Time `json:"created"`
+}
+
+// DatasetList is GET /api/v2/datasets: every registered dataset, oldest
+// first. The registry is bounded (oldest unreferenced datasets are evicted
+// to admit new uploads), so the listing needs no pagination.
+type DatasetList struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
 
 // Job is the v2 job resource.
 type Job struct {
@@ -208,9 +248,12 @@ type Job struct {
 	// Family ("genomic", "proteomic", "imaging", "integrative") lets
 	// clients render family-shaped results without re-deriving the
 	// classification from tool names.
-	Family    string     `json:"family,omitempty"`
-	Workflow  string     `json:"workflow"`
-	Source    string     `json:"source"`
+	Family   string `json:"family,omitempty"`
+	Workflow string `json:"workflow"`
+	Source   string `json:"source"`
+	// Dataset is the registered dataset id the job runs over, for
+	// source "dataset" jobs.
+	Dataset   string     `json:"dataset,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
