@@ -1,17 +1,24 @@
-// Command benchguard is CI's Data Broker performance gate: it compares a
-// freshly produced BENCH_broker.json trajectory against the committed
-// baseline and exits non-zero when any guarded entry (advice or ingest
-// ns/op) regresses past the allowance.
+// Command benchguard is CI's performance gate: it compares a freshly
+// produced benchmark trajectory against the committed baseline and exits
+// non-zero when any guarded entry regresses past the allowance. The default
+// guards are the Data Broker's (advice/, ingest/ in BENCH_broker.json);
+// -guard selects other families, e.g. the workflow engine's makespan
+// trajectory:
 //
 //	cp BENCH_broker.json /tmp/baseline.json
 //	go test -run '^$' -bench Broker -benchtime 20000x .
 //	benchguard -baseline /tmp/baseline.json -current BENCH_broker.json
+//
+//	cp BENCH_engine.json /tmp/engine-baseline.json
+//	go test -run '^$' -bench EnginePipelined .
+//	benchguard -baseline /tmp/engine-baseline.json -current BENCH_engine.json -guard engine/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"scan/internal/benchguard"
 )
@@ -20,6 +27,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed trajectory to compare against")
 	currentPath := flag.String("current", "BENCH_broker.json", "freshly benchmarked trajectory")
 	maxRegression := flag.Float64("max-regression", 0.30, "allowed ns/op slowdown (0.30 = +30%)")
+	guard := flag.String("guard", "", "comma-separated guarded name prefixes (default: advice/,ingest/)")
 	flag.Parse()
 	if *baselinePath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
@@ -35,7 +43,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	cs, err := benchguard.Compare(baseline, current, *maxRegression)
+	var prefixes []string
+	for _, p := range strings.Split(*guard, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	cs, err := benchguard.Compare(baseline, current, *maxRegression, prefixes...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)

@@ -41,13 +41,15 @@ func Load(path string) (Report, error) {
 	return r, nil
 }
 
-// GuardedPrefixes name the trajectory families the gate watches: advice
-// serving and run-log ingestion ns/op. The mixed-workload entry is
-// informational only — it composes the other two.
+// GuardedPrefixes name the trajectory families the gate watches by
+// default: advice serving and run-log ingestion ns/op. The mixed-workload
+// entry is informational only — it composes the other two. Compare accepts
+// explicit prefixes for other artifacts (the engine trajectory guards
+// "engine/").
 var GuardedPrefixes = []string{"advice/", "ingest/"}
 
-func guarded(name string) bool {
-	for _, p := range GuardedPrefixes {
+func guarded(name string, prefixes []string) bool {
+	for _, p := range prefixes {
 		if strings.HasPrefix(name, p) {
 			return true
 		}
@@ -68,11 +70,16 @@ type Comparison struct {
 
 // Compare evaluates every guarded baseline entry against the current
 // trajectory. maxRegression is the slowdown allowance (0.30 = fail past
-// +30% ns/op). A guarded baseline entry missing from the current run is an
-// error — a silently dropped benchmark must not read as a pass.
-func Compare(baseline, current Report, maxRegression float64) ([]Comparison, error) {
+// +30% ns/op). Guarded entries are those whose names start with one of the
+// given prefixes (GuardedPrefixes when none are passed). A guarded baseline
+// entry missing from the current run is an error — a silently dropped
+// benchmark must not read as a pass.
+func Compare(baseline, current Report, maxRegression float64, prefixes ...string) ([]Comparison, error) {
 	if maxRegression <= 0 {
 		return nil, fmt.Errorf("benchguard: max regression must be positive, got %v", maxRegression)
+	}
+	if len(prefixes) == 0 {
+		prefixes = GuardedPrefixes
 	}
 	byName := make(map[string]Entry, len(current.Trajectory))
 	for _, e := range current.Trajectory {
@@ -80,7 +87,7 @@ func Compare(baseline, current Report, maxRegression float64) ([]Comparison, err
 	}
 	var out []Comparison
 	for _, base := range baseline.Trajectory {
-		if !guarded(base.Name) {
+		if !guarded(base.Name, prefixes) {
 			continue
 		}
 		if base.NsPerOp <= 0 {
@@ -100,7 +107,7 @@ func Compare(baseline, current Report, maxRegression float64) ([]Comparison, err
 		})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("benchguard: baseline has no guarded (advice/, ingest/) entries")
+		return nil, fmt.Errorf("benchguard: baseline has no guarded (%s) entries", strings.Join(prefixes, ", "))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil

@@ -134,3 +134,33 @@ func TestLoadRealArtifactShape(t *testing.T) {
 		t.Fatal("empty trajectory accepted")
 	}
 }
+
+func TestCompareCustomPrefixes(t *testing.T) {
+	baseline := Report{Trajectory: []Entry{
+		{Name: "engine/barrier/3stage", NsPerOp: 300},
+		{Name: "engine/pipelined/3stage", NsPerOp: 100},
+		{Name: "advice/cached", NsPerOp: 10},
+	}}
+	current := Report{Trajectory: []Entry{
+		{Name: "engine/barrier/3stage", NsPerOp: 310},
+		{Name: "engine/pipelined/3stage", NsPerOp: 150},
+		{Name: "advice/cached", NsPerOp: 10},
+	}}
+	cs, err := Compare(baseline, current, 0.30, "engine/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the engine/ entries are guarded under the explicit prefix.
+	if len(cs) != 2 {
+		t.Fatalf("comparisons = %+v", cs)
+	}
+	regs := Regressions(cs)
+	if len(regs) != 1 || regs[0].Name != "engine/pipelined/3stage" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	// A baseline with none of the requested prefixes is an error, not a pass.
+	if _, err := Compare(Report{Trajectory: []Entry{{Name: "advice/x", NsPerOp: 1}}},
+		current, 0.30, "engine/"); err == nil {
+		t.Fatal("prefix mismatch must not pass silently")
+	}
+}

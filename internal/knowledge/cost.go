@@ -1,0 +1,67 @@
+package knowledge
+
+// The cost-estimate query surface: the Data Broker's runtime predictions
+// over its fitted per-(application, stage) models. ShardAdvice answers "how
+// wide should this stage scatter"; these answer "how long will one task of
+// this stage take" — the oracle the workflow engine's pipelined scheduler
+// ranks shard dispatch with.
+
+// CostEstimate is one predicted stage-task runtime.
+type CostEstimate struct {
+	// App and Stage identify the fitted (application, stage) pair.
+	App   string
+	Stage int
+	// Seconds is the predicted single-thread execution time at the queried
+	// input size, in the run logs' eTime units.
+	Seconds float64
+}
+
+// EstimateStageCost predicts the serial runtime of one (app, stage) task at
+// the given input size (in the KB's abstract size units), evaluated on the
+// memoized FitStageModel regression over the accumulated run logs. Stages
+// the KB cannot regress yet (too few single-thread observations at distinct
+// sizes) return the fit error — callers fall back to uniform costs.
+func (b *Base) EstimateStageCost(app string, stage int, inputSize float64) (CostEstimate, error) {
+	m, err := b.FitStageModel(app, stage)
+	if err != nil {
+		return CostEstimate{}, err
+	}
+	return CostEstimate{App: app, Stage: stage, Seconds: m.SerialTime(inputSize)}, nil
+}
+
+// StageRef names one link of a stage chain for a chain-cost query.
+type StageRef struct {
+	App   string
+	Stage int
+}
+
+// ChainCosts estimates every stage of a chain at a common per-task input
+// size. Stages the KB cannot regress yet are substituted with the mean
+// fitted cost (or 1 when nothing in the chain has a fit), so a partially
+// trained KB still yields a usable relative ranking: fitted stages order
+// correctly among themselves, unknown stages sit at the average.
+func (b *Base) ChainCosts(chain []StageRef, inputSize float64) []float64 {
+	costs := make([]float64, len(chain))
+	fitted := make([]bool, len(chain))
+	sum, n := 0.0, 0
+	for i, ref := range chain {
+		est, err := b.EstimateStageCost(ref.App, ref.Stage, inputSize)
+		if err != nil || est.Seconds <= 0 {
+			continue
+		}
+		costs[i] = est.Seconds
+		fitted[i] = true
+		sum += est.Seconds
+		n++
+	}
+	fallback := 1.0
+	if n > 0 {
+		fallback = sum / float64(n)
+	}
+	for i := range costs {
+		if !fitted[i] {
+			costs[i] = fallback
+		}
+	}
+	return costs
+}

@@ -1,0 +1,74 @@
+package knowledge
+
+import (
+	"math"
+	"testing"
+)
+
+// seedLinearStage logs single-thread observations following time = a*size + b
+// so the regression recovers a known model.
+func seedLinearStage(t *testing.T, b *Base, app string, stage int, a, c float64) {
+	t.Helper()
+	for _, d := range []float64{1, 3, 5, 7, 9} {
+		if err := b.LogRun(RunLog{App: app, Stage: stage, InputSize: d, Threads: 1, ETime: a*d + c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Threaded observations at one size so the parallel-fraction fit has
+	// data too (perfect scaling).
+	for _, th := range []int{2, 4, 8} {
+		if err := b.LogRun(RunLog{App: app, Stage: stage, InputSize: 5, Threads: th, ETime: (a*5 + c) / float64(th)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEstimateStageCost(t *testing.T) {
+	b := New()
+	seedLinearStage(t, b, "BWA", 0, 2, 1)
+	est, err := b.EstimateStageCost("BWA", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Seconds-9) > 0.5 { // 2*4 + 1
+		t.Fatalf("estimate = %v, want ~9", est.Seconds)
+	}
+	if est.App != "BWA" || est.Stage != 0 {
+		t.Fatalf("estimate identity = %+v", est)
+	}
+	// A stage with no observations cannot be regressed.
+	if _, err := b.EstimateStageCost("BWA", 5, 4); err == nil {
+		t.Fatal("expected fit error for unobserved stage")
+	}
+}
+
+func TestChainCostsSubstitutesMeanForUnfittable(t *testing.T) {
+	b := New()
+	seedLinearStage(t, b, "BWA", 0, 2, 0)  // cost(4) = 8
+	seedLinearStage(t, b, "GATK", 2, 1, 0) // cost(4) = 4
+	chain := []StageRef{
+		{App: "BWA", Stage: 0},
+		{App: "GATK", Stage: 1}, // unobserved: takes the mean of the fits
+		{App: "GATK", Stage: 2},
+	}
+	costs := b.ChainCosts(chain, 4)
+	if len(costs) != 3 {
+		t.Fatalf("costs = %v", costs)
+	}
+	if math.Abs(costs[0]-8) > 0.5 || math.Abs(costs[2]-4) > 0.5 {
+		t.Fatalf("fitted costs = %v, want ~[8 _ 4]", costs)
+	}
+	if math.Abs(costs[1]-(costs[0]+costs[2])/2) > 0.5 {
+		t.Fatalf("unfittable stage cost = %v, want mean of %v and %v", costs[1], costs[0], costs[2])
+	}
+}
+
+func TestChainCostsAllUnfittableDegradesToUniform(t *testing.T) {
+	b := New()
+	costs := b.ChainCosts([]StageRef{{App: "X", Stage: 0}, {App: "X", Stage: 1}}, 4)
+	for _, c := range costs {
+		if c != 1 {
+			t.Fatalf("costs = %v, want uniform 1", costs)
+		}
+	}
+}

@@ -11,12 +11,63 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"scan/internal/genomics"
 	"scan/internal/imaging"
 	"scan/internal/proteome"
 	"scan/internal/workflow"
 )
+
+// scanBufPool recycles the decoders' 64 KiB line buffers: every upload
+// decode needs one, uploads arrive continuously under the API, and the
+// buffers are size-capped — so they are pooled instead of re-allocated per
+// decode.
+var scanBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64*1024)
+	return &b
+}}
+
+// pooledScanner builds a line scanner over r backed by a recycled buffer.
+// The returned release puts the buffer back; call it only once the decode
+// is finished with every token.
+func pooledScanner(r io.Reader) (*bufio.Scanner, func()) {
+	sc := bufio.NewScanner(r)
+	bp := scanBufPool.Get().(*[]byte)
+	sc.Buffer((*bp)[:0], 4*1024*1024)
+	return sc, func() { scanBufPool.Put(bp) }
+}
+
+// isSpace reports ASCII whitespace — the only separators the registry's
+// line-oriented text formats use.
+func isSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// appendFields appends the whitespace-separated fields of s to dst[:0],
+// reusing dst's backing array — strings.Fields without the per-record
+// slice allocation.
+func appendFields(dst []string, s string) []string {
+	dst = dst[:0]
+	i := 0
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		start := i
+		for i < len(s) && !isSpace(s[i]) {
+			i++
+		}
+		if start < i {
+			dst = append(dst, s[start:i])
+		}
+	}
+	return dst
+}
 
 // The streaming decoders. Each parses an upload body record by record —
 // never materializing the raw payload — and enforces its caps mid-stream:
@@ -127,8 +178,8 @@ func DecodeFASTQ(r io.Reader, lim Limits) ([]genomics.Read, Stats, error) {
 // record is an error, since a workflow runs against one reference.
 func DecodeFASTA(r io.Reader, lim Limits) (genomics.Sequence, Stats, error) {
 	src := newSource(r, lim.MaxBytes)
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc, release := pooledScanner(src)
+	defer release()
 	name := ""
 	var seq []byte
 	seen := false
@@ -175,8 +226,8 @@ const maxPeaksPerSpectrum = 4096
 // headers are skipped; TITLE names the spectrum.
 func DecodeMGFSpectra(r io.Reader, lim Limits) ([]proteome.Spectrum, Stats, error) {
 	src := newSource(r, lim.MaxBytes)
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc, release := pooledScanner(src)
+	defer release()
 	var spectra []proteome.Spectrum
 	var cur *proteome.Spectrum
 	line := 0
@@ -242,9 +293,10 @@ func DecodeMGFSpectra(r io.Reader, lim Limits) ([]proteome.Spectrum, Stats, erro
 // fragment ladder is sorted ascending, the form the search expects.
 func DecodePeptides(r io.Reader, lim Limits) (proteome.Database, Stats, error) {
 	src := newSource(r, lim.MaxBytes)
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc, release := pooledScanner(src)
+	defer release()
 	var db proteome.Database
+	var fields []string
 	line := 0
 	fail := func(format string, args ...any) (proteome.Database, Stats, error) {
 		return proteome.Database{}, src.stats(len(db.Peptides)),
@@ -256,16 +308,17 @@ func DecodePeptides(r io.Reader, lim Limits) (proteome.Database, Stats, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		fields := strings.Fields(text)
+		fields = appendFields(fields, text)
 		if len(fields) != 3 {
 			return fail("want 'protein peptide m1,m2,…', got %q", text)
 		}
 		if len(db.Peptides) >= lim.MaxRecords {
 			return proteome.Database{}, src.stats(len(db.Peptides)), tooMany("peptides", lim.MaxRecords)
 		}
-		raw := strings.Split(fields[2], ",")
-		masses := make([]float64, 0, len(raw))
-		for _, m := range raw {
+		masses := make([]float64, 0, strings.Count(fields[2], ",")+1)
+		for rest, more := fields[2], true; more; {
+			var m string
+			m, rest, more = strings.Cut(rest, ",")
 			v, err := strconv.ParseFloat(m, 64)
 			if err != nil || v <= 0 {
 				return fail("bad fragment mass %q", m)
@@ -299,6 +352,7 @@ const (
 func DecodeFrames(r io.Reader, lim Limits) ([]imaging.Image, Stats, error) {
 	src := newSource(r, lim.MaxBytes)
 	toks := newTokenReader(src)
+	defer toks.release()
 	var frames []imaging.Image
 	for {
 		magic, err := toks.next()
@@ -362,9 +416,10 @@ func DecodeFrames(r io.Reader, lim Limits) ([]imaging.Image, Stats, error) {
 // measurements the integrative workflow consumes.
 func DecodeFeatures(r io.Reader, lim Limits) ([]workflow.Feature, Stats, error) {
 	src := newSource(r, lim.MaxBytes)
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc, release := pooledScanner(src)
+	defer release()
 	var rows []workflow.Feature
+	var fields []string
 	line := 0
 	fail := func(format string, args ...any) ([]workflow.Feature, Stats, error) {
 		return nil, src.stats(len(rows)), fmt.Errorf("registry: features line %d: %s", line, fmt.Sprintf(format, args...))
@@ -375,7 +430,7 @@ func DecodeFeatures(r io.Reader, lim Limits) ([]workflow.Feature, Stats, error) 
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		fields := strings.Fields(text)
+		fields = appendFields(fields, text)
 		if len(fields) != 2 && len(fields) != 3 {
 			return fail("want 'name value [count]', got %q", text)
 		}
@@ -406,17 +461,18 @@ func DecodeFeatures(r io.Reader, lim Limits) ([]workflow.Feature, Stats, error) 
 }
 
 // tokenReader yields whitespace-separated tokens line by line, dropping
-// '#' comments — the PGM lexical layer.
+// '#' comments — the PGM lexical layer. Its token slice is reused across
+// lines; call release when done to return the pooled scan buffer.
 type tokenReader struct {
-	sc   *bufio.Scanner
-	toks []string
-	i    int
+	sc      *bufio.Scanner
+	release func()
+	toks    []string
+	i       int
 }
 
 func newTokenReader(r io.Reader) *tokenReader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	return &tokenReader{sc: sc}
+	sc, release := pooledScanner(r)
+	return &tokenReader{sc: sc, release: release}
 }
 
 func (t *tokenReader) next() (string, error) {
@@ -431,7 +487,7 @@ func (t *tokenReader) next() (string, error) {
 		if j := strings.IndexByte(line, '#'); j >= 0 {
 			line = line[:j]
 		}
-		t.toks = strings.Fields(line)
+		t.toks = appendFields(t.toks, line)
 		t.i = 0
 	}
 	tok := t.toks[t.i]
@@ -447,10 +503,19 @@ func (t *tokenReader) nextInt() (int, error) {
 	return strconv.Atoi(tok)
 }
 
-// firstField returns the first whitespace-separated field of s.
+// firstField returns the first whitespace-separated field of s as a
+// substring — no per-call allocation, unlike strings.Fields.
 func firstField(s string) string {
-	if f := strings.Fields(s); len(f) > 0 {
-		return f[0]
+	start := 0
+	for start < len(s) && isSpace(s[start]) {
+		start++
+	}
+	end := start
+	for end < len(s) && !isSpace(s[end]) {
+		end++
+	}
+	if end > start {
+		return s[start:end]
 	}
 	return s
 }

@@ -1,0 +1,54 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The decode benchmarks track per-record allocation: the peptide and
+// feature decoders reuse one fields slice per decode and the scanner
+// buffers come from a pool, so allocs/op stays proportional to retained
+// records, not to lines parsed. Run with -benchmem to see it.
+
+func benchPeptideBody(rows int) string {
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "prot%03d pep%04d %d.5,%d.25,%d.125\n", i%50, i, i+100, i+200, i+300)
+	}
+	return sb.String()
+}
+
+func benchFeatureBody(rows int) string {
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "gene%04d %d.75 %d\n", i, i, i%7)
+	}
+	return sb.String()
+}
+
+func BenchmarkDecodePeptides(b *testing.B) {
+	body := benchPeptideBody(1000)
+	lim := Limits{MaxRecords: 2000, MaxBytes: 1 << 24}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodePeptides(strings.NewReader(body), lim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFeatures(b *testing.B) {
+	body := benchFeatureBody(1000)
+	lim := Limits{MaxRecords: 2000, MaxBytes: 1 << 24}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFeatures(strings.NewReader(body), lim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

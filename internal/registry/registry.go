@@ -138,6 +138,7 @@ type Store struct {
 	mu      sync.Mutex
 	byID    map[string]*entry
 	byName  map[string]string // name -> id
+	blobs   map[blobKey]*blob // content-addressed payload store
 	order   []string          // insertion order (oldest first), compacted on removal
 	next    int
 	total   int64
@@ -145,12 +146,29 @@ type Store struct {
 	maxB    int64
 	now     func() time.Time
 	evicted int
+	deduped int
 }
 
 type entry struct {
-	meta    Dataset
+	meta Dataset
+	blob *blob
+	pins int // unfinished jobs referencing the dataset
+}
+
+// blobKey addresses a payload by its decoded family and content hash: two
+// uploads with identical bytes decoded the same way hold identical records.
+type blobKey struct {
+	family Family
+	hash   string
+}
+
+// blob is one refcounted payload. Datasets whose uploads hash identically
+// alias the same blob, so the store holds (and accounts) the records once
+// however many names they are registered under.
+type blob struct {
 	payload Payload
-	pins    int // unfinished jobs referencing the dataset
+	bytes   int64
+	refs    int
 }
 
 // NewStore builds a store with the given bounds.
@@ -167,6 +185,7 @@ func NewStore(opts Options) *Store {
 	return &Store{
 		byID:   make(map[string]*entry),
 		byName: make(map[string]string),
+		blobs:  make(map[blobKey]*blob),
 		next:   1,
 		maxN:   opts.MaxDatasets,
 		maxB:   opts.MaxBytes,
@@ -201,12 +220,35 @@ func (s *Store) Put(name string, family Family, payload Payload, st Stats) (Data
 	if st.Bytes > s.maxB {
 		return Dataset{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte store bound", ErrStoreFull, st.Bytes, s.maxB)
 	}
+	// Content dedup: an upload hashing identically to a resident blob of the
+	// same family aliases that blob instead of storing a second copy, so it
+	// costs no new payload bytes. The ref is taken before the eviction loop
+	// so evicting the blob's other datasets cannot free it out from under
+	// the new one.
+	key := blobKey{family: family, hash: st.Hash}
+	b := s.blobs[key]
+	addBytes := st.Bytes
+	if b != nil {
+		b.refs++
+		addBytes = 0
+		s.deduped++
+	}
 	// Retention-style reclamation: drop oldest unpinned entries until the
 	// new dataset fits both bounds.
-	for len(s.byID) >= s.maxN || s.total+st.Bytes > s.maxB {
+	for len(s.byID) >= s.maxN || s.total+addBytes > s.maxB {
 		if !s.evictOldestLocked() {
+			if b != nil {
+				s.releaseBlobLocked(key, b)
+			}
 			return Dataset{}, fmt.Errorf("%w: every resident dataset is referenced by unfinished jobs", ErrStoreFull)
 		}
+	}
+	if b == nil {
+		b = &blob{payload: payload, bytes: st.Bytes, refs: 1}
+		if st.Hash != "" {
+			s.blobs[key] = b
+		}
+		s.total += st.Bytes
 	}
 	id := fmt.Sprintf("ds-%d", s.next)
 	s.next++
@@ -218,16 +260,28 @@ func (s *Store) Put(name string, family Family, payload Payload, st Stats) (Data
 			Hash:         st.Hash,
 			Records:      st.Records,
 			Bytes:        st.Bytes,
-			HasReference: payload.Ref.Len() > 0,
+			HasReference: b.payload.Ref.Len() > 0,
 			Created:      s.now(),
 		},
-		payload: payload,
+		blob: b,
 	}
 	s.byID[id] = e
 	s.byName[name] = id
 	s.order = append(s.order, id)
-	s.total += st.Bytes
 	return e.meta, nil
+}
+
+// releaseBlobLocked drops one blob reference, freeing the payload and its
+// byte accounting at zero. The caller holds s.mu.
+func (s *Store) releaseBlobLocked(key blobKey, b *blob) {
+	b.refs--
+	if b.refs > 0 {
+		return
+	}
+	s.total -= b.bytes
+	if key.hash != "" {
+		delete(s.blobs, key)
+	}
 }
 
 // evictOldestLocked removes the oldest unpinned dataset; false when none
@@ -247,7 +301,7 @@ func (s *Store) removeLocked(id string) {
 	e := s.byID[id]
 	delete(s.byID, id)
 	delete(s.byName, e.meta.Name)
-	s.total -= e.meta.Bytes
+	s.releaseBlobLocked(blobKey{family: e.meta.Family, hash: e.meta.Hash}, e.blob)
 	keep := s.order[:0]
 	for _, o := range s.order {
 		if o != id {
@@ -267,7 +321,7 @@ func (s *Store) Resolve(idOrName string) (Dataset, Payload, error) {
 	if err != nil {
 		return Dataset{}, Payload{}, err
 	}
-	return e.meta, e.payload, nil
+	return e.meta, e.blob.payload, nil
 }
 
 func (s *Store) lookupLocked(idOrName string) (*entry, error) {
@@ -292,7 +346,7 @@ func (s *Store) Pin(idOrName string) (Dataset, Payload, error) {
 		return Dataset{}, Payload{}, err
 	}
 	e.pins++
-	return e.meta, e.payload, nil
+	return e.meta, e.blob.payload, nil
 }
 
 // Unpin releases one job reference. Unknown ids are a no-op, so releasing
@@ -346,10 +400,19 @@ func isIDShaped(name string) bool {
 	return true
 }
 
-// Stats reports store occupancy: datasets resident, bytes accounted, and
-// datasets evicted to make room since the store was built.
+// Stats reports store occupancy: datasets resident, bytes accounted
+// (content-deduplicated — aliased payloads count once), and datasets
+// evicted to make room since the store was built.
 func (s *Store) Stats() (datasets int, bytes int64, evicted int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.byID), s.total, s.evicted
+}
+
+// Deduped reports how many Puts aliased an already-resident payload instead
+// of storing a second copy.
+func (s *Store) Deduped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deduped
 }

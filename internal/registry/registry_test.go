@@ -6,10 +6,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"scan/internal/genomics"
 )
 
+var statsSeq int
+
+// testStats fabricates decoder stats with a unique content hash, so puts
+// model distinct uploads (the content-dedup tests hash-collide on purpose).
 func testStats(bytes int64) Stats {
-	return Stats{Records: 1, Bytes: bytes, Hash: "h"}
+	statsSeq++
+	return Stats{Records: 1, Bytes: bytes, Hash: fmt.Sprintf("h%d", statsSeq)}
 }
 
 func TestStorePutResolveDelete(t *testing.T) {
@@ -411,5 +418,68 @@ func TestParseFamily(t *testing.T) {
 	}
 	if _, err := ParseFamily("bam"); err == nil {
 		t.Error("unknown family accepted")
+	}
+}
+
+func TestPutDedupsIdenticalContent(t *testing.T) {
+	s := NewStore(Options{MaxBytes: 100})
+	same := Stats{Records: 5, Bytes: 60, Hash: "cafe"}
+	reads := Payload{Reads: make([]genomics.Read, 5)}
+	a, err := s.Put("a", FASTQ, reads, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical bytes under a second name: the payload is aliased, not
+	// stored again, so 60+60 fits the 100-byte bound without eviction.
+	b, err := s.Put("b", FASTQ, Payload{Reads: make([]genomics.Read, 5)}, same)
+	if err != nil {
+		t.Fatalf("dedup put err = %v", err)
+	}
+	if a.ID == b.ID || b.Bytes != 60 {
+		t.Fatalf("aliased metadata = %+v", b)
+	}
+	if n, total, evicted := s.Stats(); n != 2 || total != 60 || evicted != 0 {
+		t.Fatalf("stats after dedup: n=%d total=%d evicted=%d", n, total, evicted)
+	}
+	if s.Deduped() != 1 {
+		t.Fatalf("deduped = %d, want 1", s.Deduped())
+	}
+	// Both names resolve to the same records.
+	_, pa, err := s.Resolve("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pb, err := s.Resolve("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &pa.Reads[0] != &pb.Reads[0] {
+		t.Fatal("aliased datasets do not share records")
+	}
+	// The blob survives deleting one alias and is freed with the last.
+	if _, err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Resolve("b"); err != nil {
+		t.Fatalf("surviving alias broken: %v", err)
+	}
+	if _, total, _ := s.Stats(); total != 60 {
+		t.Fatalf("total after one delete = %d, want 60", total)
+	}
+	if _, err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, total, _ := s.Stats(); total != 0 {
+		t.Fatalf("total after last delete = %d, want 0", total)
+	}
+	// Same bytes, different family: no aliasing across decoders.
+	if _, err := s.Put("c", FASTQ, Payload{}, Stats{Records: 1, Bytes: 10, Hash: "beef"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("d", Reference, Payload{}, Stats{Records: 1, Bytes: 10, Hash: "beef"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, total, _ := s.Stats(); total != 20 {
+		t.Fatalf("cross-family total = %d, want 20", total)
 	}
 }

@@ -333,12 +333,23 @@ func (s *Server) publishStage(id int, sr workflow.StageResult) {
 	if !ok || rec.job.State != StateRunning {
 		return
 	}
-	s.publishLocked(rec, JobEvent{Type: EventStage, Stage: &StageBreakdown{
-		Name:       sr.Stage,
-		Tool:       sr.Tool,
-		Shards:     sr.Shards,
-		ElapsedSec: sr.Elapsed.Seconds(),
-	}})
+	sb := stageBreakdown(sr)
+	s.publishLocked(rec, JobEvent{Type: EventStage, Stage: &sb})
+}
+
+// stageBreakdown converts an engine stage result to its wire shape,
+// including the pipelined-execution timings when the stage streamed.
+func stageBreakdown(sr workflow.StageResult) StageBreakdown {
+	return StageBreakdown{
+		Name:               sr.Stage,
+		Tool:               sr.Tool,
+		Shards:             sr.Shards,
+		ElapsedSec:         sr.Elapsed.Seconds(),
+		Records:            sr.Records,
+		Streamed:           sr.Pipeline.Streamed,
+		FirstShardStartSec: sr.Pipeline.FirstShardStart.Seconds(),
+		Overlap:            sr.Pipeline.Overlap,
+	}
 }
 
 // evictLocked enforces the retention bound: oldest terminal jobs beyond the
@@ -582,12 +593,7 @@ func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, 
 		result.Modules = len(out.Net.Modules)
 	}
 	for _, sr := range wres.Stages {
-		result.Stages = append(result.Stages, StageBreakdown{
-			Name:       sr.Stage,
-			Tool:       sr.Tool,
-			Shards:     sr.Shards,
-			ElapsedSec: sr.Elapsed.Seconds(),
-		})
+		result.Stages = append(result.Stages, stageBreakdown(sr))
 	}
 	if sr, ok := wres.RecordScatter(); ok {
 		result.Shards = sr.Plan.NumShards

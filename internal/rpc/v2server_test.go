@@ -66,6 +66,14 @@ func TestV2SubmitWatchAndResult(t *testing.T) {
 	if len(r.Stages) != 8 || r.Stages[0].Name != "Align" || r.Stages[0].Tool != "BWA" {
 		t.Fatalf("stages = %+v", r.Stages)
 	}
+	// The align stage ran inside a pipelined segment and reports its
+	// pipeline timings and record count on the wire.
+	if !r.Stages[0].Streamed || r.Stages[0].Records != 800 {
+		t.Fatalf("align breakdown = %+v, want streamed with 800 records", r.Stages[0])
+	}
+	if ov := r.Stages[0].Overlap; ov < 0 || ov > 1 {
+		t.Fatalf("align overlap = %v", ov)
+	}
 	if final.Started == nil || final.Finished == nil || final.Finished.Before(*final.Started) {
 		t.Fatalf("timestamps = %v %v", final.Started, final.Finished)
 	}

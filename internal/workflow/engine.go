@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scan/internal/align"
@@ -95,9 +96,39 @@ type RunOptions struct {
 	// stage completes, with that stage's StageResult (name, tool, scatter
 	// width, elapsed time, shard plan). It is the engine's progress
 	// surface: scand streams these callbacks to API clients as per-stage
-	// events. The callback runs on the engine's goroutine between stages,
-	// so it must not block on the run it is observing.
+	// events. The callback runs on the engine's goroutine, once per stage
+	// in catalogue order — pipelined execution preserves the ordering by
+	// buffering out-of-order stage completions — so it must not block on
+	// the run it is observing.
 	StageObserver func(StageResult)
+	// Barrier disables pipelined shard streaming for this run: every stage
+	// executes through StageExecutor.Execute with a full barrier between
+	// stages (the pre-pipelining engine). This is the reference scheduler
+	// the pipelined-vs-barrier equivalence tests and benchmarks compare
+	// against.
+	Barrier bool
+	// RefineScatter lets a pipelined segment cap the Data Broker's advised
+	// shard size so the scatter is at least as wide as the worker pool — a
+	// stream narrower than the pool would leave workers idle at the
+	// segment head with no downstream shards to steal. Off by default so
+	// shard plans stay byte-identical to barrier execution; turn it on
+	// when pool occupancy matters more than plan parity.
+	RefineScatter bool
+}
+
+// PipelineTiming reports how a stage executed inside a pipelined segment;
+// zero when the stage ran under the barrier scheduler.
+type PipelineTiming struct {
+	// Streamed marks stages that ran as part of a pipelined segment.
+	Streamed bool
+	// FirstShardStart is when the stage's first shard began executing,
+	// as an offset from its segment's start — a downstream stage whose
+	// offset is below the upstream stage's elapsed time started before
+	// its predecessor finished, which is the pipelining win.
+	FirstShardStart time.Duration
+	// Overlap is the fraction of the stage's active span shared with the
+	// previous streaming stage's, in [0, 1]; 0 for segment heads.
+	Overlap float64
 }
 
 // StageResult reports one executed stage.
@@ -116,6 +147,13 @@ type StageResult struct {
 	// (zero when ShardRecords overrode it or the stage scattered by
 	// region).
 	Advice knowledge.Advice
+	// Records counts the input records the stage processed across its
+	// shards (0 for pass-through stages) — the pipelined-vs-barrier
+	// equivalence invariant alongside Output.
+	Records int
+	// Pipeline carries pipelined-execution timings; zero when the stage
+	// ran behind a barrier.
+	Pipeline PipelineTiming
 }
 
 // Result is one workflow execution's outcome.
@@ -171,6 +209,12 @@ func (e *Engine) RunByName(ctx context.Context, name string, in *Dataset, opts R
 // input type is checked against the catalogue declaration before its
 // executor runs, and the executor's output type afterwards, so a
 // mis-registered executor cannot silently corrupt the chain.
+//
+// Runs of consecutive streaming-capable stages (StreamingExecutor heads,
+// PassthroughExecutor riders) execute as pipelined segments — shards flow
+// stage to stage without a barrier, scheduled by the Data Broker's cost
+// ranks (pipeline.go) — unless opts.Barrier forces whole-stage execution.
+// Both schedulers produce identical outputs; see doc.go for the guarantee.
 func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptions) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -184,10 +228,11 @@ func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptio
 	}
 	res := &Result{Workflow: w.Name}
 	ds := in
-	for i, st := range w.Stages {
+	for i := 0; i < len(w.Stages); {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		st := w.Stages[i]
 		exec, ok := e.execs.Lookup(st.Tool, st.Name)
 		if !ok {
 			return nil, fmt.Errorf("workflow %s: %w for stage %q (tool %s)",
@@ -196,6 +241,17 @@ func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptio
 		if ds.Type != st.Consumes {
 			return nil, fmt.Errorf("%w: workflow %s stage %q consumes %s, dataset is %s",
 				ErrTypeMismatch, w.Name, st.Name, st.Consumes, ds.Type)
+		}
+		if !opts.Barrier {
+			if seg := e.pipelineSegment(w, i, exec, ds, opts); seg != nil {
+				out, err := e.runPipelined(ctx, w, seg, opts, res)
+				if err != nil {
+					return nil, err
+				}
+				ds = out
+				i = seg.end
+				continue
+			}
 		}
 		sr := StageResult{Stage: st.Name, Tool: st.Tool}
 		env := &StageEnv{engine: e, stage: st, index: i, opts: opts, result: &sr}
@@ -213,11 +269,13 @@ func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptio
 				ErrTypeMismatch, w.Name, st.Name, out.Type, st.Produces)
 		}
 		sr.Elapsed = time.Since(start)
+		sr.Records = int(env.records.Load())
 		res.Stages = append(res.Stages, sr)
 		if opts.StageObserver != nil {
 			opts.StageObserver(sr)
 		}
 		ds = out
+		i++
 	}
 	res.Output = ds
 	return res, nil
@@ -232,6 +290,13 @@ type StageEnv struct {
 	index  int
 	opts   RunOptions
 	result *StageResult
+	// pipelined marks envs built for a pipelined segment; RecordShardSize
+	// refines the scatter width for pool occupancy when set.
+	pipelined bool
+	// records accumulates the stage's processed input records across
+	// concurrent shards (LogShard adds to it); the engine copies it onto
+	// the stage result once the stage completes.
+	records atomic.Int64
 }
 
 // Options returns the run's tuning options.
@@ -245,9 +310,11 @@ func (env *StageEnv) Workers() int { return env.engine.workers }
 
 // RecordShardSize decides how many records each shard of this stage should
 // carry: the run's ShardRecords override when set, otherwise the Data
-// Broker's knowledge-base advice for an input of total records. The
-// resulting shard plan (and advice, when consulted) is recorded on the
-// stage result.
+// Broker's knowledge-base advice for an input of total records. In a
+// pipelined segment with RunOptions.RefineScatter the advice is
+// additionally capped so the scatter is at least as wide as the worker
+// pool. The resulting shard plan (and advice, when consulted) is recorded
+// on the stage result.
 func (env *StageEnv) RecordShardSize(total int) (int, error) {
 	per := env.opts.ShardRecords
 	if per <= 0 {
@@ -263,6 +330,11 @@ func (env *StageEnv) RecordShardSize(total int) (int, error) {
 		per = int(adv.ShardSize * float64(env.engine.recordsPerUnit))
 		if per < 1 {
 			per = 1
+		}
+		if env.pipelined && env.opts.RefineScatter && total > 0 {
+			if maxPer := (total + env.engine.workers - 1) / env.engine.workers; per > maxPer {
+				per = maxPer
+			}
 		}
 	}
 	plan, err := shard.PlanByRecords(total, per)
@@ -336,6 +408,7 @@ queue:
 // never fail an analysis, so errors (and a nil knowledge base) are
 // ignored.
 func (env *StageEnv) LogShard(records int, elapsed time.Duration) {
+	env.records.Add(int64(records))
 	if env.engine.kb == nil {
 		return
 	}

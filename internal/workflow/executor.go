@@ -110,43 +110,97 @@ func DefaultExecutors() *ExecutorRegistry {
 	return r
 }
 
+// ctxCheckInterval is how many records an executor's inner loop processes
+// between context polls — frequent enough that cancelling a run stops a
+// long shard mid-flight, cheap enough to vanish in the per-record work.
+const ctxCheckInterval = 64
+
 // alignExecutor implements the BWA stages: scatter reads into
 // Data-Broker-sized shards, align each shard on the pool, gather the
-// per-shard outputs into one coordinate-sorted alignment set.
+// per-shard outputs into one coordinate-sorted alignment set. It is the
+// genomics chain's streaming adopter: Execute runs the same stream behind
+// a stage-local barrier, so the two schedulers share one implementation.
 type alignExecutor struct{}
 
-func (alignExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+func (e alignExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := e.Stream(env, in)
+	if err != nil {
+		return nil, err
+	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+// Stream implements StreamingExecutor.
+func (alignExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
 	aligner, err := align.New(in.Reference, env.Options().Aligner)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	per, err := env.RecordShardSize(len(in.Reads))
+	return &alignStream{env: env, in: in, aligner: aligner}, true, nil
+}
+
+// alignedShard is the alignment stage's per-shard output payload.
+type alignedShard struct {
+	alns   []genomics.Alignment
+	mapped int
+}
+
+type alignStream struct {
+	env     *StageEnv
+	in      *Dataset
+	aligner *align.Aligner
+}
+
+func (s *alignStream) Split() ([]StreamShard, error) {
+	per, err := s.env.RecordShardSize(len(s.in.Reads))
 	if err != nil {
 		return nil, err
 	}
-	readShards, err := shard.ChunkReads(in.Reads, per)
+	readShards, err := shard.ChunkReads(s.in.Reads, per)
 	if err != nil {
 		return nil, err
 	}
-	alnShards := make([][]genomics.Alignment, len(readShards))
-	mapped := make([]int, len(readShards))
-	err = env.Pool(ctx, len(readShards), func(i int) error {
-		start := time.Now()
-		alnShards[i], mapped[i] = aligner.AlignAll(readShards[i])
-		env.LogShard(len(readShards[i]), time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	shards := make([]StreamShard, len(readShards))
+	for i, rs := range readShards {
+		shards[i] = StreamShard{Records: len(rs), Data: rs}
 	}
-	out := *in
+	return shards, nil
+}
+
+func (s *alignStream) Transform(ctx context.Context, _ int, in StreamShard) (StreamShard, error) {
+	reads := in.Data.([]genomics.Read)
+	alns := make([]genomics.Alignment, 0, len(reads))
+	mapped := 0
+	for i, r := range reads {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return StreamShard{}, err
+			}
+		}
+		aln := s.aligner.AlignRead(r)
+		if !aln.Unmapped() {
+			mapped++
+		}
+		alns = append(alns, aln)
+	}
+	genomics.SortAlignments(alns)
+	return StreamShard{Records: len(alns), Data: alignedShard{alns: alns, mapped: mapped}}, nil
+}
+
+func (s *alignStream) Gather(shards []StreamShard) (*Dataset, error) {
+	groups := make([][]genomics.Alignment, len(shards))
+	mapped := 0
+	for i, sh := range shards {
+		as := sh.Data.(alignedShard)
+		groups[i] = as.alns
+		mapped += as.mapped
+	}
+	out := *s.in
 	out.Type = BAM
 	out.Reads = nil
-	out.Header = aligner.Header()
-	out.Alignments = genomics.MergeSorted(alnShards...)
-	for _, m := range mapped {
-		out.Mapped += m
-	}
+	out.Header = s.aligner.Header()
+	out.Alignments = genomics.MergeSorted(groups...)
+	out.Mapped += mapped
 	return &out, nil
 }
 
@@ -170,7 +224,12 @@ func (callExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*D
 	err = env.Pool(ctx, len(parts), func(i int) error {
 		start := time.Now()
 		caller := variant.NewCaller(in.Reference, env.Options().Caller)
-		for _, a := range parts[i] {
+		for j, a := range parts[i] {
+			if j%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := caller.Add(a); err != nil {
 				return err
 			}
@@ -271,9 +330,13 @@ func (mergeVCFExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset)
 	return &out, nil
 }
 
-// identityExecutor passes the dataset through unchanged.
+// identityExecutor passes the dataset through unchanged. It implements
+// PassthroughExecutor, so inside a pipelined segment shard streams flow
+// straight through its stages without materializing a dataset.
 type identityExecutor struct{}
 
 func (identityExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
 	return in, nil
 }
+
+func (identityExecutor) StreamPassthrough() {}

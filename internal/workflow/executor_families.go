@@ -25,45 +25,74 @@ import (
 // and gather the per-shard matches into one sorted ProteinTable. In
 // quantify mode the table carries summed match scores (label-free
 // quantification); in search mode it carries identification counts only.
+// The proteome family is the second streaming adopter: Execute runs the
+// same stream behind a stage-local barrier.
 type spectralSearchExecutor struct{ quantify bool }
 
 func (e spectralSearchExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := e.Stream(env, in)
+	if err != nil {
+		return nil, err
+	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+// Stream implements StreamingExecutor.
+func (e spectralSearchExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
 	if len(in.PeptideDB.Peptides) == 0 {
-		return nil, errors.New("spectral search needs a peptide database")
+		return nil, false, errors.New("spectral search needs a peptide database")
 	}
-	per, err := env.RecordShardSize(len(in.Spectra))
+	return &spectralStream{env: env, in: in, quantify: e.quantify}, true, nil
+}
+
+type spectralStream struct {
+	env      *StageEnv
+	in       *Dataset
+	quantify bool
+}
+
+func (s *spectralStream) Split() ([]StreamShard, error) {
+	per, err := s.env.RecordShardSize(len(s.in.Spectra))
 	if err != nil {
 		return nil, err
 	}
-	shards, err := shard.Chunk(in.Spectra, per)
+	chunks, err := shard.Chunk(s.in.Spectra, per)
 	if err != nil {
 		return nil, err
 	}
-	matchShards := make([][]proteome.Match, len(shards))
-	err = env.Pool(ctx, len(shards), func(i int) error {
-		start := time.Now()
-		ms := make([]proteome.Match, 0, len(shards[i]))
-		for _, sp := range shards[i] {
-			ms = append(ms, proteome.Search(in.PeptideDB, sp, proteome.Config{}))
+	shards := make([]StreamShard, len(chunks))
+	for i, c := range chunks {
+		shards[i] = StreamShard{Records: len(c), Data: c}
+	}
+	return shards, nil
+}
+
+func (s *spectralStream) Transform(ctx context.Context, _ int, in StreamShard) (StreamShard, error) {
+	spectra := in.Data.([]proteome.Spectrum)
+	ms := make([]proteome.Match, 0, len(spectra))
+	for i, sp := range spectra {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return StreamShard{}, err
+			}
 		}
-		matchShards[i] = ms
-		env.LogShard(len(shards[i]), time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		ms = append(ms, proteome.Search(s.in.PeptideDB, sp, proteome.Config{}))
 	}
+	return StreamShard{Records: len(ms), Data: ms}, nil
+}
+
+func (s *spectralStream) Gather(shards []StreamShard) (*Dataset, error) {
 	var matches []proteome.Match
-	for _, ms := range matchShards {
-		matches = append(matches, ms...)
+	for _, sh := range shards {
+		matches = append(matches, sh.Data.([]proteome.Match)...)
 	}
-	quants := proteome.Quantify(in.PeptideDB, matches)
-	if !e.quantify {
+	quants := proteome.Quantify(s.in.PeptideDB, matches)
+	if !s.quantify {
 		for i := range quants {
 			quants[i].Abundance = 0
 		}
 	}
-	out := *in
+	out := *s.in
 	out.Type = ProteinTable
 	out.Spectra = nil // the caller's own input; release once consumed
 	out.Proteins = quants
@@ -156,7 +185,19 @@ func (integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset
 	err = env.Pool(ctx, len(ranges), func(i int) error {
 		start := time.Now()
 		r := ranges[i]
-		edgeSlabs[i] = network.EdgesInRange(nodes, r.lo, r.hi, network.Config{})
+		// Build the range in consecutive sub-blocks with a context poll
+		// between each, so cancelling interrupts the O(n²) edge scan
+		// mid-range. Concatenating consecutive sub-ranges yields exactly
+		// the edge order of one full-range call.
+		var slab []network.Edge
+		for lo := r.lo; lo < r.hi; lo += ctxCheckInterval {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := min(lo+ctxCheckInterval, r.hi)
+			slab = append(slab, network.EdgesInRange(nodes, lo, hi, network.Config{})...)
+		}
+		edgeSlabs[i] = slab
 		env.LogShard(r.hi-r.lo, time.Since(start))
 		return nil
 	})

@@ -1,0 +1,404 @@
+package workflow
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"scan/internal/knowledge"
+)
+
+// This file is the pipelined half of the engine: instead of a full barrier
+// after every stage, consecutive streaming-capable stages form a *segment*
+// whose shards flow stage to stage the moment they are ready. One bounded
+// worker pool is shared across every in-flight stage of the segment; idle
+// workers steal whichever ready shard has the highest priority, where
+// priority is a HEFT-style upward rank computed from the Data Broker's
+// fitted per-(tool, stage) cost models — the knowledge base graduating
+// from shard sizer to pipeline scheduler.
+
+// pipeStage is one workflow stage inside a pipelined segment.
+type pipeStage struct {
+	index  int // position in the workflow's stage chain
+	stage  Stage
+	sr     StageResult
+	env    *StageEnv   // nil for pass-through stages
+	stream StageStream // nil for pass-through stages
+	// gate indexes the segment's streaming stage whose completion
+	// finalizes this stage (itself for streaming stages, the nearest
+	// upstream streaming stage for pass-throughs).
+	gate int
+}
+
+// pipeSegment is a maximal run of consecutive stages executed as one
+// shard-streaming pipeline: streaming stages interleaved with
+// pass-throughs, always beginning at a streaming stage.
+type pipeSegment struct {
+	start, end int // stage index range [start, end) in the workflow
+	stages     []*pipeStage
+	streams    []*pipeStage // the streaming subset, chain order
+}
+
+// pipelineSegment grows the longest pipelined segment starting at stage
+// `start`, or returns nil when the stage cannot stream this input. Stream
+// setup failures decline silently — the barrier path re-runs the setup
+// through Execute and surfaces the identical error there, so detection
+// never changes which stage an error is attributed to.
+func (e *Engine) pipelineSegment(w Workflow, start int, headExec StageExecutor, in *Dataset, opts RunOptions) *pipeSegment {
+	se, ok := headExec.(StreamingExecutor)
+	if !ok {
+		return nil
+	}
+	seg := &pipeSegment{start: start}
+	addStreaming := func(idx int, sx StreamingExecutor) bool {
+		st := w.Stages[idx]
+		ps := &pipeStage{index: idx, stage: st, sr: StageResult{Stage: st.Name, Tool: st.Tool}}
+		ps.env = &StageEnv{engine: e, stage: st, index: idx, opts: opts, result: &ps.sr, pipelined: true}
+		stream, ok, err := sx.Stream(ps.env, in)
+		if err != nil || !ok {
+			return false
+		}
+		ps.stream = stream
+		ps.gate = len(seg.streams)
+		seg.stages = append(seg.stages, ps)
+		seg.streams = append(seg.streams, ps)
+		return true
+	}
+	if !addStreaming(start, se) {
+		return nil
+	}
+	end := start + 1
+	for end < len(w.Stages) {
+		st := w.Stages[end]
+		ex, found := e.execs.Lookup(st.Tool, st.Name)
+		if !found {
+			break
+		}
+		if _, pass := ex.(PassthroughExecutor); pass && st.Consumes == st.Produces {
+			seg.stages = append(seg.stages, &pipeStage{
+				index: end, stage: st,
+				sr:   StageResult{Stage: st.Name, Tool: st.Tool},
+				gate: len(seg.streams) - 1,
+			})
+			end++
+			continue
+		}
+		if sx, isStream := ex.(StreamingExecutor); isStream && addStreaming(end, sx) {
+			end++
+			continue
+		}
+		break
+	}
+	seg.end = end
+	return seg
+}
+
+// upwardRanks computes HEFT-style upward ranks over a linear chain:
+// rank[k] = cost[k] + rank[k+1]. A shard's priority is the estimated work
+// remaining on its path to the segment tail, so the shards that unlock the
+// most downstream work dispatch first, and idle workers drain whatever
+// ready shard ranks highest.
+func upwardRanks(costs []float64) []float64 {
+	ranks := make([]float64, len(costs))
+	acc := 0.0
+	for k := len(costs) - 1; k >= 0; k-- {
+		acc += costs[k]
+		ranks[k] = acc
+	}
+	return ranks
+}
+
+// segmentCosts asks the Data Broker for each streaming stage's predicted
+// per-shard cost at the segment's planned shard size. With no KB (or no
+// fits yet) every stage costs 1, degrading the rank to plain chain depth.
+func (e *Engine) segmentCosts(streams []*pipeStage, perShardRecords int) []float64 {
+	if e.kb == nil {
+		costs := make([]float64, len(streams))
+		for i := range costs {
+			costs[i] = 1
+		}
+		return costs
+	}
+	chain := make([]knowledge.StageRef, len(streams))
+	for i, ps := range streams {
+		chain[i] = knowledge.StageRef{App: ps.stage.Tool, Stage: ps.index}
+	}
+	return e.kb.ChainCosts(chain, float64(perShardRecords)/float64(e.recordsPerUnit))
+}
+
+// segTask is one ready (stage, shard) unit awaiting a worker.
+type segTask struct {
+	stream int // index into pipeSegment.streams
+	shard  int
+	rank   float64
+}
+
+// taskHeap orders ready tasks by upward rank (descending), then shard
+// index, then stage — a deterministic dispatch order for equal ranks.
+type taskHeap []segTask
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank > h[j].rank
+	}
+	if h[i].shard != h[j].shard {
+		return h[i].shard < h[j].shard
+	}
+	return h[i].stream < h[j].stream
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(segTask)) }
+func (h *taskHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// pipeRun is the mutable state of one pipelined segment execution.
+type pipeRun struct {
+	seg    *pipeSegment
+	shards []StreamShard // the head stage's scatter
+	ranks  []float64
+
+	mu         sync.Mutex
+	ready      taskHeap
+	outs       [][]StreamShard // outs[k][i]: streaming stage k's output for shard i
+	remaining  []int           // per streaming stage, shards not yet completed
+	firstStart []time.Time     // per streaming stage, earliest Transform start
+	lastEnd    []time.Time     // per streaming stage, latest Transform end
+	failErr    error
+	failStage  int
+	gatherDone bool
+
+	segStart  time.Time
+	sem       chan struct{}
+	wake      chan struct{}
+	wg        sync.WaitGroup
+	finalized int // segment stages finalized & observed so far
+}
+
+// runPipelined executes one segment: scatter at the head, stream shards
+// through the chain under the shared rank-ordered pool, gather at the
+// tail. Cancellation stops dispatch promptly (the pool-slot acquisition
+// selects on ctx.Done, mirroring StageEnv.Pool) and drains in-flight
+// shards — whose Transforms poll ctx themselves — before returning.
+func (e *Engine) runPipelined(ctx context.Context, w Workflow, seg *pipeSegment, opts RunOptions, res *Result) (*Dataset, error) {
+	head := seg.streams[0]
+	stageErr := func(ps *pipeStage, err error) error {
+		return fmt.Errorf("workflow %s: stage %q: %w", w.Name, ps.stage.Name, err)
+	}
+	shards, err := head.stream.Split()
+	if err != nil {
+		return nil, stageErr(head, err)
+	}
+	n := len(shards)
+	nS := len(seg.streams)
+	per := head.sr.Plan.RecordsPerShard
+	if per <= 0 && n > 0 {
+		total := 0
+		for _, s := range shards {
+			total += s.Records
+		}
+		per = (total + n - 1) / n
+	}
+	pr := &pipeRun{
+		seg: seg, shards: shards,
+		ranks:      upwardRanks(e.segmentCosts(seg.streams, per)),
+		outs:       make([][]StreamShard, nS),
+		remaining:  make([]int, nS),
+		firstStart: make([]time.Time, nS),
+		lastEnd:    make([]time.Time, nS),
+		segStart:   time.Now(),
+		sem:        make(chan struct{}, e.workers),
+		wake:       make(chan struct{}, 1),
+	}
+	for k := 0; k < nS; k++ {
+		pr.outs[k] = make([]StreamShard, n)
+		pr.remaining[k] = n
+	}
+	for i := 0; i < n; i++ {
+		heap.Push(&pr.ready, segTask{stream: 0, shard: i, rank: pr.ranks[0]})
+	}
+
+	total := n * nS
+	dispatched := 0
+dispatch:
+	for dispatched < total {
+		if ctx.Err() != nil {
+			break
+		}
+		pr.mu.Lock()
+		if pr.failErr != nil {
+			pr.mu.Unlock()
+			break
+		}
+		var t segTask
+		popped := false
+		if pr.ready.Len() > 0 {
+			t = heap.Pop(&pr.ready).(segTask)
+			popped = true
+		}
+		pr.mu.Unlock()
+		if !popped {
+			// Nothing ready: wait for an in-flight shard to finish (which
+			// may unlock its downstream shard) or for cancellation.
+			select {
+			case <-pr.wake:
+			case <-ctx.Done():
+				break dispatch
+			}
+			pr.finalizeReady(res, opts)
+			continue
+		}
+		select {
+		case pr.sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		dispatched++
+		pr.wg.Add(1)
+		go pr.runTask(ctx, t)
+		pr.finalizeReady(res, opts)
+	}
+	pr.wg.Wait()
+	// Observe stages that fully completed, even when a later shard failed —
+	// the same prefix the barrier path would have reported.
+	pr.finalizeReady(res, opts)
+	pr.mu.Lock()
+	failErr, failStage := pr.failErr, pr.failStage
+	pr.mu.Unlock()
+	if failErr != nil {
+		return nil, stageErr(seg.streams[failStage], failErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tail := seg.streams[nS-1]
+	out, err := tail.stream.Gather(pr.outs[nS-1])
+	if err != nil {
+		return nil, stageErr(tail, err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("workflow %s: stage %q: %w from executor",
+			w.Name, tail.stage.Name, ErrNilDataset)
+	}
+	if want := seg.stages[len(seg.stages)-1].stage.Produces; out.Type != want {
+		return nil, fmt.Errorf("%w: workflow %s stage %q produced %s, catalogue declares %s",
+			ErrTypeMismatch, w.Name, tail.stage.Name, out.Type, want)
+	}
+	pr.mu.Lock()
+	pr.lastEnd[nS-1] = time.Now() // fold the gather into the tail stage's span
+	pr.gatherDone = true
+	pr.mu.Unlock()
+	pr.finalizeReady(res, opts)
+	return out, nil
+}
+
+// runTask executes one (stage, shard) transform on a pool worker.
+func (pr *pipeRun) runTask(ctx context.Context, t segTask) {
+	defer pr.wg.Done()
+	defer func() { <-pr.sem }()
+	defer pr.notify()
+	ps := pr.seg.streams[t.stream]
+	var in StreamShard
+	if t.stream == 0 {
+		in = pr.shards[t.shard]
+	} else {
+		pr.mu.Lock()
+		in = pr.outs[t.stream-1][t.shard]
+		pr.mu.Unlock()
+	}
+	start := time.Now()
+	out, err := ps.stream.Transform(ctx, t.shard, in)
+	end := time.Now()
+	if err == nil {
+		// The engine owns shard telemetry in pipelined mode (streams must
+		// not LogShard themselves), so each shard is logged exactly once
+		// under the same (tool, stage) key as in barrier mode.
+		ps.env.LogShard(in.Records, end.Sub(start))
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	k := t.stream
+	if pr.firstStart[k].IsZero() || start.Before(pr.firstStart[k]) {
+		pr.firstStart[k] = start
+	}
+	if end.After(pr.lastEnd[k]) {
+		pr.lastEnd[k] = end
+	}
+	if err != nil {
+		if pr.failErr == nil {
+			pr.failErr = err
+			pr.failStage = k
+		}
+		return
+	}
+	pr.outs[k][t.shard] = out
+	pr.remaining[k]--
+	if k+1 < len(pr.seg.streams) {
+		heap.Push(&pr.ready, segTask{stream: k + 1, shard: t.shard, rank: pr.ranks[k+1]})
+	}
+}
+
+// notify wakes the dispatcher; a full buffer means a wake is already
+// pending, so dropping the signal is safe.
+func (pr *pipeRun) notify() {
+	select {
+	case pr.wake <- struct{}{}:
+	default:
+	}
+}
+
+// finalizeReady finalizes and observes, in catalogue order, every segment
+// stage whose gate streaming stage has completed all its shards (and, for
+// the tail group, whose gather has run). Only the dispatcher goroutine
+// calls it, so observers run on the engine's goroutine, once per stage, in
+// catalogue order — the same contract as barrier mode.
+func (pr *pipeRun) finalizeReady(res *Result, opts RunOptions) {
+	for {
+		pr.mu.Lock()
+		if pr.finalized >= len(pr.seg.stages) {
+			pr.mu.Unlock()
+			return
+		}
+		ps := pr.seg.stages[pr.finalized]
+		g := ps.gate
+		if pr.remaining[g] != 0 || (g == len(pr.seg.streams)-1 && !pr.gatherDone) {
+			pr.mu.Unlock()
+			return
+		}
+		pr.finalizeLocked(ps, g)
+		sr := ps.sr
+		pr.finalized++
+		pr.mu.Unlock()
+		res.Stages = append(res.Stages, sr)
+		if opts.StageObserver != nil {
+			opts.StageObserver(sr)
+		}
+	}
+}
+
+// finalizeLocked stamps a stage result's scatter and pipeline timings;
+// pr.mu is held.
+func (pr *pipeRun) finalizeLocked(ps *pipeStage, g int) {
+	ps.sr.Pipeline.Streamed = true
+	if ps.stream == nil {
+		return // pass-through: zero scatter, zero span
+	}
+	ps.sr.Shards = len(pr.shards)
+	ps.sr.Records = int(ps.env.records.Load())
+	first, last := pr.firstStart[g], pr.lastEnd[g]
+	if first.IsZero() {
+		return
+	}
+	ps.sr.Elapsed = last.Sub(first)
+	ps.sr.Pipeline.FirstShardStart = first.Sub(pr.segStart)
+	if g > 0 {
+		if span, prevLast := ps.sr.Elapsed, pr.lastEnd[g-1]; span > 0 && prevLast.After(first) {
+			f := float64(prevLast.Sub(first)) / float64(span)
+			if f > 1 {
+				f = 1
+			}
+			ps.sr.Pipeline.Overlap = f
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelinedMatchesBarrier is the scheduler-equivalence gate: for every
+// data-process family, default (pipelined) execution must produce exactly
+// the output and per-stage accounting of barrier execution. Each run gets
+// its own engine and an identically seeded dataset so neither mode can
+// influence the other through KB telemetry or in-place mutation.
+func TestPipelinedMatchesBarrier(t *testing.T) {
+	cases := []struct {
+		workflow string
+		dataset  func(t testing.TB) *Dataset
+	}{
+		{"dna-variant-detection", func(t testing.TB) *Dataset { return synthDataset(t, 8000, 2000, 21) }},
+		{"proteome-maxquant", func(t testing.TB) *Dataset { return mgfDataset(t, 30, 400, 22) }},
+		{"cell-imaging", func(t testing.TB) *Dataset { ds, _ := tiffDataset(t, 3, 12, 23); return ds }},
+		{"integrative-network", func(t testing.TB) *Dataset { return featureDataset(t, 60, 4, 24) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workflow, func(t *testing.T) {
+			ctx := context.Background()
+			barrier, err := testEngine(t, 4).RunByName(ctx, tc.workflow, tc.dataset(t), RunOptions{Barrier: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipelined, err := testEngine(t, 4).RunByName(ctx, tc.workflow, tc.dataset(t), RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(barrier.Output, pipelined.Output) {
+				t.Fatalf("outputs differ:\nbarrier:   %+v\npipelined: %+v", barrier.Output, pipelined.Output)
+			}
+			if len(barrier.Stages) != len(pipelined.Stages) {
+				t.Fatalf("stage counts differ: barrier %d, pipelined %d",
+					len(barrier.Stages), len(pipelined.Stages))
+			}
+			for i := range barrier.Stages {
+				b, p := barrier.Stages[i], pipelined.Stages[i]
+				if b.Stage != p.Stage || b.Tool != p.Tool {
+					t.Fatalf("stage %d identity differs: barrier %s/%s, pipelined %s/%s",
+						i, b.Tool, b.Stage, p.Tool, p.Stage)
+				}
+				if b.Records != p.Records {
+					t.Errorf("stage %s records: barrier %d, pipelined %d", b.Stage, b.Records, p.Records)
+				}
+				if b.Shards != p.Shards {
+					t.Errorf("stage %s shards: barrier %d, pipelined %d", b.Stage, b.Shards, p.Shards)
+				}
+				if b.Plan != p.Plan {
+					t.Errorf("stage %s plan: barrier %+v, pipelined %+v", b.Stage, b.Plan, p.Plan)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineTimingsRecorded checks the observability additions: stages
+// executed inside a pipelined segment carry Streamed pipeline timings and
+// record counts, while barriered stages of the same run do not.
+func TestPipelineTimingsRecorded(t *testing.T) {
+	e := testEngine(t, 4)
+	res, err := e.RunByName(context.Background(), "dna-variant-detection",
+		synthDataset(t, 8000, 2000, 25), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stages 0..5 (Align + the GATK pass-throughs) form the pipelined
+	// segment; UnifiedGenotyper's region scatter needs every alignment, so
+	// it barriers.
+	for i := 0; i <= 5; i++ {
+		if !res.Stages[i].Pipeline.Streamed {
+			t.Errorf("stage %d (%s) not marked streamed", i, res.Stages[i].Stage)
+		}
+	}
+	if res.Stages[6].Pipeline.Streamed {
+		t.Errorf("stage 6 (%s) marked streamed", res.Stages[6].Stage)
+	}
+	align := res.Stages[0]
+	if align.Records != 2000 {
+		t.Errorf("align records = %d, want 2000", align.Records)
+	}
+	if align.Shards == 0 || align.Elapsed <= 0 {
+		t.Errorf("align scatter not recorded: %+v", align)
+	}
+	if ov := align.Pipeline.Overlap; ov < 0 || ov > 1 {
+		t.Errorf("overlap %v outside [0,1]", ov)
+	}
+}
+
+// chainTool is a synthetic streaming stage for scheduler tests: nShards
+// unit shards flow through, each Transform sleeping per delay(shard) and
+// counting its completion.
+type chainTool struct {
+	nShards int
+	delay   func(shard int) time.Duration
+	done    *atomic.Int32
+	gather  *atomic.Int32
+}
+
+func (c *chainTool) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := c.Stream(env, in)
+	if err != nil {
+		return nil, err
+	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+func (c *chainTool) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
+	return &chainStream{tool: c}, true, nil
+}
+
+type chainStream struct{ tool *chainTool }
+
+func (s *chainStream) Split() ([]StreamShard, error) {
+	shards := make([]StreamShard, s.tool.nShards)
+	for i := range shards {
+		shards[i] = StreamShard{Records: 1, Data: i}
+	}
+	return shards, nil
+}
+
+func (s *chainStream) Transform(ctx context.Context, i int, in StreamShard) (StreamShard, error) {
+	if err := ctx.Err(); err != nil {
+		return StreamShard{}, err
+	}
+	if d := s.tool.delay(i); d > 0 {
+		time.Sleep(d)
+	}
+	s.tool.done.Add(1)
+	return in, nil
+}
+
+func (s *chainStream) Gather(shards []StreamShard) (*Dataset, error) {
+	s.tool.gather.Add(1)
+	return &Dataset{Type: FASTQ}, nil
+}
+
+// TestStageObserverOrderPipelined pins the observer contract under the
+// pipelined scheduler: the head stage's last shard is made much slower than
+// everything downstream, so later stages finish most of their shards first
+// — yet each observer must fire exactly once per stage, in catalogue order,
+// only after that stage's final shard (and, for the tail, its gather) has
+// completed.
+func TestStageObserverOrderPipelined(t *testing.T) {
+	const nShards = 6
+	slowLast := func(i int) time.Duration {
+		if i == nShards-1 {
+			return 30 * time.Millisecond
+		}
+		return 0
+	}
+	tools := []*chainTool{
+		{nShards: nShards, delay: slowLast, done: &atomic.Int32{}, gather: &atomic.Int32{}},
+		{nShards: nShards, delay: func(int) time.Duration { return 0 }, done: &atomic.Int32{}, gather: &atomic.Int32{}},
+		{nShards: nShards, delay: func(int) time.Duration { return 0 }, done: &atomic.Int32{}, gather: &atomic.Int32{}},
+	}
+	stageNames := []string{"Head", "Mid", "Tail"}
+	execs := NewExecutorRegistry()
+	w := Workflow{Name: "stream-chain", Family: "genomic"}
+	for i, name := range stageNames {
+		w.Stages = append(w.Stages, Stage{
+			Name: name, Tool: "Chain" + name, Consumes: FASTQ, Produces: FASTQ, Parallelizable: true,
+		})
+		if err := execs.Register("Chain"+name, "", tools[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(EngineOptions{Executors: execs, Workers: 2})
+	var observed []StageResult
+	res, err := e.Run(context.Background(), w, &Dataset{Type: FASTQ}, RunOptions{
+		StageObserver: func(sr StageResult) {
+			observed = append(observed, sr)
+			// The observed stage's shards must all be done by now.
+			idx := -1
+			for i, n := range stageNames {
+				if sr.Stage == n {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				t.Errorf("observed unknown stage %q", sr.Stage)
+				return
+			}
+			if n := tools[idx].done.Load(); n != nShards {
+				t.Errorf("stage %s observed with %d/%d shards done", sr.Stage, n, nShards)
+			}
+			if idx == len(stageNames)-1 && tools[idx].gather.Load() != 1 {
+				t.Errorf("tail observed before gather")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != len(stageNames) {
+		t.Fatalf("observed %d stages, want %d", len(observed), len(stageNames))
+	}
+	for i, sr := range observed {
+		if sr.Stage != stageNames[i] {
+			t.Fatalf("observation order %v, want %v", observed, stageNames)
+		}
+		if !sr.Pipeline.Streamed {
+			t.Errorf("stage %s not streamed", sr.Stage)
+		}
+		if observed[i] != res.Stages[i] {
+			t.Errorf("observed stage %d differs from result stage", i)
+		}
+	}
+	// The slow head straggler guarantees downstream stages started while
+	// the head was still running; the recorded overlap must reflect it.
+	if ov := res.Stages[1].Pipeline.Overlap; ov <= 0 {
+		t.Errorf("mid-stage overlap = %v, want > 0 (head straggler still in flight)", ov)
+	}
+}
+
+// TestUpwardRanks pins the HEFT rank recurrence on a linear chain.
+func TestUpwardRanks(t *testing.T) {
+	got := upwardRanks([]float64{3, 1, 2})
+	want := []float64{6, 3, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("upwardRanks = %v, want %v", got, want)
+	}
+	if len(upwardRanks(nil)) != 0 {
+		t.Fatal("empty chain should yield no ranks")
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err polls — a
+// deterministic stand-in for "the user cancelled mid-shard" that needs no
+// timing assumptions.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(polls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// TestCancellationInterruptsShardMidFlight proves the per-record context
+// polls inside the family executors' inner loops: with input far larger
+// than one poll interval, a context that cancels after a few polls must
+// abort the shard in flight rather than run it to completion.
+func TestCancellationInterruptsShardMidFlight(t *testing.T) {
+	t.Run("genomics-align", func(t *testing.T) {
+		ds := synthDataset(t, 8000, 2000, 26)
+		e := testEngine(t, 1)
+		env := &StageEnv{engine: e, opts: RunOptions{}, result: &StageResult{}}
+		st, _, err := alignExecutor{}.Stream(env, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = st.Transform(newCountdownCtx(2), 0, StreamShard{Records: len(ds.Reads), Data: ds.Reads})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("proteome-search", func(t *testing.T) {
+		ds := mgfDataset(t, 30, 2000, 27)
+		e := testEngine(t, 1)
+		env := &StageEnv{engine: e, opts: RunOptions{}, result: &StageResult{}}
+		st, _, err := spectralSearchExecutor{}.Stream(env, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = st.Transform(newCountdownCtx(2), 0, StreamShard{Records: len(ds.Spectra), Data: ds.Spectra})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("network-integrate", func(t *testing.T) {
+		ds := featureDataset(t, 300, 4, 28)
+		e := testEngine(t, 1)
+		env := &StageEnv{engine: e, opts: RunOptions{ShardRecords: 1000}, result: &StageResult{}}
+		_, err := integrateExecutor{}.Execute(newCountdownCtx(2), env, ds)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// TestBarrierOptionDisablesStreaming confirms the escape hatch: with
+// RunOptions.Barrier no stage reports pipeline timings.
+func TestBarrierOptionDisablesStreaming(t *testing.T) {
+	e := testEngine(t, 4)
+	res, err := e.RunByName(context.Background(), "dna-variant-detection",
+		synthDataset(t, 8000, 1000, 29), RunOptions{Barrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range res.Stages {
+		if sr.Pipeline.Streamed {
+			t.Fatalf("stage %s streamed despite Barrier option", sr.Stage)
+		}
+	}
+}

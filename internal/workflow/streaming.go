@@ -1,0 +1,96 @@
+package workflow
+
+import (
+	"context"
+	"time"
+)
+
+// StreamShard is one unit of data flowing through a pipelined segment: a
+// stage-specific payload plus the record count the engine uses for shard
+// telemetry and cost estimation.
+type StreamShard struct {
+	// Records counts the payload's records (reads, spectra, alignments ...).
+	Records int
+	// Data is the stage-specific payload. A stage's Transform receives the
+	// upstream stage's output Data, so adjacent streaming stages agree on
+	// the concrete type between them.
+	Data any
+}
+
+// StreamingExecutor is the optional StageExecutor extension that lets a
+// stage participate in pipelined shard streaming: instead of materializing
+// its whole output behind a barrier, the stage exposes per-shard transforms
+// the engine can overlap with its neighbours'. Executors that do not
+// implement it keep working unchanged — the engine simply barriers at them.
+type StreamingExecutor interface {
+	StageExecutor
+	// Stream prepares one run's stream over a pipelined segment. in is the
+	// SEGMENT's input dataset — for the segment's first stage that is the
+	// stage's own input, but a downstream stage sees the dataset as it was
+	// before the segment started (its own input never materializes), so a
+	// stream must draw configuration from the context fields that
+	// accumulate on the dataset (Reference, PeptideDB, ...), never from the
+	// flowing payload fields. ok=false (or an error) declines streaming for
+	// this input; the engine falls back to Execute, where any setup error
+	// surfaces identically.
+	Stream(env *StageEnv, in *Dataset) (st StageStream, ok bool, err error)
+}
+
+// StageStream is one stage's view of a pipelined segment: a scatter, a
+// per-shard transform, and a gather. The engine calls Split only on the
+// segment's first stage and Gather only on its last; intermediate stages
+// see shards exclusively through Transform, indexed 1:1 with the head's
+// scatter.
+type StageStream interface {
+	// Split scatters the stage's input into shards. Implementations size
+	// record scatters through env.RecordShardSize, so the Data Broker's
+	// plan and advice land on the stage result exactly as in barrier mode.
+	Split() ([]StreamShard, error)
+	// Transform processes shard i. Concurrent calls with distinct i must
+	// be safe; the engine times each call and logs it as the stage's shard
+	// telemetry, so implementations must not call env.LogShard themselves.
+	// Long per-record loops must poll ctx periodically so a cancellation
+	// stops mid-shard, not only between shards.
+	Transform(ctx context.Context, i int, in StreamShard) (StreamShard, error)
+	// Gather assembles the stage's output shards (indexed by shard, all
+	// present) into its output dataset. The merge must be deterministic in
+	// the shard index order so pipelined and barrier execution produce
+	// identical outputs.
+	Gather(shards []StreamShard) (*Dataset, error)
+}
+
+// PassthroughExecutor marks executors that return their input dataset
+// unchanged (the GATK refinement stages). Inside a pipelined segment the
+// engine lets shard streams flow straight through such stages — their
+// stage results still appear, in order, with zero scatter.
+type PassthroughExecutor interface {
+	StageExecutor
+	// StreamPassthrough is a marker method; implementations do nothing.
+	StreamPassthrough()
+}
+
+// runStreamBarrier executes a stage stream under the stage-local pool:
+// split, transform every shard, gather. Streaming executors implement
+// Execute with it so the barrier path and the pipelined path share one
+// per-shard implementation and cannot diverge.
+func runStreamBarrier(ctx context.Context, env *StageEnv, st StageStream) (*Dataset, error) {
+	shards, err := st.Split()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]StreamShard, len(shards))
+	err = env.Pool(ctx, len(shards), func(i int) error {
+		start := time.Now()
+		out, err := st.Transform(ctx, i, shards[i])
+		if err != nil {
+			return err
+		}
+		env.LogShard(shards[i].Records, time.Since(start))
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st.Gather(outs)
+}

@@ -1,40 +1,6 @@
-// Package workflow is SCAN's analysis-workflow subsystem: the catalogue of
-// typed multi-stage pipelines and the engine that executes them.
-//
-// The catalogue (workflow.go) declares pipelines over genomic, proteomic,
-// imaging and integrative data — the four data-process families of the
-// paper's Figure 1 — validated for data-type compatibility and exportable
-// into the knowledge base as instances of the GenomeAnalysis ontology
-// class ("in our ontology we have defined over 10 different genome
-// analysis workflows").
-//
-// The execution path layers on top of it:
-//
-//	catalogue (Workflow, Registry)     what stages exist, in what order,
-//	                                   over which data types
-//	executor registry (executor.go,    binds stage names/tools — BWA, GATK,
-//	executor_families.go)              MuTect, MaxQuant, GPM, CellProfiler,
-//	                                   Cytoscape — to the real
-//	                                   implementations in internal/align,
-//	                                   internal/variant, internal/proteome,
-//	                                   internal/imaging, internal/network;
-//	                                   every stage owns its tool-specific
-//	                                   scatter shape (record shards,
-//	                                   genomic regions, spectrum shards,
-//	                                   image tiles, node partitions)
-//	engine (engine.go)                 drives a typed Dataset through the
-//	                                   stage chain with per-stage
-//	                                   scatter/gather: shard sizes asked
-//	                                   of the knowledge base, shards run
-//	                                   on a bounded context-aware worker
-//	                                   pool, per-shard timings logged back
-//	                                   into the knowledge base
-//	platform / rpc (internal/core,     core.Platform wraps the engine for
-//	internal/rpc)                      variant calling; scand exposes
-//	                                   "submit workflow by name" over HTTP
-//
-// Adding a workload is a catalogue entry plus (at most) an executor
-// registration — not a hand-rolled pipeline.
+// This file holds the catalogue: typed workflow definitions, the registry,
+// and their knowledge-base export. See doc.go for the package overview and
+// the streaming/determinism contract of the pipelined engine.
 package workflow
 
 import (
