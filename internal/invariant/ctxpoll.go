@@ -1,0 +1,118 @@
+package invariant
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// CtxPoll pins the cancellation-granularity invariant: executor inner
+// loops poll ctx every ctxCheckInterval records, so cancelling a run stops
+// a long shard mid-flight instead of after it.
+//
+// Mechanical rule: inside any Execute or Transform whose first parameter
+// is a context.Context (the StageExecutor / StageStream entry points),
+// every loop that can scale with the input — a range over a slice, map,
+// string or non-constant integer, or a classic for loop with a
+// non-constant bound — must mention the context somewhere in its body:
+// a poll (ctx.Err, ctx.Done, a select) or a call that receives ctx and
+// polls on the callee's side. Loops over fixed-size arrays, composite
+// literals and channels are exempt, as is any loop containing a nested
+// loop that itself mentions ctx (the inner poll bounds the outer stride).
+var CtxPoll = &analysis.Analyzer{
+	Name:     "ctxpoll",
+	Doc:      "executor record loops must poll ctx at ctxCheckInterval granularity",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !executorScope(pass.TypesInfo, fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch l := n.(type) {
+			case *ast.RangeStmt:
+				if rangeExempt(pass, l) || mentionsContext(pass, l.Body) {
+					return true
+				}
+				pass.Reportf(l.Pos(), "loop in %s does not poll ctx; cancellation cannot interrupt it (poll ctx.Err() every ctxCheckInterval records or pass ctx to the per-record call)", fd.Name.Name)
+			case *ast.ForStmt:
+				if forExempt(pass, l) || mentionsContext(pass, l.Body) {
+					return true
+				}
+				pass.Reportf(l.Pos(), "loop in %s does not poll ctx; cancellation cannot interrupt it (poll ctx.Err() every ctxCheckInterval records or pass ctx to the per-record call)", fd.Name.Name)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// rangeExempt reports loops whose iteration count cannot scale with the
+// input: fixed-size arrays, composite literals, constant integers, and
+// channels (a ranged channel is cancelled by closing it, not by polling).
+func rangeExempt(pass *analysis.Pass, l *ast.RangeStmt) bool {
+	x := ast.Unparen(l.X)
+	if _, ok := x.(*ast.CompositeLit); ok {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok {
+		return true // untypeable; stay quiet
+	}
+	if tv.Value != nil {
+		return true // constant integer bound
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Array:
+		return true
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		_, isArr := t.Elem().Underlying().(*types.Array)
+		return isArr
+	}
+	return false
+}
+
+// forExempt reports classic for loops with a constant trip bound.
+func forExempt(pass *analysis.Pass, l *ast.ForStmt) bool {
+	cond, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false // for {} or exotic condition: require a poll
+	}
+	for _, side := range []ast.Expr{cond.X, cond.Y} {
+		if tv, ok := pass.TypesInfo.Types[side]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsContext reports whether body references any value of type
+// context.Context — a direct poll or a delegation to a ctx-taking callee.
+func mentionsContext(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,276 @@
+// Package load is the driver under cmd/scanvet and the invariant test
+// harness: a minimal replacement for golang.org/x/tools/go/packages that
+// loads, parses and typechecks Go packages, then runs go/analysis
+// analyzers over them. It shells out to `go list -export` for package
+// discovery and build-cache export data (so imports resolve without
+// typechecking the whole dependency closure from source), which keeps the
+// vendored x/tools surface down to go/analysis itself plus the inspector.
+//
+// The loader supports exactly what the invariant suite needs: non-test Go
+// files, full types.Info, analyzer Requires resolution (the inspect pass),
+// and positioned diagnostics. Facts are not supported — the suite's
+// analyzers are all intraprocedural and per-package.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns and returns
+// every listed package, dependencies included.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Incomplete,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads and typechecks the packages matching the go list patterns,
+// resolved relative to dir. Dependencies are consumed as export data, the
+// matched packages themselves are parsed and typechecked from source.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportDataImporter{
+		base: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(fset, imp, sizes, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// exportDataImporter resolves imports from build-cache export data, with
+// the one special case the gc importer leaves to drivers.
+type exportDataImporter struct{ base types.Importer }
+
+func (i exportDataImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.Import(path)
+}
+
+// typecheck parses one listed package's non-test files and typechecks them.
+func typecheck(fset *token.FileSet, imp types.Importer, sizes types.Sizes, p *listedPackage) (*Package, error) {
+	if len(p.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s: no Go files", p.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp, Sizes: sizes}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path:  p.ImportPath,
+		Dir:   p.Dir,
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		Sizes: sizes,
+	}, nil
+}
+
+// Diagnostic is one analyzer finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers (and their Requires closures) over every
+// package and returns the combined findings sorted by position. Analyzer
+// facts are not supported; an analyzer using them fails loudly.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		results := make(map[*analysis.Analyzer]any)
+		for _, a := range analyzers {
+			if err := runAnalyzer(pkg, a, results, &diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// runAnalyzer runs one analyzer over one package, memoizing results so a
+// shared dependency (the inspect pass) runs once per package.
+func runAnalyzer(pkg *Package, a *analysis.Analyzer, results map[*analysis.Analyzer]any, diags *[]Diagnostic) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	if len(a.FactTypes) > 0 {
+		return fmt.Errorf("analyzer %s uses facts, which this driver does not support", a.Name)
+	}
+	for _, req := range a.Requires {
+		if err := runAnalyzer(pkg, req, results, diags); err != nil {
+			return err
+		}
+	}
+	resultOf := make(map[*analysis.Analyzer]any, len(a.Requires))
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Pkg,
+		TypesInfo:  pkg.Info,
+		TypesSizes: pkg.Sizes,
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, Diagnostic{
+				Pos:      pkg.Fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		},
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+	}
+	if a.ResultType != nil && res != nil {
+		// Trust the analyzer's declared contract; analysis.Validate already
+		// checked the suite's wiring.
+		results[a] = res
+	} else {
+		results[a] = res
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package invariant
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// LockedCall pins the *Locked calling convention that protects
+// rpc.Server.releaseSpecLocked, knowledge.Base.foldLocked and friends: a
+// method or function suffixed "Locked" asserts "my caller holds the
+// receiver's mutex", so it may only be reached from another *Locked
+// function or from a body that demonstrably acquired a lock first.
+//
+// Mechanical rule: a call to x.fooLocked(...) (or a free fooLocked(...))
+// is flagged unless (a) the enclosing named function is itself suffixed
+// "Locked", or (b) the enclosing function body contains a .Lock() or
+// .RLock() call lexically before the call whose selector is rooted at the
+// same identifier as the callee's receiver (any root for free functions).
+// The check is positional, not path-sensitive: it catches the dangerous
+// mistake — calling into a *Locked method with no lock acquisition in
+// sight, or while holding a different receiver's mutex — and trusts
+// Lock/Unlock pairing to the race detector.
+var LockedCall = &analysis.Analyzer{
+	Name:     "lockedcall",
+	Doc:      "*Locked methods may only be called with the receiver's mutex held",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockedCall,
+}
+
+func runLockedCall(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || isLockedName(fd.Name.Name) {
+			return // a *Locked function inherits its caller's obligation
+		}
+		locks := lockAcquisitions(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, root := lockedCallee(pass, call)
+			if name == "" {
+				return true
+			}
+			for _, l := range locks {
+				if l.pos >= call.Pos() {
+					continue
+				}
+				if root == nil || l.root == nil || sameObject(pass, l.root, root) {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "call to %s without holding the receiver's mutex: callers must lock first or be *Locked themselves", name)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// isLockedName reports names that assert the locked calling convention.
+func isLockedName(name string) bool {
+	return name != "Locked" && strings.HasSuffix(name, "Locked")
+}
+
+// lockedCallee returns the *Locked callee name and the receiver's root
+// identifier (nil for free functions), or "" for other calls.
+func lockedCallee(pass *analysis.Pass, call *ast.CallExpr) (string, *ast.Ident) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if isLockedName(fun.Name) {
+			return fun.Name, nil
+		}
+	case *ast.SelectorExpr:
+		if isLockedName(fun.Sel.Name) {
+			return fun.Sel.Name, rootIdent(fun.X)
+		}
+	}
+	return "", nil
+}
+
+type lockAcq struct {
+	pos  token.Pos
+	root *ast.Ident // nil when the mutex is not rooted at an identifier
+}
+
+// lockAcquisitions collects every .Lock()/.RLock() call in body with the
+// root identifier its mutex hangs off (s.mu.Lock() -> s, mu.Lock() -> mu).
+func lockAcquisitions(pass *analysis.Pass, body ast.Node) []lockAcq {
+	var out []lockAcq
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		out = append(out, lockAcq{pos: call.Pos(), root: rootIdent(sel.X)})
+		return true
+	})
+	return out
+}
+
+// sameObject reports whether two identifiers denote the same object — or,
+// when either side lacks type info, share the same name (a best-effort
+// fallback that keeps the analyzer usable on partially typed trees).
+func sameObject(pass *analysis.Pass, a, b *ast.Ident) bool {
+	oa := pass.TypesInfo.ObjectOf(a)
+	ob := pass.TypesInfo.ObjectOf(b)
+	if oa != nil && ob != nil {
+		return oa == ob
+	}
+	return a.Name == b.Name
+}

@@ -1,0 +1,110 @@
+package a
+
+import "context"
+
+type Env struct{ tiles int }
+
+type Dataset struct {
+	Reads    []int
+	Names    map[string]int
+	Sequence string
+}
+
+type executor struct{}
+
+// Execute mixes compliant and non-compliant loops.
+func (executor) Execute(ctx context.Context, env *Env, in *Dataset) (*Dataset, error) {
+	for _, r := range in.Reads { // want `loop in Execute does not poll ctx`
+		_ = r
+	}
+	for i := range in.Reads { // polls at ctxCheckInterval granularity: ok
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range in.Reads { // delegates ctx to the per-record call: ok
+		work(ctx, r)
+	}
+	for _, d := range [4]int{1, 2, 3, 4} { // fixed-size array: ok
+		_ = d
+	}
+	for _, s := range []string{"x", "y"} { // composite literal: ok
+		_ = s
+	}
+	for range 3 { // constant bound: ok
+		_ = env
+	}
+	for k := range in.Names { // want `loop in Execute does not poll ctx`
+		_ = k
+	}
+	for i := 0; i < len(in.Reads); i++ { // want `loop in Execute does not poll ctx`
+	}
+	for i := 0; i < 10; i++ { // constant bound: ok
+	}
+	sink := func(n int) error { return nil }
+	err := pool(ctx, len(in.Reads), func(i int) error {
+		// Nested literal inside Execute: still executor scope.
+		for _, r := range in.Reads { // want `loop in Execute does not poll ctx`
+			_ = r
+		}
+		for j, r := range in.Reads { // ok: inner poll
+			if j%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			_ = r
+		}
+		return sink(i)
+	})
+	for range in.Reads { // ok: the nested loop polls, bounding the stride
+		for i := range in.Reads {
+			if i%64 == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return in, err
+}
+
+type stream struct{}
+
+// Transform is the other scoped entry point.
+func (stream) Transform(ctx context.Context, i int, in []int) ([]int, error) {
+	out := make([]int, 0, len(in))
+	for _, v := range in { // want `loop in Transform does not poll ctx`
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// helper is not an executor entry point: no scope, no findings.
+func helper(ctx context.Context, xs []int) {
+	for range xs {
+	}
+}
+
+// Gather has no ctx parameter and is out of scope by name and shape.
+func (stream) Gather(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+
+func work(ctx context.Context, n int) {}
+
+func pool(ctx context.Context, n int, f func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

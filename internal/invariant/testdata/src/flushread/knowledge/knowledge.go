@@ -1,0 +1,90 @@
+package knowledge
+
+import "sync"
+
+type graphStore struct {
+	triples int
+}
+
+func (g *graphStore) size() int { return g.triples }
+
+// Base mirrors the real knowledge base's shape: a buffered fold queue in
+// front of a mutex-guarded graph, with Flush() as the visibility barrier.
+type Base struct {
+	mu      sync.RWMutex
+	graph   graphStore
+	pending []int
+	advice  map[string]float64
+}
+
+// Flush folds every buffered observation into the graph.
+func (b *Base) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.graph.triples += len(b.pending)
+	b.pending = nil
+}
+
+// Len is a documented flushing read done right: barrier first, then read.
+func (b *Base) Len() int {
+	b.Flush()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.size()
+}
+
+// Query is on the flushing-reads list but never flushes.
+func (b *Base) Query(pattern string) int { // want `Query is a flushing read on knowledge.Base but never calls b.Flush\(\)`
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.size()
+}
+
+// Describe flushes too late: the graph is already read under the lock.
+func (b *Base) Describe() int { // want `Describe touches the graph before calling b.Flush\(\)`
+	b.mu.RLock()
+	n := b.graph.size()
+	b.mu.RUnlock()
+	b.Flush()
+	return n
+}
+
+// Snapshot is not on the list, but it locks and reads the graph, so it is
+// a flushing read by shape — and it forgot the barrier.
+func (b *Base) Snapshot() int { // want `Snapshot is a flushing read on knowledge.Base but never calls b.Flush\(\)`
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.graph.triples
+}
+
+// Advice reads the materialized cache, not the graph: deliberately
+// unflushed, and exempt.
+func (b *Base) Advice(stage string) float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.advice[stage]
+}
+
+// Observe is a writer: Lock, not RLock, so the reader rule does not apply.
+func (b *Base) Observe(delta int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pending = append(b.pending, delta)
+}
+
+// countLocked is unexported: internal helpers own no barrier.
+func (b *Base) countLocked() int {
+	return b.graph.size()
+}
+
+// Other types in the package are out of scope entirely.
+type Cache struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+func (c *Cache) Query(key string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.data[key]
+}

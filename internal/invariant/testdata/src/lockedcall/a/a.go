@@ -1,0 +1,86 @@
+package a
+
+import "sync"
+
+type Server struct {
+	mu    sync.Mutex
+	specs map[string]int
+}
+
+type Pool struct {
+	mu   sync.RWMutex
+	jobs []int
+}
+
+// releaseSpecLocked asserts the *Locked convention: caller holds s.mu.
+func (s *Server) releaseSpecLocked(name string) {
+	delete(s.specs, name)
+}
+
+// drainLocked may call sibling *Locked methods freely.
+func (s *Server) drainLocked() {
+	for name := range s.specs {
+		s.releaseSpecLocked(name) // ok: enclosing function is *Locked
+	}
+}
+
+// Release locks before the *Locked call: compliant.
+func (s *Server) Release(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.releaseSpecLocked(name)
+}
+
+// ReleaseUnsafe never acquires the mutex.
+func (s *Server) ReleaseUnsafe(name string) {
+	s.releaseSpecLocked(name) // want `call to releaseSpecLocked without holding the receiver's mutex`
+}
+
+// ReleaseLate takes the lock only after the call.
+func (s *Server) ReleaseLate(name string) {
+	s.releaseSpecLocked(name) // want `call to releaseSpecLocked without holding the receiver's mutex`
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// CrossLock holds the wrong receiver's mutex.
+func (s *Server) CrossLock(p *Pool, name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.releaseSpecLocked(name) // want `call to releaseSpecLocked without holding the receiver's mutex`
+}
+
+// ReadSide accepts RLock as an acquisition.
+func (p *Pool) ReadSide() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.lenLocked()
+}
+
+func (p *Pool) lenLocked() int { return len(p.jobs) }
+
+var regMu sync.Mutex
+var reg = map[string]int{}
+
+// registerLocked is a free *Locked function guarded by a package mutex.
+func registerLocked(name string) { reg[name] = len(reg) }
+
+// Register locks the package mutex first: compliant (free callee, any root).
+func Register(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registerLocked(name)
+}
+
+// RegisterUnsafe skips the package mutex.
+func RegisterUnsafe(name string) {
+	registerLocked(name) // want `call to registerLocked without holding the receiver's mutex`
+}
+
+// Locked is a bare name, not the convention; calling it needs no lock.
+func Locked() {}
+
+// CallBare is clean: "Locked" alone does not assert the convention.
+func CallBare() {
+	Locked()
+}

@@ -1,0 +1,81 @@
+package a
+
+import (
+	"context"
+	"sort"
+)
+
+type Variant struct {
+	Pos   int
+	Depth float64
+}
+
+type Dataset struct {
+	Variants []Variant
+	Labels   map[string]string
+	Raw      any
+}
+
+type executor struct{}
+
+// Execute seeds the classic in-place mutations the zero-copy rule forbids.
+func (executor) Execute(ctx context.Context, in *Dataset) (*Dataset, error) {
+	for i := range in.Variants {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		in.Variants[i].Depth *= 2 // want `zero-copy invariant: writes through the executor's input`
+	}
+	vs := in.Variants
+	vs[0] = Variant{} // want `zero-copy invariant: writes through the executor's input`
+	sub := in.Variants[1:]
+	sub[0].Pos = 9                                // want `zero-copy invariant: writes through the executor's input`
+	sort.Slice(in.Variants, func(i, j int) bool { // want `zero-copy invariant: sorts the executor's input in place`
+		return in.Variants[i].Pos < in.Variants[j].Pos
+	})
+	_ = append(in.Variants, Variant{}) // want `zero-copy invariant: append on the executor's input slice`
+	return in, nil
+}
+
+type asserter struct{}
+
+// Transform recovers the slice by type assertion: still input memory.
+func (asserter) Transform(ctx context.Context, i int, in *Dataset) (*Dataset, error) {
+	raw := in.Raw.([]float64)
+	raw[0] = 0 // want `zero-copy invariant: writes through the executor's input`
+	p := &in.Variants[0]
+	p.Depth++ // want `zero-copy invariant: writes through the executor's input`
+	return in, nil
+}
+
+type cleaner struct{}
+
+// Execute shows the compliant idioms: shallow copy with rebound reference
+// fields, fresh output slices, and sorting a copy.
+func (cleaner) Execute(ctx context.Context, in *Dataset) (*Dataset, error) {
+	out := *in
+	out.Variants = make([]Variant, 0, len(in.Variants))
+	for i, v := range in.Variants {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		v.Depth *= 2 // v is a value copy of the element: clean
+		out.Variants = append(out.Variants, v)
+	}
+	sorted := make([]Variant, len(out.Variants))
+	copy(sorted, out.Variants)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pos < sorted[j].Pos })
+	out.Variants = sorted
+	return &out, nil
+}
+
+// reshape is a helper, not an executor entry point: out of scope.
+func reshape(in *Dataset) {
+	for i := range in.Variants {
+		in.Variants[i].Pos++
+	}
+}

@@ -1,0 +1,75 @@
+package a
+
+import "context"
+
+type Env struct{}
+
+type Dataset struct{ Records []int }
+
+type streamState struct{ next int }
+
+// runStreamBarrier stands in for the engine's shared Split/Transform/Gather
+// barrier: routing Execute through it is the invariant under test.
+func runStreamBarrier(ctx context.Context, env *Env, st any) (*Dataset, error) {
+	return &Dataset{}, nil
+}
+
+type goodExecutor struct{}
+
+func (g *goodExecutor) Stream(env *Env, in *Dataset) (*streamState, bool, error) {
+	return &streamState{}, true, nil
+}
+
+// Execute routes through the shared barrier: compliant.
+func (g *goodExecutor) Execute(ctx context.Context, env *Env, in *Dataset) (*Dataset, error) {
+	st, ok, err := g.Stream(env, in)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+type badExecutor struct{}
+
+func (b *badExecutor) Stream(env *Env, in *Dataset) (*streamState, bool, error) {
+	return &streamState{}, true, nil
+}
+
+// Execute hand-rolls the record loop instead of using the barrier.
+func (b *badExecutor) Execute(ctx context.Context, env *Env, in *Dataset) (*Dataset, error) { // want `badExecutor declares a Stream method but its Execute does not call runStreamBarrier`
+	out := &Dataset{}
+	for i, r := range in.Records {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out.Records = append(out.Records, r)
+	}
+	return out, nil
+}
+
+type streamOnly struct{}
+
+// Stream without Execute is not a StageExecutor: no requirement.
+func (s *streamOnly) Stream(env *Env, in *Dataset) (*streamState, bool, error) {
+	return &streamState{}, false, nil
+}
+
+type plainExecutor struct{}
+
+// Execute without a Stream method owes the barrier nothing.
+func (p *plainExecutor) Execute(ctx context.Context, env *Env, in *Dataset) (*Dataset, error) {
+	return in, ctx.Err()
+}
+
+type oddStream struct{}
+
+// Stream with a non-StreamingExecutor shape (two results) is ignored.
+func (o *oddStream) Stream(env *Env) (*streamState, error) {
+	return nil, nil
+}
+
+func (o *oddStream) Execute(ctx context.Context, env *Env, in *Dataset) (*Dataset, error) {
+	return in, nil
+}

@@ -1,0 +1,130 @@
+// Package vettest is the invariant suite's analysistest stand-in: it runs
+// one analyzer over a compiled testdata package and checks the findings
+// against `// want "regexp"` comments, analysistest-style. It exists
+// because the full golang.org/x/tools/go/analysis/analysistest depends on
+// go/packages, which is outside the vendored x/tools subset; this harness
+// drives the same loader cmd/scanvet uses, so the tests exercise the
+// production code path end to end.
+package vettest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"scan/internal/invariant/load"
+)
+
+// wantRx extracts the quoted expectations from a want comment:
+// // want "rx" `rx` ...
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one // want entry: a file line and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in relDir (relative to the test's working
+// directory), runs the analyzer over it, and fails the test unless the
+// diagnostics match the package's // want comments exactly: every want
+// must be hit and every finding must be wanted.
+func Run(t *testing.T, a *analysis.Analyzer, relDir string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Packages(wd, "./"+filepath.ToSlash(relDir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", relDir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages in %s", relDir)
+	}
+	diags, err := load.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if d.Analyzer != a.Name {
+			continue // findings from required sub-analyzers, if any
+		}
+		if w := matchWant(wants, d); w == nil {
+			t.Errorf("unexpected finding at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no finding matched want %q at %s:%d", w.pattern, w.file, w.line)
+		}
+	}
+}
+
+// matchWant marks and returns the first unmatched-or-matched expectation
+// covering the diagnostic, or nil.
+func matchWant(wants []*expectation, d load.Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every file's comments for // want entries.
+func collectWants(t *testing.T, pkgs []*load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := cutWant(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRx.FindAllString(text, -1) {
+						pat, err := unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: rx})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// cutWant strips the comment marker and returns the text after "want".
+func cutWant(comment string) (string, bool) {
+	for _, prefix := range []string{"// want ", "//want "} {
+		if len(comment) > len(prefix) && comment[:len(prefix)] == prefix {
+			return comment[len(prefix):], true
+		}
+	}
+	return "", false
+}
+
+// unquote handles both Go-quoted and backquoted want patterns.
+func unquote(q string) (string, error) {
+	if q[0] == '`' {
+		return q[1 : len(q)-1], nil
+	}
+	return strconv.Unquote(q)
+}
