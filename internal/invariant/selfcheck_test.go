@@ -1,0 +1,39 @@
+package invariant_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scan/internal/invariant"
+	"scan/internal/invariant/load"
+)
+
+// TestRepoInvariants is the repo-wide contract: the full scanvet suite must
+// run clean over every package at HEAD (the doccheck pattern — the same
+// check CI runs via `go run ./cmd/scanvet ./...`, kept inside `go test` so
+// a plain test run already enforces the carry-forward invariants). Note
+// `./...` never matches testdata directories, so the seeded violations the
+// analyzer tests feed on do not trip this.
+func TestRepoInvariants(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from repo root")
+	}
+	diags, err := load.Run(pkgs, invariant.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("the invariant suite found %d violation(s); fix them or, if the rule is wrong, tighten the analyzer (docs/ANALYSIS.md)", len(diags))
+	}
+}

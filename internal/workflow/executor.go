@@ -238,7 +238,12 @@ func (callExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*D
 		// Keep only calls inside this region so region overlaps cannot
 		// duplicate evidence across shards.
 		kept := calls[:0]
-		for _, v := range calls {
+		for j, v := range calls {
+			if j%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if regions[i].Contains(v.Pos) {
 				kept = append(kept, v)
 			}
@@ -269,7 +274,12 @@ func (filterExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (
 	}
 	out := *in
 	out.Variants = make([]genomics.Variant, 0, len(in.Variants))
-	for _, v := range in.Variants {
+	for i, v := range in.Variants {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if v.Qual >= minQual {
 			out.Variants = append(out.Variants, v)
 		}
@@ -295,7 +305,12 @@ func (quantifyExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset)
 	err = env.Pool(ctx, len(parts), func(i int) error {
 		start := time.Now()
 		bases := 0
-		for _, a := range parts[i] {
+		for j, a := range parts[i] {
+			if j%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			bases += len(a.Seq)
 		}
 		r := regions[i]

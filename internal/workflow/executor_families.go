@@ -115,7 +115,12 @@ func (cellProfileExecutor) Execute(ctx context.Context, env *StageEnv, in *Datas
 	var units []unit
 	for i := range in.Images {
 		im := &in.Images[i]
-		for _, t := range imaging.TileGrid(im.W, im.H, tilesPerImage, imaging.DefaultHalo) {
+		for j, t := range imaging.TileGrid(im.W, im.H, tilesPerImage, imaging.DefaultHalo) {
+			if j%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			units = append(units, unit{img: i, tile: t})
 		}
 	}
@@ -137,12 +142,22 @@ func (cellProfileExecutor) Execute(ctx context.Context, env *StageEnv, in *Datas
 	for i := range in.Images {
 		var regions []imaging.Region
 		for j, u := range units {
+			if j%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if u.img == i {
 				regions = append(regions, regionShards[j]...)
 			}
 		}
 		imaging.SortRegions(regions) // canonical order regardless of tiling
 		for n, r := range regions {
+			if n%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			features = append(features, Feature{
 				Name:  fmt.Sprintf("%s:cell%03d", in.Images[i].ID, n),
 				Count: r.Area,
@@ -167,6 +182,11 @@ type integrateExecutor struct{}
 func (integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
 	nodes := make([]network.Node, len(in.Features))
 	for i, f := range in.Features {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		nodes[i] = network.Node{Name: f.Name, Value: f.Value}
 	}
 	per, err := env.RecordShardSize(len(nodes))
@@ -178,6 +198,9 @@ func (integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset
 	if len(nodes) > 0 {
 		ranges = ranges[:0]
 		for lo := 0; lo < len(nodes); lo += per {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ranges = append(ranges, nodeRange{lo, min(lo+per, len(nodes))})
 		}
 	}
@@ -205,7 +228,12 @@ func (integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset
 		return nil, err
 	}
 	var edges []network.Edge
-	for _, slab := range edgeSlabs {
+	for i, slab := range edgeSlabs {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		edges = append(edges, slab...)
 	}
 	network.SortEdges(edges)
