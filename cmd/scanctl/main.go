@@ -6,6 +6,7 @@
 //
 //	scanctl [-addr http://localhost:7390] status
 //	scanctl workflows
+//	scanctl workers
 //	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
 //	scanctl submit -workflow somatic-mutation-detection -reads 4000 [-wait]
 //	scanctl submit -reads 4000 -read-length 150 -error-rate 0 [-wait]
@@ -61,6 +62,12 @@
 // the one stored copy — no records ride along the submission. A registered
 // reference genome (family "reference") is named via `submit -reference`,
 // so the same genome serves every read set uploaded after it.
+//
+// `scanctl workers` prints the daemon's fleet roster (GET /api/v2/workers):
+// every scand worker process that joined via `-role worker -join`, its
+// engagement state and shard counts, plus the dispatch queue depth and the
+// coordinator's hire/redispatch metrics. An empty roster means jobs run on
+// the daemon's local pool.
 package main
 
 import (
@@ -114,6 +121,8 @@ func main() {
 		err = cmdDataset(ctx, client, args[1], args[2:])
 	case "workflows":
 		err = cmdWorkflows(ctx, client)
+	case "workers":
+		err = cmdWorkers(ctx, client)
 	case "profiles":
 		err = cmdProfiles(ctx, client)
 	case "query":
@@ -137,7 +146,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|submit|dataset upload|list|rm|jobs|job ID|watch ID|cancel ID|profiles|query SPARQL|export [turtle|rdfxml]>")
+	fmt.Fprintln(os.Stderr, "usage: scanctl [-addr URL] <status|workflows|workers|submit|dataset upload|list|rm|jobs|job ID|watch ID|cancel ID|profiles|query SPARQL|export [turtle|rdfxml]>")
 	os.Exit(2)
 }
 
@@ -519,6 +528,27 @@ func cmdWorkflows(ctx context.Context, c *rpc.Client) error {
 		fmt.Printf("%-28s %-12s %-12s %-14s %6d  %s\n",
 			wf.Name, wf.Family, wf.Consumes, wf.Produces, len(wf.Stages), runnable)
 	}
+	return nil
+}
+
+func cmdWorkers(ctx context.Context, c *rpc.Client) error {
+	roster, err := c.Workers(ctx)
+	if err != nil {
+		return err
+	}
+	if len(roster.Workers) == 0 {
+		fmt.Println("no workers registered (start one with: scand -role worker -join <coordinator URL>)")
+		return nil
+	}
+	fmt.Printf("%-6s %-16s %-22s %-8s %5s %8s %6s  %s\n",
+		"id", "name", "addr", "state", "slots", "inflight", "done", "heartbeat")
+	for _, ws := range roster.Workers {
+		fmt.Printf("%-6s %-16s %-22s %-8s %5d %8d %6d  %dms ago\n",
+			ws.ID, ws.Name, ws.Addr, ws.State, ws.Slots, ws.Inflight, ws.ShardsDone, ws.LastHeartbeatMS)
+	}
+	m := roster.Metrics
+	fmt.Printf("queued %d  hires %d  releases %d  dispatched %d  redispatched %d  completed %d  duplicates %d  remote-stages %d\n",
+		roster.Queued, m.Hires, m.Releases, m.Dispatched, m.Redispatched, m.Completed, m.DuplicatesDiscarded, m.RemoteStages)
 	return nil
 }
 

@@ -5,21 +5,32 @@
 //
 // Usage:
 //
-//	scand [-addr :7390] [-workers N] [-executors N] [-retain N]
-//	      [-max-datasets N] [-max-dataset-mb N] [-quiet]
+//	scand [-addr :7390] [-pool N] [-executors N] [-retain N]
+//	      [-max-datasets N] [-max-dataset-mb N] [-fleet-token T]
+//	      [-fleet-scaling predictive] [-fleet-baseline N] [-quiet]
+//	scand -role worker -join http://coordinator:7390 [-name NODE]
+//	      [-pool N] [-fleet-token T] [-quiet]
 //
 // scand serves /api/v1 (the original flat RPC surface, kept
 // wire-compatible) and /api/v2 (resource-oriented jobs with cancellation,
-// paginated listing, SSE event streams, and the dataset registry —
-// streaming uploads jobs reference by id instead of shipping records per
-// submission). -retain bounds how many finished jobs the store keeps
-// before evicting the oldest; -max-datasets and -max-dataset-mb bound the
-// dataset registry the same retention-style way (oldest unreferenced
-// datasets are evicted to admit new uploads); -quiet suppresses the
-// per-request access log.
+// paginated listing, SSE event streams, the dataset registry, and the
+// worker-fleet endpoints). -retain bounds how many finished jobs the store
+// keeps before evicting the oldest; -max-datasets and -max-dataset-mb
+// bound the dataset registry the same retention-style way; -quiet
+// suppresses the per-request access log.
+//
+// -pool sizes the local shard pool (it was called -workers before the
+// daemon grew remote workers; the old name still works, deprecated).
+//
+// With -role worker the daemon runs no HTTP server of its own: it joins
+// the coordinator named by -join, pulls shard work over /api/v2/fleet, and
+// executes it through the same engine path the coordinator's local pool
+// uses. -fleet-scaling and -fleet-baseline pick the coordinator's
+// horizontal-scaling policy (see docs/FLEET.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,36 +38,82 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"time"
 
 	"scan/internal/core"
+	"scan/internal/fleet"
 	"scan/internal/registry"
 	"scan/internal/rpc"
+	"scan/internal/scheduler"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7390", "listen address")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline workers per job")
-		executors = flag.Int("executors", 2, "concurrent jobs")
-		retain    = flag.Int("retain", rpc.DefaultRetention, "finished jobs kept before eviction")
-		maxDS     = flag.Int("max-datasets", registry.DefaultMaxDatasets, "registered datasets kept before eviction")
-		maxDSMB   = flag.Int64("max-dataset-mb", registry.DefaultMaxBytes>>20, "registered dataset bytes kept before eviction (MiB)")
-		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
+		addr       = flag.String("addr", ":7390", "listen address (serve role)")
+		pool       = flag.Int("pool", runtime.GOMAXPROCS(0), "local shard pool width (per job in serve role, per worker in worker role)")
+		poolOld    = flag.Int("workers", 0, "deprecated alias for -pool")
+		executors  = flag.Int("executors", 2, "concurrent jobs")
+		retain     = flag.Int("retain", rpc.DefaultRetention, "finished jobs kept before eviction")
+		maxDS      = flag.Int("max-datasets", registry.DefaultMaxDatasets, "registered datasets kept before eviction")
+		maxDSMB    = flag.Int64("max-dataset-mb", registry.DefaultMaxBytes>>20, "registered dataset bytes kept before eviction (MiB)")
+		role       = flag.String("role", "serve", `"serve" (coordinator daemon) or "worker" (join a fleet)`)
+		join       = flag.String("join", "", "coordinator base URL to join (worker role)")
+		name       = flag.String("name", "", "worker name on the roster (worker role; default hostname)")
+		fleetToken = flag.String("fleet-token", "", "shared token for the fleet control and blob endpoints")
+		scaling    = flag.String("fleet-scaling", "always", `worker-hire policy: "always", "never" or "predictive"`)
+		baseline   = flag.Int("fleet-baseline", 1, "workers engaged without economic justification (predictive scaling)")
+		quiet      = flag.Bool("quiet", false, "suppress the per-request access log")
 	)
 	flag.Parse()
+
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+	if workersSet {
+		log.Printf("scand: -workers is deprecated, use -pool")
+		*pool = *poolOld
+	}
 
 	logf := log.Printf
 	if *quiet {
 		logf = nil
 	}
+
+	switch *role {
+	case "worker":
+		runWorker(*join, *name, *fleetToken, *pool, logf)
+		return
+	case "serve":
+	default:
+		log.Fatalf("scand: unknown -role %q (want serve or worker)", *role)
+	}
+
+	var policy scheduler.ScalingPolicy
+	switch *scaling {
+	case "always":
+		policy = scheduler.AlwaysScale
+	case "never":
+		policy = scheduler.NeverScale
+	case "predictive":
+		policy = scheduler.PredictiveScale
+	default:
+		log.Fatalf("scand: unknown -fleet-scaling %q (want always, never or predictive)", *scaling)
+	}
+
 	platform := core.NewPlatform(core.Options{
-		Workers:  *workers,
+		Workers:  *pool,
 		Datasets: registry.NewStore(registry.Options{MaxDatasets: *maxDS, MaxBytes: *maxDSMB << 20}),
 	})
 	server := rpc.NewServerOptions(platform, rpc.ServerOptions{
 		Executors: *executors,
 		Retention: *retain,
 		Logf:      logf,
+		Fleet: fleet.NewCoordinator(fleet.Options{
+			Token:      *fleetToken,
+			Scaling:    policy,
+			Allocation: scheduler.LongTermAdaptive,
+			Baseline:   *baseline,
+			Logf:       logf,
+		}),
 	})
 	defer server.Close()
 
@@ -68,8 +125,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scand: shutting down")
 		_ = httpServer.Close()
 	}()
-	log.Printf("scand: listening on %s (%d workers, %d executors)", *addr, *workers, *executors)
+	log.Printf("scand: listening on %s (%d pool, %d executors, %s scaling)", *addr, *pool, *executors, policy)
 	if err := httpServer.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("scand: %v", err)
+	}
+}
+
+// runWorker joins a coordinator's fleet and pulls shard work until
+// interrupted.
+func runWorker(join, name, token string, slots int, logf func(string, ...any)) {
+	if join == "" {
+		log.Fatal("scand: -role worker needs -join <coordinator URL>")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "scand: worker shutting down")
+		cancel()
+		// A second interrupt (or a hung drain) exits hard.
+		select {
+		case <-sig:
+		case <-time.After(30 * time.Second):
+		}
+		os.Exit(1)
+	}()
+	log.Printf("scand: worker joining %s (%d slots)", join, slots)
+	if err := fleet.NewWorker(fleet.WorkerOptions{
+		Coordinator: join,
+		Token:       token,
+		Name:        name,
+		Slots:       slots,
+		Logf:        logf,
+	}).Run(ctx); err != nil && err != context.Canceled {
+		log.Fatalf("scand: worker: %v", err)
 	}
 }

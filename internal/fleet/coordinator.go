@@ -1,0 +1,889 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scan/internal/scheduler"
+	"scan/internal/workflow"
+)
+
+// Options tunes a Coordinator. The zero value works: every knob has a
+// production default, and tests shrink the timing knobs.
+type Options struct {
+	// Token, when non-empty, is required as `Authorization: Bearer <Token>`
+	// on the fleet control endpoints and the blob data plane.
+	Token string
+	// Scaling selects the Table I horizontal-scaling algorithm that
+	// gates worker engagement (default AlwaysScale).
+	Scaling scheduler.ScalingPolicy
+	// Allocation selects the Table I resource-allocation policy, mapped
+	// onto idle-release horizons (scheduler.FleetAdvisor.IdleRelease).
+	Allocation scheduler.AllocationPolicy
+	// Baseline, HirePrice, DelayCostPerSec, Margin and StartupDelay feed
+	// the FleetAdvisor (zero: its defaults).
+	Baseline        int
+	HirePrice       float64
+	DelayCostPerSec float64
+	Margin          float64
+	StartupDelay    time.Duration
+	// ShardTimeout bounds one dispatch; past it the shard re-queues
+	// (default 60s).
+	ShardTimeout time.Duration
+	// MaxAttempts bounds dispatches per shard, counting retries and
+	// straggler duplicates (default 5).
+	MaxAttempts int
+	// StragglerAfter is the minimum age before a running dispatch can be
+	// raced by a duplicate (default 2s); StragglerFactor scales the stage's
+	// median completion time into the effective threshold (default 3).
+	StragglerAfter  time.Duration
+	StragglerFactor float64
+	// WorkerExpiry is the heartbeat horizon: a worker silent for longer is
+	// treated as lost and its dispatches re-queue (default 10s).
+	WorkerExpiry time.Duration
+	// PollWait is how long an empty poll is held before returning no task
+	// (default 1s).
+	PollWait time.Duration
+	// SweepEvery is the active-stage bookkeeping cadence: timeouts, lost
+	// workers, stragglers (default 25ms).
+	SweepEvery time.Duration
+	// InlineLimit is the largest encoded context shipped inline in the
+	// dispatch instead of by blob hash (default 64 KiB).
+	InlineLimit int
+	// MaxBlobs bounds the coordinator's cached context blobs (default 16;
+	// blobs referenced by active stages are never evicted).
+	MaxBlobs int
+	// Logf receives coordinator events (default: silent).
+	Logf func(format string, args ...any)
+	// Now is the clock (default time.Now; a test seam).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 60 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.StragglerAfter <= 0 {
+		o.StragglerAfter = 2 * time.Second
+	}
+	if o.StragglerFactor <= 0 {
+		o.StragglerFactor = 3
+	}
+	if o.WorkerExpiry <= 0 {
+		o.WorkerExpiry = 10 * time.Second
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = time.Second
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = 25 * time.Millisecond
+	}
+	if o.InlineLimit <= 0 {
+		o.InlineLimit = 64 << 10
+	}
+	if o.MaxBlobs <= 0 {
+		o.MaxBlobs = 16
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Coordinator owns the fleet's server half: the worker roster, the
+// dispatch queue, the content-addressed blob store, and the engagement
+// decisions. It implements workflow.ShardPool, so a run whose
+// RunOptions.ShardPool points here executes its streaming stages on the
+// fleet. All state is in-memory and mutex-guarded; the coordinator spawns
+// no goroutines of its own (sweeps ride the RunShards callers' tickers,
+// long-polls ride their requests).
+type Coordinator struct {
+	opts    Options
+	advisor scheduler.FleetAdvisor
+
+	mu      sync.Mutex
+	wake    chan struct{} // closed + replaced whenever work arrives
+	seq     int
+	taskSeq int
+	workers map[string]*workerState
+	order   []string // registration order, for stable rosters
+	queue   []*task
+	tasks   map[string]*task // dispatched and still routable
+	stages  map[*stageRun]struct{}
+	blobs   map[string][]byte
+	blobRef map[string]int
+	blobAge []string
+	metrics Metrics
+	// lastDrain and gapSec observe the spacing of work bursts for the
+	// LongTermAdaptive idle-release horizon.
+	lastDrain time.Time
+	gapSec    float64
+}
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	return &Coordinator{
+		opts: opts,
+		advisor: scheduler.FleetAdvisor{
+			Policy:          opts.Scaling,
+			Baseline:        opts.Baseline,
+			HirePrice:       opts.HirePrice,
+			DelayCostPerSec: opts.DelayCostPerSec,
+			Margin:          opts.Margin,
+			StartupDelaySec: opts.StartupDelay.Seconds(),
+		},
+		wake:    make(chan struct{}),
+		workers: make(map[string]*workerState),
+		tasks:   make(map[string]*task),
+		stages:  make(map[*stageRun]struct{}),
+		blobs:   make(map[string][]byte),
+		blobRef: make(map[string]int),
+	}
+}
+
+var _ workflow.ShardPool = (*Coordinator)(nil)
+
+type workerState struct {
+	id, name, addr string
+	slots          int
+	engaged        bool
+	lastSeen       time.Time
+	lastWork       time.Time
+	inflight       map[string]*task
+	done           int
+}
+
+type stageRun struct {
+	spec        Task // template: workflow, stage, context, options
+	estSec      float64
+	n           int
+	done        []bool
+	outs        []workflow.StreamShard
+	recs        []int
+	elaps       []time.Duration
+	attempts    []int
+	outstanding []int // queued + dispatched, per shard
+	remaining   int
+	closed      bool
+	err         error
+	lastErr     error
+	finished    chan struct{}
+	completions []float64 // accepted shard durations, seconds
+	blobHash    string
+}
+
+type task struct {
+	id         string
+	sr         *stageRun
+	shard      int
+	worker     *workerState
+	dispatched time.Time
+	deadline   time.Time
+	// superseded dispatches timed out or lost their worker; a late result
+	// still routes (first result wins) but the shard has re-queued.
+	superseded bool
+}
+
+func (sr *stageRun) failLocked(err error) {
+	if sr.closed {
+		return
+	}
+	sr.closed = true
+	sr.err = err
+	close(sr.finished)
+}
+
+// RunShards implements workflow.ShardPool: encode the stage's input for
+// the data plane, enqueue one task per shard, and wait for first-wins
+// results while sweeping timeouts, lost workers and stragglers.
+func (c *Coordinator) RunShards(ctx context.Context, env *workflow.StageEnv, shards []workflow.StreamShard) ([]workflow.StreamShard, error) {
+	if len(shards) == 0 {
+		return []workflow.StreamShard{}, ctx.Err()
+	}
+	c.mu.Lock()
+	alive := c.aliveLocked(c.opts.Now())
+	c.mu.Unlock()
+	if alive == 0 {
+		return nil, workflow.ErrNoWorkers
+	}
+	enc, err := workflow.EncodeDataset(env.Input())
+	if err != nil {
+		return nil, err
+	}
+	n := len(shards)
+	sr := &stageRun{
+		spec: Task{
+			Workflow: env.Workflow(),
+			Stage:    env.StageIndex(),
+			Options:  PinOptions(env.RemoteOptions()),
+		},
+		n:           n,
+		done:        make([]bool, n),
+		outs:        make([]workflow.StreamShard, n),
+		recs:        make([]int, n),
+		elaps:       make([]time.Duration, n),
+		attempts:    make([]int, n),
+		outstanding: make([]int, n),
+		remaining:   n,
+		finished:    make(chan struct{}),
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Records
+	}
+	sr.estSec = env.EstimateShardCost(total/n, 1.0)
+	if len(enc) <= c.opts.InlineLimit {
+		sr.spec.Context = enc
+	} else {
+		sum := sha256.Sum256(enc)
+		sr.blobHash = hex.EncodeToString(sum[:])
+		sr.spec.ContextHash = sr.blobHash
+	}
+
+	c.mu.Lock()
+	if sr.blobHash != "" {
+		c.putBlobLocked(sr.blobHash, enc)
+	}
+	c.stages[sr] = struct{}{}
+	c.metrics.RemoteStages++
+	now := c.opts.Now()
+	if len(c.queue) == 0 && len(c.tasks) == 0 && !c.lastDrain.IsZero() {
+		gap := now.Sub(c.lastDrain).Seconds()
+		if c.gapSec == 0 {
+			c.gapSec = gap
+		} else {
+			c.gapSec = 0.3*gap + 0.7*c.gapSec
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.enqueueLocked(&task{sr: sr, shard: i}, false)
+	}
+	c.mu.Unlock()
+	src := "inline context"
+	if sr.blobHash != "" {
+		src = "blob " + sr.blobHash[:12]
+	}
+	c.opts.Logf("fleet: stage %s[%d]: dispatching %d shards from %s (est %.3fs/shard)",
+		sr.spec.Workflow, sr.spec.Stage, n, src, sr.estSec)
+
+	sweep := time.NewTicker(c.opts.SweepEvery)
+	defer sweep.Stop()
+wait:
+	for {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.abortStageLocked(sr, ctx.Err())
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		case <-sr.finished:
+			break wait
+		case <-sweep.C:
+			c.mu.Lock()
+			c.sweepLocked(c.opts.Now())
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	err = sr.err
+	c.cleanupStageLocked(sr)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		env.LogShard(sr.recs[i], sr.elaps[i])
+	}
+	return sr.outs, nil
+}
+
+// ReadyWorkers reports live registered workers — the gate callers use to
+// decide whether to offer a run to the fleet at all.
+func (c *Coordinator) ReadyWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked(c.opts.Now())
+}
+
+// FleetMetrics snapshots the coordinator's counters.
+func (c *Coordinator) FleetMetrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+func (c *Coordinator) aliveLocked(now time.Time) int {
+	n := 0
+	for _, ws := range c.workers {
+		if now.Sub(ws.lastSeen) <= c.opts.WorkerExpiry {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) engagedLocked(now time.Time) int {
+	n := 0
+	for _, ws := range c.workers {
+		if ws.engaged && now.Sub(ws.lastSeen) <= c.opts.WorkerExpiry {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) desiredLocked(now time.Time) int {
+	est := 1.0
+	if len(c.queue) > 0 {
+		est = c.queue[0].sr.estSec
+	}
+	return c.advisor.DesiredWorkers(len(c.queue), c.engagedLocked(now), c.aliveLocked(now), est)
+}
+
+func (c *Coordinator) notifyLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+func (c *Coordinator) enqueueLocked(t *task, redispatch bool) {
+	sr := t.sr
+	if sr.closed || sr.done[t.shard] {
+		return
+	}
+	if sr.attempts[t.shard] >= c.opts.MaxAttempts {
+		if sr.outstanding[t.shard] == 0 {
+			err := sr.lastErr
+			if err == nil {
+				err = errors.New("fleet: dispatch attempts exhausted")
+			}
+			sr.failLocked(fmt.Errorf("fleet: shard %d failed after %d dispatches: %w",
+				t.shard, sr.attempts[t.shard], err))
+		}
+		return
+	}
+	sr.outstanding[t.shard]++
+	c.queue = append(c.queue, t)
+	if redispatch {
+		c.metrics.Redispatched++
+	}
+	c.notifyLocked()
+}
+
+// grantLocked hands the polling worker a task if policy allows: engaged
+// workers (or workers the ScalingPolicy says to engage now) take the queue
+// head; everyone else waits.
+func (c *Coordinator) grantLocked(ws *workerState, now time.Time) *Task {
+	// Drop stale queue entries (their shard finished via another dispatch).
+	for len(c.queue) > 0 {
+		head := c.queue[0]
+		if head.sr.closed || head.sr.done[head.shard] {
+			head.sr.outstanding[head.shard]--
+			c.queue = c.queue[1:]
+			continue
+		}
+		break
+	}
+	if len(c.queue) == 0 {
+		c.maybeReleaseLocked(ws, now)
+		return nil
+	}
+	if !ws.engaged {
+		if c.engagedLocked(now) >= c.desiredLocked(now) {
+			return nil
+		}
+		ws.engaged = true
+		c.metrics.Hires++
+		c.opts.Logf("fleet: engaged worker %s (%s): queue %d", ws.id, ws.name, len(c.queue))
+	}
+	if len(ws.inflight) >= ws.slots {
+		return nil
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.taskSeq++
+	t.id = fmt.Sprintf("t%d", c.taskSeq)
+	t.worker = ws
+	t.dispatched = now
+	t.deadline = now.Add(c.opts.ShardTimeout)
+	t.sr.attempts[t.shard]++
+	ws.inflight[t.id] = t
+	ws.lastWork = now
+	c.tasks[t.id] = t
+	c.metrics.Dispatched++
+	wire := t.sr.spec
+	wire.ID = t.id
+	wire.Shard = t.shard
+	wire.Attempt = t.sr.attempts[t.shard]
+	return &wire
+}
+
+func (c *Coordinator) maybeReleaseLocked(ws *workerState, now time.Time) {
+	if !ws.engaged || len(ws.inflight) > 0 {
+		return
+	}
+	hold := c.advisor.IdleRelease(c.opts.Allocation, c.gapSec)
+	if ws.lastWork.IsZero() || now.Sub(ws.lastWork) >= hold {
+		ws.engaged = false
+		c.metrics.Releases++
+		c.opts.Logf("fleet: released worker %s (%s) after %s idle", ws.id, ws.name, hold)
+	}
+}
+
+// sweepLocked is the periodic bookkeeping pass: expire silent workers and
+// re-queue their dispatches, time out overdue dispatches, race stragglers
+// with duplicates, and fail active stages with ErrNoWorkers when the whole
+// fleet is gone (the engine then falls back to its local pool).
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, ws := range c.workers {
+		if now.Sub(ws.lastSeen) <= c.opts.WorkerExpiry {
+			continue
+		}
+		if len(ws.inflight) > 0 {
+			c.opts.Logf("fleet: worker %s (%s) lost with %d shards in flight; re-queueing",
+				ws.id, ws.name, len(ws.inflight))
+		}
+		for id, t := range ws.inflight {
+			delete(ws.inflight, id)
+			t.superseded = true
+			t.sr.outstanding[t.shard]--
+			if t.sr.lastErr == nil {
+				t.sr.lastErr = fmt.Errorf("fleet: worker %s lost mid-shard", ws.id)
+			}
+			c.enqueueLocked(&task{sr: t.sr, shard: t.shard}, true)
+		}
+		ws.engaged = false
+	}
+	for id, t := range c.tasks {
+		if t.superseded || !now.After(t.deadline) {
+			continue
+		}
+		t.superseded = true
+		if t.worker != nil {
+			delete(t.worker.inflight, id)
+		}
+		t.sr.outstanding[t.shard]--
+		if !t.sr.done[t.shard] {
+			t.sr.lastErr = fmt.Errorf("fleet: shard %d dispatch timed out after %s", t.shard, c.opts.ShardTimeout)
+		}
+		c.enqueueLocked(&task{sr: t.sr, shard: t.shard}, true)
+	}
+	// Straggler duplicates: one extra dispatch for a shard whose only
+	// outstanding dispatch has outlived the stage's straggler threshold.
+	for sr := range c.stages {
+		if sr.closed {
+			continue
+		}
+		threshold := c.opts.StragglerAfter
+		if med := medianSeconds(sr.completions); med > 0 {
+			if t := time.Duration(c.opts.StragglerFactor * med * float64(time.Second)); t > threshold {
+				threshold = t
+			}
+		}
+		for _, t := range c.tasks {
+			if t.sr != sr || t.superseded || sr.done[t.shard] {
+				continue
+			}
+			if sr.outstanding[t.shard] != 1 || now.Sub(t.dispatched) < threshold {
+				continue
+			}
+			c.opts.Logf("fleet: shard %d straggling on worker %s for %s; racing a duplicate",
+				t.shard, t.worker.id, now.Sub(t.dispatched))
+			c.enqueueLocked(&task{sr: sr, shard: t.shard}, true)
+		}
+	}
+	if c.aliveLocked(now) == 0 {
+		for sr := range c.stages {
+			sr.failLocked(fmt.Errorf("%w: every fleet worker expired mid-stage", workflow.ErrNoWorkers))
+		}
+	}
+	// Forget long-gone workers so the roster does not grow without bound.
+	for id, ws := range c.workers {
+		if now.Sub(ws.lastSeen) > 6*c.opts.WorkerExpiry && len(ws.inflight) == 0 {
+			delete(c.workers, id)
+			for i, oid := range c.order {
+				if oid == id {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// abortStageLocked fails sr and releases its coordinator-side state in
+// one step. A stageRun is guarded by c.mu, so the *Locked obligation
+// roots at the coordinator, not the run.
+func (c *Coordinator) abortStageLocked(sr *stageRun, err error) {
+	sr.failLocked(err)
+	c.cleanupStageLocked(sr)
+}
+
+func (c *Coordinator) cleanupStageLocked(sr *stageRun) {
+	delete(c.stages, sr)
+	kept := c.queue[:0]
+	for _, t := range c.queue {
+		if t.sr != sr {
+			kept = append(kept, t)
+		}
+	}
+	c.queue = kept
+	for id, t := range c.tasks {
+		if t.sr != sr {
+			continue
+		}
+		if t.worker != nil {
+			delete(t.worker.inflight, id)
+		}
+		delete(c.tasks, id)
+	}
+	if sr.blobHash != "" {
+		c.blobRef[sr.blobHash]--
+		c.evictBlobsLocked()
+	}
+	if len(c.queue) == 0 && len(c.tasks) == 0 {
+		c.lastDrain = c.opts.Now()
+	}
+}
+
+func medianSeconds(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// putBlobLocked stores a context blob and pins it for one stage.
+func (c *Coordinator) putBlobLocked(hash string, b []byte) {
+	if _, ok := c.blobs[hash]; !ok {
+		c.blobs[hash] = b
+		c.blobAge = append(c.blobAge, hash)
+	}
+	c.blobRef[hash]++
+	c.evictBlobsLocked()
+}
+
+func (c *Coordinator) evictBlobsLocked() {
+	for len(c.blobAge) > c.opts.MaxBlobs {
+		evicted := false
+		for i, h := range c.blobAge {
+			if c.blobRef[h] <= 0 {
+				delete(c.blobs, h)
+				delete(c.blobRef, h)
+				c.blobAge = append(c.blobAge[:i], c.blobAge[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything pinned by active stages
+		}
+	}
+}
+
+// --- HTTP surface -----------------------------------------------------
+
+// Mount registers the fleet's routes on mux: the token-authed control
+// plane (register/poll/result) and blob data plane, plus the open
+// GET /api/v2/workers roster. rpc.Server and the in-process tests mount
+// the same set, so the paths have one definition.
+func Mount(mux *http.ServeMux, c *Coordinator) {
+	mux.HandleFunc("/api/v2/fleet/register", c.handleRegister)
+	mux.HandleFunc("/api/v2/fleet/poll", c.handlePoll)
+	mux.HandleFunc("/api/v2/fleet/result", c.handleResult)
+	mux.HandleFunc("/api/v2/blobs/", c.handleBlob)
+	mux.HandleFunc("/api/v2/workers", c.handleWorkers)
+}
+
+// writeErr emits the same structured envelope as the /api/v2 handlers
+// ({"error":{"code","message"}}), so fleet endpoints honor the v2 route
+// contract without importing internal/rpc.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": fmt.Sprintf(format, args...)},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) authed(w http.ResponseWriter, r *http.Request) bool {
+	if c.opts.Token == "" {
+		return true
+	}
+	want := "Bearer " + c.opts.Token
+	got := r.Header.Get("Authorization")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1 {
+		return true
+	}
+	writeErr(w, http.StatusUnauthorized, "unauthorized", "missing or invalid fleet token")
+	return false
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	if !c.authed(w, r) {
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_argument", "bad register body: %v", err)
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("w%d", c.seq)
+	name := req.Name
+	if name == "" {
+		name = id
+	}
+	c.workers[id] = &workerState{
+		id: id, name: name, addr: r.RemoteAddr, slots: req.Slots,
+		lastSeen: c.opts.Now(), inflight: make(map[string]*task),
+	}
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+	c.opts.Logf("fleet: worker %s registered as %s (%s, %d slots)", name, id, r.RemoteAddr, req.Slots)
+	writeJSON(w, RegisterResponse{ID: id, PollWaitMS: int(c.opts.PollWait / time.Millisecond)})
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	if !c.authed(w, r) {
+		return
+	}
+	var req PollRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_argument", "bad poll body: %v", err)
+		return
+	}
+	deadline := time.Now().Add(c.opts.PollWait)
+	for {
+		c.mu.Lock()
+		ws, ok := c.workers[req.WorkerID]
+		if !ok {
+			c.mu.Unlock()
+			writeErr(w, http.StatusNotFound, "unknown_worker", "no worker %q (re-register)", req.WorkerID)
+			return
+		}
+		now := c.opts.Now()
+		ws.lastSeen = now
+		t := c.grantLocked(ws, now)
+		wake := c.wake
+		c.mu.Unlock()
+		if t != nil {
+			writeJSON(w, PollResponse{Task: t})
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, PollResponse{})
+			return
+		}
+		// Park at most half the worker expiry per wait: each loop
+		// iteration refreshes lastSeen, so a worker parked in a long-poll
+		// keeps heartbeating even when PollWait exceeds WorkerExpiry
+		// (otherwise the sweep expires an idle-but-connected worker
+		// mid-poll and the fleet looks empty).
+		park := remain
+		if beat := c.opts.WorkerExpiry / 2; beat > 0 && park > beat {
+			park = beat
+		}
+		timer := time.NewTimer(park)
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	if !c.authed(w, r) {
+		return
+	}
+	var res ResultRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEnvelope+(1<<20))).Decode(&res); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_argument", "bad result body: %v", err)
+		return
+	}
+	if res.WorkerID == "" || res.TaskID == "" {
+		writeErr(w, http.StatusBadRequest, "invalid_argument", "result needs worker_id and task_id")
+		return
+	}
+
+	// Phase 1: detach the task under the lock; decide whether a decode is
+	// even worth paying for.
+	c.mu.Lock()
+	now := c.opts.Now()
+	ws, ok := c.workers[res.WorkerID]
+	if !ok {
+		c.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "unknown_worker", "no worker %q (re-register)", res.WorkerID)
+		return
+	}
+	ws.lastSeen = now
+	ws.lastWork = now
+	t, routable := c.tasks[res.TaskID]
+	if routable {
+		delete(c.tasks, res.TaskID)
+		if t.worker != nil {
+			delete(t.worker.inflight, res.TaskID)
+		}
+		if !t.superseded {
+			t.sr.outstanding[t.shard]--
+		}
+	}
+	var sr *stageRun
+	var shard int
+	wanted := false
+	if routable {
+		sr, shard = t.sr, t.shard
+		wanted = !sr.closed && !sr.done[shard]
+	}
+	if routable && wanted && res.Error != "" {
+		sr.lastErr = fmt.Errorf("fleet: worker %s: %s", res.WorkerID, res.Error)
+		c.enqueueLocked(&task{sr: sr, shard: shard}, true)
+		c.mu.Unlock()
+		writeJSON(w, ResultResponse{})
+		return
+	}
+	c.mu.Unlock()
+	if !routable || !wanted {
+		// Unknown task (stage already gathered) or shard already complete:
+		// idempotent discard — the first result won.
+		c.mu.Lock()
+		c.metrics.DuplicatesDiscarded++
+		c.mu.Unlock()
+		writeJSON(w, ResultResponse{})
+		return
+	}
+
+	// Phase 2: decode outside the lock, then commit if still first.
+	out, err := workflow.DecodeShard(res.Output)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sr.closed || sr.done[shard] {
+		c.metrics.DuplicatesDiscarded++
+		writeJSON(w, ResultResponse{})
+		return
+	}
+	if err != nil {
+		sr.lastErr = fmt.Errorf("fleet: worker %s shard %d: %v", res.WorkerID, shard, err)
+		c.enqueueLocked(&task{sr: sr, shard: shard}, true)
+		writeJSON(w, ResultResponse{})
+		return
+	}
+	sr.done[shard] = true
+	sr.outs[shard] = out
+	sr.recs[shard] = res.Records
+	sr.elaps[shard] = time.Duration(res.ElapsedMS * float64(time.Millisecond))
+	sr.completions = append(sr.completions, res.ElapsedMS/1000)
+	sr.remaining--
+	ws.done++
+	c.metrics.Completed++
+	if sr.remaining == 0 {
+		sr.closed = true
+		close(sr.finished)
+	}
+	writeJSON(w, ResultResponse{Accepted: true})
+}
+
+func (c *Coordinator) handleBlob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	if !c.authed(w, r) {
+		return
+	}
+	hash := strings.TrimPrefix(r.URL.Path, "/api/v2/blobs/")
+	if hash == "" || strings.Contains(hash, "/") {
+		writeErr(w, http.StatusNotFound, "not_found", "no such resource")
+		return
+	}
+	c.mu.Lock()
+	b, ok := c.blobs[hash]
+	c.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "no blob %q", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(b)))
+	_, _ = w.Write(b)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	writeJSON(w, c.Snapshot())
+}
+
+// Snapshot builds the roster response: one row per registered worker in
+// registration order, plus queue depth and metrics.
+func (c *Coordinator) Snapshot() Roster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Now()
+	roster := Roster{Workers: make([]WorkerStatus, 0, len(c.order)), Queued: len(c.queue), Metrics: c.metrics}
+	for _, id := range c.order {
+		ws, ok := c.workers[id]
+		if !ok {
+			continue
+		}
+		state := "idle"
+		switch {
+		case now.Sub(ws.lastSeen) > c.opts.WorkerExpiry:
+			state = "gone"
+		case ws.engaged:
+			state = "active"
+		}
+		roster.Workers = append(roster.Workers, WorkerStatus{
+			ID: ws.id, Name: ws.name, Addr: ws.addr, State: state,
+			Slots: ws.slots, Inflight: len(ws.inflight), ShardsDone: ws.done,
+			LastHeartbeatMS: now.Sub(ws.lastSeen).Milliseconds(),
+		})
+	}
+	return roster
+}

@@ -1,0 +1,27 @@
+// Package fleet makes the paper's "in Clouds" literal: a coordinator/worker
+// subsystem that dispatches a workflow stage's shards to remote scand
+// processes (`scand -role worker -join <coordinator>`) instead of the
+// engine's local goroutine pool.
+//
+// The coordinator implements workflow.ShardPool, so it plugs into the
+// engine through RunOptions.ShardPool with the local pool remaining the
+// default and the equivalence reference. Remote and local pools share one
+// executor path: a worker rebuilds the stage's stream from the stage's
+// materialized input and coordinator-pinned options
+// (workflow.Engine.PrepareStageShards) and runs the same
+// Split/Transform the barrier scheduler would — there is no separate
+// remote Execute.
+//
+// The data plane is content-addressed: a stage's input dataset gob-encodes
+// once (workflow.EncodeDataset, deterministic) and ships by SHA-256 hash;
+// workers fetch GET /api/v2/blobs/{hash} on first sight and cache it, so
+// repeated stages over the same dataset transfer nothing. Small contexts
+// (synthetic specs) fall back to inline bytes in the dispatch itself.
+//
+// Dispatch is pull-based over HTTP (register, long-poll, result) with
+// per-shard timeout, bounded retry, and straggler re-dispatch: the first
+// result for a shard wins and duplicates are discarded idempotently.
+// Hire/release decisions route through scheduler.FleetAdvisor — the
+// Section III-A2 scaling economics over live queue depth and Data-Broker
+// fitted stage costs. See docs/FLEET.md for the protocol.
+package fleet

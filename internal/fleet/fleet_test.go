@@ -1,0 +1,635 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scan/internal/genomics"
+	"scan/internal/imaging"
+	"scan/internal/knowledge"
+	"scan/internal/network"
+	"scan/internal/proteome"
+	"scan/internal/scheduler"
+	"scan/internal/workflow"
+)
+
+// --- dataset builders (mirrors of the workflow package's test fixtures;
+// each call with the same seed regenerates an identical dataset, so the
+// local and distributed runs consume independent but equal inputs) -------
+
+func fastqDataset(t testing.TB, refLen, reads int, seed int64) *workflow.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := genomics.GenerateReference(rng, "chr1", refLen)
+	mutated, _ := genomics.PlantSNVs(rng, ref, 10)
+	rd, err := genomics.SimulateReads(rng, mutated, genomics.ReadSimConfig{
+		Count: reads, Length: 100, ErrorRate: 0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workflow.NewFASTQDataset(ref, rd)
+}
+
+func mgfDataset(t testing.TB, proteins, spectra int, seed int64) *workflow.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := proteome.GenerateDatabase(rng, proteins, 3)
+	sp, _, err := proteome.SimulateSpectra(rng, db, proteome.SimConfig{
+		Count: spectra, NoisePeaks: 3, DropoutRate: 0.1, Jitter: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workflow.NewMGFDataset(db, sp)
+}
+
+func tiffDataset(t testing.TB, images, cells int, seed int64) *workflow.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([]imaging.Image, 0, images)
+	for i := 0; i < images; i++ {
+		im, _, err := imaging.Generate(rng, fmt.Sprintf("img%d", i), imaging.SimConfig{W: 96, H: 96, Cells: cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, im)
+	}
+	return workflow.NewTIFFDataset(frames)
+}
+
+func featureDataset(t testing.TB, genes, modules int, seed int64) *workflow.Dataset {
+	t.Helper()
+	ms, _, err := network.SimulateMeasurements(rand.New(rand.NewSource(seed)), genes, modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([]workflow.Feature, len(ms))
+	for i, m := range ms {
+		features[i] = workflow.Feature{Name: m.Name, Count: 1, Value: m.Value}
+	}
+	return workflow.NewFeatureDataset(features)
+}
+
+func seededKB(t testing.TB) *knowledge.Base {
+	t.Helper()
+	kb := knowledge.New()
+	kb.SeedPaperProfiles()
+	return kb
+}
+
+// testFleet is an in-process coordinator with real workers attached over
+// loopback HTTP.
+type testFleet struct {
+	coord  *Coordinator
+	server *httptest.Server
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func startFleet(t testing.TB, copts Options, workers int) *testFleet {
+	t.Helper()
+	if copts.SweepEvery == 0 {
+		copts.SweepEvery = 5 * time.Millisecond
+	}
+	if copts.PollWait == 0 {
+		copts.PollWait = 200 * time.Millisecond
+	}
+	coord := NewCoordinator(copts)
+	mux := http.NewServeMux()
+	Mount(mux, coord)
+	srv := httptest.NewServer(mux)
+	ctx, cancel := context.WithCancel(context.Background())
+	tf := &testFleet{coord: coord, server: srv, cancel: cancel}
+	for i := 0; i < workers; i++ {
+		wk := NewWorker(WorkerOptions{
+			Coordinator: srv.URL,
+			Token:       copts.Token,
+			Name:        fmt.Sprintf("node%d", i+1),
+			Slots:       1,
+			Logf:        t.Logf,
+		})
+		tf.wg.Add(1)
+		go func() {
+			defer tf.wg.Done()
+			_ = wk.Run(ctx)
+		}()
+	}
+	t.Cleanup(tf.stop)
+	waitFor(t, 5*time.Second, func() bool { return coord.ReadyWorkers() >= workers })
+	return tf
+}
+
+func (tf *testFleet) stop() {
+	tf.cancel()
+	tf.wg.Wait()
+	tf.server.Close()
+}
+
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// encode flattens a dataset to its canonical wire bytes so nil/empty slice
+// representation differences cannot mask (or fake) a divergence.
+func encode(t testing.TB, ds *workflow.Dataset) []byte {
+	t.Helper()
+	b, err := workflow.EncodeDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDistributedMatchesLocal is the acceptance contract: for every
+// analysis family, a run through the coordinator + two remote workers
+// produces byte-identical output and the same per-stage scatter telemetry
+// as the same engine configuration running on its local pool.
+func TestDistributedMatchesLocal(t *testing.T) {
+	cases := []struct {
+		workflow string
+		opts     workflow.RunOptions
+		dataset  func(t testing.TB) *workflow.Dataset
+	}{
+		{"dna-variant-detection", workflow.RunOptions{}, func(t testing.TB) *workflow.Dataset {
+			return fastqDataset(t, 8000, 2000, 7)
+		}},
+		{"proteome-maxquant", workflow.RunOptions{ShardRecords: 100}, func(t testing.TB) *workflow.Dataset {
+			return mgfDataset(t, 20, 400, 17)
+		}},
+		{"cell-imaging", workflow.RunOptions{Regions: 4}, func(t testing.TB) *workflow.Dataset {
+			return tiffDataset(t, 3, 5, 23)
+		}},
+		{"integrative-network", workflow.RunOptions{ShardRecords: 20}, func(t testing.TB) *workflow.Dataset {
+			return featureDataset(t, 60, 4, 29)
+		}},
+	}
+	tf := startFleet(t, Options{Scaling: scheduler.AlwaysScale}, 2)
+	for _, tc := range cases {
+		t.Run(tc.workflow, func(t *testing.T) {
+			// Independent engines with independently seeded knowledge bases:
+			// the Data Broker adapts to run logs, so sharing one KB across
+			// the two runs would let the first run's telemetry reshape the
+			// second run's shard plan.
+			local := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+			remote := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+
+			want, err := local.RunByName(context.Background(), tc.workflow, tc.dataset(t), tc.opts)
+			if err != nil {
+				t.Fatalf("local run: %v", err)
+			}
+			ropts := tc.opts
+			ropts.ShardPool = tf.coord
+			got, err := remote.RunByName(context.Background(), tc.workflow, tc.dataset(t), ropts)
+			if err != nil {
+				t.Fatalf("distributed run: %v", err)
+			}
+
+			if !bytes.Equal(encode(t, want.Output), encode(t, got.Output)) {
+				t.Fatalf("distributed output diverges from local for %s", tc.workflow)
+			}
+			if len(want.Stages) != len(got.Stages) {
+				t.Fatalf("stage count: local %d, distributed %d", len(want.Stages), len(got.Stages))
+			}
+			for i := range want.Stages {
+				w, g := want.Stages[i], got.Stages[i]
+				if w.Stage != g.Stage || w.Tool != g.Tool || w.Shards != g.Shards ||
+					w.Records != g.Records || !reflect.DeepEqual(w.Plan, g.Plan) {
+					t.Fatalf("stage %d diverges:\nlocal       %s/%s shards=%d records=%d plan=%+v\ndistributed %s/%s shards=%d records=%d plan=%+v",
+						i, w.Stage, w.Tool, w.Shards, w.Records, w.Plan,
+						g.Stage, g.Tool, g.Shards, g.Records, g.Plan)
+				}
+			}
+		})
+	}
+	// The work spread across the fleet: with AlwaysScale and four multi-shard
+	// stages, both nodes must have executed shards.
+	roster := tf.coord.Snapshot()
+	if len(roster.Workers) != 2 {
+		t.Fatalf("roster = %d workers, want 2", len(roster.Workers))
+	}
+	for _, ws := range roster.Workers {
+		if ws.ShardsDone == 0 {
+			t.Fatalf("worker %s (%s) executed no shards; fleet did not scatter", ws.ID, ws.Name)
+		}
+	}
+	if m := tf.coord.FleetMetrics(); m.RemoteStages == 0 || m.Completed == 0 {
+		t.Fatalf("metrics = %+v, want remote stages and completions", m)
+	}
+}
+
+// TestRunShardsNoWorkersFallsBackLocal: a pool with no registered workers
+// reports ErrNoWorkers and the engine transparently runs the stage on its
+// local pool — the run succeeds with identical output.
+func TestRunShardsNoWorkersFallsBackLocal(t *testing.T) {
+	coord := NewCoordinator(Options{})
+	e := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	want, err := e.RunByName(context.Background(), "integrative-network",
+		featureDataset(t, 60, 4, 29), workflow.RunOptions{ShardRecords: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	got, err := e2.RunByName(context.Background(), "integrative-network",
+		featureDataset(t, 60, 4, 29), workflow.RunOptions{ShardRecords: 20, ShardPool: coord})
+	if err != nil {
+		t.Fatalf("run with empty fleet: %v", err)
+	}
+	if !bytes.Equal(encode(t, want.Output), encode(t, got.Output)) {
+		t.Fatal("local fallback diverges from plain local run")
+	}
+	if m := coord.FleetMetrics(); m.Dispatched != 0 {
+		t.Fatalf("empty fleet dispatched %d tasks", m.Dispatched)
+	}
+}
+
+// fakeWorker drives the wire protocol by hand so tests can misbehave in
+// ways the real Worker never would: take a task and die, or sit on it past
+// the straggler threshold.
+type fakeWorker struct {
+	t    testing.TB
+	base string
+	id   string
+}
+
+func newFakeWorker(t testing.TB, base, name string) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{t: t, base: base}
+	var resp RegisterResponse
+	fw.post("/api/v2/fleet/register", RegisterRequest{Name: name, Slots: 1}, &resp)
+	if resp.ID == "" {
+		t.Fatal("fake worker: no id assigned")
+	}
+	fw.id = resp.ID
+	return fw
+}
+
+func (fw *fakeWorker) post(path string, in, out any) int {
+	fw.t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		fw.t.Fatal(err)
+	}
+	resp, err := http.Post(fw.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fw.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			fw.t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollUntilTask polls until the coordinator grants a task.
+func (fw *fakeWorker) pollUntilTask(timeout time.Duration) Task {
+	fw.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var resp PollResponse
+		fw.post("/api/v2/fleet/poll", PollRequest{WorkerID: fw.id}, &resp)
+		if resp.Task != nil {
+			return *resp.Task
+		}
+	}
+	fw.t.Fatal("fake worker: no task granted in time")
+	return Task{}
+}
+
+// TestWorkerLossRedispatches: a worker that takes a shard and dies loses
+// its dispatch to the heartbeat sweep; the shard re-queues and the
+// surviving worker completes the stage with no lost or duplicated results.
+func TestWorkerLossRedispatches(t *testing.T) {
+	tf := startFleet(t, Options{
+		Scaling:      scheduler.AlwaysScale,
+		WorkerExpiry: 150 * time.Millisecond,
+		// The sweep must attribute the loss to the dead worker, not a shard
+		// timeout.
+		ShardTimeout: time.Minute,
+	}, 0)
+
+	// The doomed worker registers first and parks a long-poll on the
+	// queue head.
+	dead := newFakeWorker(t, tf.server.URL, "doomed")
+
+	// The healthy worker is alive from the start, so the fleet never
+	// empties: the stranded shard must flow through the re-dispatch path,
+	// not the all-workers-gone local fallback (which would also succeed
+	// but is a different contract, pinned by
+	// TestRunShardsNoWorkersFallsBackLocal).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wk := NewWorker(WorkerOptions{Coordinator: tf.server.URL, Name: "healthy", Slots: 1, Logf: t.Logf})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = wk.Run(ctx) }()
+	defer wg.Wait()
+	defer cancel()
+	waitFor(t, 5*time.Second, func() bool {
+		for _, ws := range tf.coord.Snapshot().Workers {
+			if ws.Name == "healthy" {
+				return true
+			}
+		}
+		return false
+	})
+
+	e := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	ds := featureDataset(t, 60, 4, 29)
+	opts := workflow.RunOptions{ShardRecords: 20, ShardPool: tf.coord}
+	type res struct {
+		r   *workflow.Result
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		r, err := e.RunByName(context.Background(), "integrative-network", ds, opts)
+		done <- res{r, err}
+	}()
+
+	// Take one shard and go silent: no result, no more polls. The shard
+	// is stranded until the heartbeat sweep expires the worker.
+	taken := dead.pollUntilTask(5 * time.Second)
+	if taken.ID == "" {
+		t.Fatal("no task taken")
+	}
+
+	got := <-done
+	if got.err != nil {
+		t.Fatalf("run with mid-shard worker loss: %v", got.err)
+	}
+
+	e2 := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	want, err := e2.RunByName(context.Background(), "integrative-network",
+		featureDataset(t, 60, 4, 29), workflow.RunOptions{ShardRecords: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, want.Output), encode(t, got.r.Output)) {
+		t.Fatal("output diverges after worker loss re-dispatch")
+	}
+	m := tf.coord.FleetMetrics()
+	if m.Redispatched == 0 {
+		t.Fatalf("metrics = %+v: the stranded shard never re-dispatched", m)
+	}
+	if m.Completed != 3 {
+		t.Fatalf("completed = %d accepted shard results, want exactly 3 (no loss, no double-commit)", m.Completed)
+	}
+}
+
+// TestStragglerRacedAndLateResultDiscarded: a live-but-slow worker holds a
+// shard past the straggler threshold; the coordinator races a duplicate
+// dispatch, the fast worker's result wins, and the straggler's late result
+// is discarded idempotently.
+func TestStragglerRacedAndLateResultDiscarded(t *testing.T) {
+	tf := startFleet(t, Options{
+		Scaling:         scheduler.AlwaysScale,
+		StragglerAfter:  100 * time.Millisecond,
+		StragglerFactor: 1,
+		// Neither the shard timeout nor worker expiry may fire first: the
+		// duplicate must come from the straggler race alone.
+		ShardTimeout: time.Minute,
+		WorkerExpiry: time.Minute,
+	}, 0)
+
+	slow := newFakeWorker(t, tf.server.URL, "slow")
+
+	e := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	opts := workflow.RunOptions{ShardRecords: 20, ShardPool: tf.coord}
+	type res struct {
+		r   *workflow.Result
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		r, err := e.RunByName(context.Background(), "integrative-network", featureDataset(t, 60, 4, 29), opts)
+		done <- res{r, err}
+	}()
+
+	taken := slow.pollUntilTask(5 * time.Second)
+
+	// Keep the heartbeat fresh but never finish: with one slot and one
+	// inflight task the polls grant nothing, they just prove liveness.
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				var resp PollResponse
+				slow.post("/api/v2/fleet/poll", PollRequest{WorkerID: slow.id}, &resp)
+				if resp.Task != nil {
+					fw := resp.Task
+					_ = fw // one slot, one inflight: never granted
+				}
+			}
+		}
+	}()
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	wk := NewWorker(WorkerOptions{Coordinator: tf.server.URL, Name: "fast", Slots: 1, Logf: t.Logf})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = wk.Run(wctx) }()
+	defer wg.Wait()
+	defer wcancel()
+
+	got := <-done
+	close(stop)
+	hb.Wait()
+	if got.err != nil {
+		t.Fatalf("run with straggler: %v", got.err)
+	}
+	m := tf.coord.FleetMetrics()
+	if m.Redispatched == 0 {
+		t.Fatalf("metrics = %+v: straggler never raced", m)
+	}
+
+	// The straggler finally reports. The shard is long since complete, so
+	// the coordinator discards the duplicate and says so.
+	prep := workflow.NewEngine(workflow.EngineOptions{Workers: 1})
+	sp, err := prep.PrepareStageShards(taken.Workflow, taken.Stage,
+		mustDecode(t, taken), taken.Options.RunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, records, err := sp.RunShard(context.Background(), taken.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := workflow.EncodeShard(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack ResultResponse
+	slow.post("/api/v2/fleet/result", ResultRequest{
+		WorkerID: slow.id, TaskID: taken.ID, Output: enc, Records: records, ElapsedMS: 1,
+	}, &ack)
+	if ack.Accepted {
+		t.Fatal("late straggler result was accepted after the duplicate already won")
+	}
+	if m := tf.coord.FleetMetrics(); m.DuplicatesDiscarded == 0 {
+		t.Fatalf("metrics = %+v: duplicate not counted as discarded", m)
+	}
+}
+
+func mustDecode(t testing.TB, task Task) *workflow.Dataset {
+	t.Helper()
+	if task.Context == nil {
+		t.Fatal("task shipped by blob; test expected inline context")
+	}
+	ds, err := workflow.DecodeDataset(task.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestScalingPoliciesGateEngagement runs the same distributed stage under
+// each scaling policy and asserts the hire decisions on the live fleet:
+// NeverScale keeps the second worker cold, PredictiveScale hires it only
+// when Equation 1's queue-delay cost clears the hire cost, AlwaysScale
+// engages everyone.
+func TestScalingPoliciesGateEngagement(t *testing.T) {
+	run := func(t *testing.T, copts Options, shards int) (*Coordinator, Roster) {
+		t.Helper()
+		tf := startFleet(t, copts, 2)
+		// A knowledge-base-free engine estimates every shard at the 1s
+		// fallback, making the hire economics deterministic: with q shards
+		// queued the 1→2 hire saves DelayCostPerSec·q(q-1)/4 and costs
+		// HirePrice·Margin·(startup+1s).
+		e := workflow.NewEngine(workflow.EngineOptions{Workers: 4})
+		ds := featureDataset(t, 20*shards, 4, 29)
+		_, err := e.RunByName(context.Background(), "integrative-network", ds,
+			workflow.RunOptions{ShardRecords: 20, ShardPool: tf.coord})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tf.coord, tf.coord.Snapshot()
+	}
+	shardsDone := func(r Roster) (int, int) {
+		busy, total := 0, 0
+		for _, ws := range r.Workers {
+			total += ws.ShardsDone
+			if ws.ShardsDone > 0 {
+				busy++
+			}
+		}
+		return busy, total
+	}
+
+	t.Run("never-scale", func(t *testing.T) {
+		coord, roster := run(t, Options{Scaling: scheduler.NeverScale}, 8)
+		busy, total := shardsDone(roster)
+		if busy != 1 || total != 8 {
+			t.Fatalf("never-scale: %d workers busy over %d shards, want exactly 1 over 8", busy, total)
+		}
+		if m := coord.FleetMetrics(); m.Hires != 1 {
+			t.Fatalf("never-scale hired %d workers, want 1 (the baseline)", m.Hires)
+		}
+	})
+	t.Run("predictive-below-threshold", func(t *testing.T) {
+		// 8 shards × 1s est: delay saving 14, hire cost 3×1000×1.1 — the
+		// queue never justifies the second worker.
+		coord, roster := run(t, Options{Scaling: scheduler.PredictiveScale, HirePrice: 1000}, 8)
+		busy, total := shardsDone(roster)
+		if busy != 1 || total != 8 {
+			t.Fatalf("predictive(expensive): %d workers busy over %d shards, want exactly 1 over 8", busy, total)
+		}
+		if m := coord.FleetMetrics(); m.Hires != 1 {
+			t.Fatalf("predictive(expensive) hired %d, want 1", m.Hires)
+		}
+	})
+	t.Run("predictive-above-threshold", func(t *testing.T) {
+		// Same queue at default prices: saving 14 clears cost 3.3, so the
+		// policy hires the second worker.
+		coord, _ := run(t, Options{Scaling: scheduler.PredictiveScale}, 8)
+		if m := coord.FleetMetrics(); m.Hires != 2 {
+			t.Fatalf("predictive(default) hired %d, want 2", m.Hires)
+		}
+	})
+	t.Run("always-scale", func(t *testing.T) {
+		coord, _ := run(t, Options{Scaling: scheduler.AlwaysScale}, 8)
+		if m := coord.FleetMetrics(); m.Hires != 2 {
+			t.Fatalf("always-scale hired %d, want 2", m.Hires)
+		}
+	})
+}
+
+// TestBlobDataPlane: a context over the inline limit ships by hash; the
+// worker fetches it once and reuses the cached dataset for later shards.
+func TestBlobDataPlane(t *testing.T) {
+	tf := startFleet(t, Options{
+		Scaling:     scheduler.AlwaysScale,
+		InlineLimit: 1, // force everything through the blob store
+	}, 2)
+	e := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	got, err := e.RunByName(context.Background(), "integrative-network",
+		featureDataset(t, 60, 4, 29), workflow.RunOptions{ShardRecords: 20, ShardPool: tf.coord})
+	if err != nil {
+		t.Fatalf("blob-shipped run: %v", err)
+	}
+	e2 := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	want, err := e2.RunByName(context.Background(), "integrative-network",
+		featureDataset(t, 60, 4, 29), workflow.RunOptions{ShardRecords: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, want.Output), encode(t, got.Output)) {
+		t.Fatal("blob-shipped output diverges from local")
+	}
+}
+
+// TestFleetTokenAuth: with a token configured, unauthenticated control and
+// data-plane requests are rejected with the v2 error envelope, and a real
+// worker carrying the token still completes work end to end.
+func TestFleetTokenAuth(t *testing.T) {
+	tf := startFleet(t, Options{Scaling: scheduler.AlwaysScale, Token: "s3cret"}, 1)
+	resp, err := http.Post(tf.server.URL+"/api/v2/fleet/register", "application/json",
+		bytes.NewReader([]byte(`{"name":"intruder","slots":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless register: HTTP %d, want 401", resp.StatusCode)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code != "unauthorized" {
+		t.Fatalf("error envelope = %+v, err %v", env, err)
+	}
+
+	e := workflow.NewEngine(workflow.EngineOptions{KB: seededKB(t), Workers: 4})
+	if _, err := e.RunByName(context.Background(), "integrative-network",
+		featureDataset(t, 60, 4, 29), workflow.RunOptions{ShardRecords: 20, ShardPool: tf.coord}); err != nil {
+		t.Fatalf("authed worker run: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"scan/internal/workflow"
+)
+
+// The fleet's wire surface decodes bytes from the network on both ends:
+// the worker decodes task envelopes, the coordinator decodes result
+// envelopes and their gob shard payloads. The fuzzers assert the decoders
+// never panic and that every accepted envelope satisfies the validated
+// invariants — a malformed or hostile peer can produce errors, not
+// crashes. CI's fuzz-smoke job runs these alongside the registry's
+// upload-decoder fuzzers.
+
+func FuzzDecodeTask(f *testing.F) {
+	seed, err := json.Marshal(Task{
+		ID: "t1", Workflow: "dna-variant-detection", Stage: 0, Shard: 2,
+		Attempt: 1, ContextHash: "deadbeef",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"id":"t2","workflow":"w","stage":0,"shard":0,"context":"aGk="}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"t3","workflow":"w","stage":-1,"shard":0,"context_hash":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		task, err := DecodeTask(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadEnvelope) {
+				t.Fatalf("decode error outside ErrBadEnvelope: %v", err)
+			}
+			return
+		}
+		if task.ID == "" || task.Workflow == "" {
+			t.Fatalf("accepted task without identity: %+v", task)
+		}
+		if task.Stage < 0 || task.Shard < 0 {
+			t.Fatalf("accepted negative indices: %+v", task)
+		}
+		if task.ContextHash == "" && task.Context == nil {
+			t.Fatalf("accepted task with no context source: %+v", task)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	out, err := workflow.EncodeShard(workflow.StreamShard{Records: 3, Data: workflow.Feature{Name: "g1", Value: 1.5}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := json.Marshal(ResultRequest{
+		WorkerID: "w1", TaskID: "t1", Output: out, Records: 3, ElapsedMS: 12.5,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"worker_id":"w1","task_id":"t1","error":"boom"}`))
+	f.Add([]byte(`{"worker_id":"","task_id":"t1","output":"aGk="}`))
+	f.Add([]byte(`{"worker_id":"w1","task_id":"t1","output":"aGk="}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadEnvelope) {
+				t.Fatalf("decode error outside ErrBadEnvelope: %v", err)
+			}
+			return
+		}
+		if res.WorkerID == "" || res.TaskID == "" {
+			t.Fatalf("accepted result without identity: %+v", res)
+		}
+		if res.Error == "" && res.Output == nil {
+			t.Fatalf("accepted result with neither output nor error: %+v", res)
+		}
+		// The gob payload decode is the coordinator's second step; arbitrary
+		// bytes must error cleanly, never panic.
+		if res.Output != nil {
+			_, _ = workflow.DecodeShard(res.Output)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package fleet
+
+// The fleet wire protocol: JSON envelopes for control (register, poll,
+// result, roster) with gob payloads (workflow/wire.go) for data. Decode
+// helpers validate structurally here so both ends and the fuzz targets
+// share one entry point.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"scan/internal/align"
+	"scan/internal/variant"
+	"scan/internal/workflow"
+)
+
+// maxEnvelope bounds a control envelope's decoded size; data travels in
+// blobs, so a control message beyond this is malformed or hostile.
+const maxEnvelope = 64 << 20
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is the worker's self-chosen label (hostname by default).
+	Name string `json:"name"`
+	// Slots is how many shards the worker runs concurrently.
+	Slots int `json:"slots"`
+}
+
+// RegisterResponse assigns the worker its roster identity.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// PollWaitMS hints how long the coordinator holds an empty poll.
+	PollWaitMS int `json:"poll_wait_ms"`
+}
+
+// PollRequest asks for work (long poll).
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// PollResponse carries at most one task; nil means "nothing for you now"
+// (not engaged, or the queue is empty).
+type PollResponse struct {
+	Task *Task `json:"task,omitempty"`
+}
+
+// TaskOptions are the coordinator-pinned run options a worker needs to
+// rebuild a stage's stream deterministically (StageEnv.RemoteOptions):
+// the shard plan and region width are already decided, so the worker's
+// re-Split is byte-identical without a Data Broker.
+type TaskOptions struct {
+	Aligner      align.Config   `json:"aligner"`
+	Caller       variant.Config `json:"caller"`
+	ShardRecords int            `json:"shard_records,omitempty"`
+	Regions      int            `json:"regions,omitempty"`
+	MinQual      float64        `json:"min_qual,omitempty"`
+}
+
+// PinOptions converts the engine's pinned options to wire form.
+func PinOptions(opts workflow.RunOptions) TaskOptions {
+	return TaskOptions{
+		Aligner:      opts.Aligner,
+		Caller:       opts.Caller,
+		ShardRecords: opts.ShardRecords,
+		Regions:      opts.Regions,
+		MinQual:      opts.MinQual,
+	}
+}
+
+// RunOptions converts wire options back to engine form.
+func (o TaskOptions) RunOptions() workflow.RunOptions {
+	return workflow.RunOptions{
+		Aligner:      o.Aligner,
+		Caller:       o.Caller,
+		ShardRecords: o.ShardRecords,
+		Regions:      o.Regions,
+		MinQual:      o.MinQual,
+		Barrier:      true,
+	}
+}
+
+// Task is one shard dispatch: which shard of which stage of which
+// workflow, plus where the stage's input lives — by content hash
+// (GET /api/v2/blobs/{ContextHash}, cacheable) or inline for small
+// contexts. The worker re-Splits the context with the pinned Options and
+// transforms shard Shard.
+type Task struct {
+	ID          string      `json:"id"`
+	Workflow    string      `json:"workflow"`
+	Stage       int         `json:"stage"`
+	Shard       int         `json:"shard"`
+	Attempt     int         `json:"attempt"`
+	ContextHash string      `json:"context_hash,omitempty"`
+	Context     []byte      `json:"context,omitempty"`
+	Options     TaskOptions `json:"options"`
+}
+
+// ResultRequest reports one finished dispatch. Exactly one of Output or
+// Error is set; Records is the shard's input record count and ElapsedMS
+// the worker-observed transform time — the coordinator feeds both to the
+// Data Broker as the stage's shard telemetry.
+type ResultRequest struct {
+	WorkerID  string  `json:"worker_id"`
+	TaskID    string  `json:"task_id"`
+	Output    []byte  `json:"output,omitempty"`
+	Records   int     `json:"records"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// ResultResponse acknowledges a result; Accepted is false when the shard
+// was already completed by another dispatch (the duplicate is discarded).
+type ResultResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// WorkerStatus is one roster row of GET /api/v2/workers.
+type WorkerStatus struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Addr is the worker's remote address as seen at registration.
+	Addr string `json:"addr"`
+	// State is "active" (engaged, running or ready for shards), "idle"
+	// (registered, not engaged) or "gone" (heartbeat expired).
+	State string `json:"state"`
+	// Slots is the worker's concurrent shard capacity.
+	Slots int `json:"slots"`
+	// Inflight counts shards currently dispatched to the worker.
+	Inflight int `json:"inflight"`
+	// ShardsDone counts shard results the coordinator accepted from it.
+	ShardsDone int `json:"shards_done"`
+	// LastHeartbeatMS is milliseconds since the worker last polled or
+	// reported.
+	LastHeartbeatMS int64 `json:"last_heartbeat_ms"`
+}
+
+// Metrics counts coordinator-side fleet events.
+type Metrics struct {
+	// Hires and Releases count engagement transitions (the ScalingPolicy's
+	// decisions on a live fleet).
+	Hires    int `json:"hires"`
+	Releases int `json:"releases"`
+	// Dispatched counts task grants; Redispatched the subset that re-ran a
+	// shard after a timeout, worker loss, or straggler duplicate.
+	Dispatched   int `json:"dispatched"`
+	Redispatched int `json:"redispatched"`
+	// Completed counts accepted shard results; DuplicatesDiscarded counts
+	// results for already-completed shards (straggler losses of the
+	// first-result-wins race).
+	Completed           int `json:"completed"`
+	DuplicatesDiscarded int `json:"duplicates_discarded"`
+	// RemoteStages counts stages executed through the fleet.
+	RemoteStages int `json:"remote_stages"`
+}
+
+// Roster is GET /api/v2/workers' body.
+type Roster struct {
+	Workers []WorkerStatus `json:"workers"`
+	// Queued is the current dispatch-queue depth.
+	Queued  int     `json:"queued"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Errors shared by the decode helpers.
+var (
+	ErrBadEnvelope = errors.New("fleet: bad envelope")
+)
+
+// DecodeTask parses and validates a task envelope (the worker's half of
+// the shard-dispatch wire; fuzzed in fuzz_test.go).
+func DecodeTask(b []byte) (Task, error) {
+	if len(b) > maxEnvelope {
+		return Task{}, fmt.Errorf("%w: task envelope over %d bytes", ErrBadEnvelope, maxEnvelope)
+	}
+	var t Task
+	if err := json.Unmarshal(b, &t); err != nil {
+		return Task{}, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if t.ID == "" || t.Workflow == "" {
+		return Task{}, fmt.Errorf("%w: task needs id and workflow", ErrBadEnvelope)
+	}
+	if t.Stage < 0 || t.Shard < 0 {
+		return Task{}, fmt.Errorf("%w: negative stage or shard index", ErrBadEnvelope)
+	}
+	if t.ContextHash == "" && t.Context == nil {
+		return Task{}, fmt.Errorf("%w: task needs a context hash or inline context", ErrBadEnvelope)
+	}
+	return t, nil
+}
+
+// DecodeResult parses and validates a result envelope (the coordinator's
+// half; fuzzed in fuzz_test.go). The gob Output payload is decoded
+// separately by the coordinator so a duplicate result can be discarded
+// without paying for its decode.
+func DecodeResult(b []byte) (ResultRequest, error) {
+	if len(b) > maxEnvelope {
+		return ResultRequest{}, fmt.Errorf("%w: result envelope over %d bytes", ErrBadEnvelope, maxEnvelope)
+	}
+	var res ResultRequest
+	if err := json.Unmarshal(b, &res); err != nil {
+		return ResultRequest{}, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if res.WorkerID == "" || res.TaskID == "" {
+		return ResultRequest{}, fmt.Errorf("%w: result needs worker_id and task_id", ErrBadEnvelope)
+	}
+	if res.Error == "" && res.Output == nil {
+		return ResultRequest{}, fmt.Errorf("%w: result needs an output or an error", ErrBadEnvelope)
+	}
+	return res, nil
+}

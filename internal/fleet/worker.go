@@ -1,0 +1,371 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"scan/internal/workflow"
+)
+
+// WorkerOptions configures one worker process's pull loop.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:7077".
+	Coordinator string
+	// Token authenticates against the coordinator's fleet endpoints.
+	Token string
+	// Name labels the worker on the roster (default: hostname).
+	Name string
+	// Slots bounds concurrently executing shards (default: GOMAXPROCS).
+	Slots int
+	// Engine executes the shards. The default engine has no knowledge
+	// base — workers never consult the Data Broker; every scatter decision
+	// arrives pinned in the task options — and shares the coordinator's
+	// default catalogue and executor registry.
+	Engine *workflow.Engine
+	// HTTPClient overrides the transport (default: a client with no
+	// overall timeout, since polls long-hold).
+	HTTPClient *http.Client
+	// Logf receives worker events (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Worker is one fleet node: it registers with the coordinator, long-polls
+// for shard tasks, executes them through the exact engine path local runs
+// use (Engine.PrepareStageShards → StageStream.Transform), and posts the
+// results back. Context datasets are cached by content hash, and prepared
+// stage streams (aligner indexes, region partitions) are cached per
+// (context, stage, options), so a stage's second shard pays no setup.
+type Worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	engine *workflow.Engine
+	id     string
+
+	mu    sync.Mutex
+	blobs map[string]*workflow.Dataset
+	bAge  []string
+	preps map[string]*workflow.StagePrep
+	pAge  []string
+}
+
+// workerCacheMax bounds the context-dataset and prepared-stream caches.
+const workerCacheMax = 8
+
+// NewWorker builds a worker (Run starts it).
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Name == "" {
+		if host, err := os.Hostname(); err == nil {
+			opts.Name = host
+		}
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = runtime.GOMAXPROCS(0)
+	}
+	if opts.Engine == nil {
+		opts.Engine = workflow.NewEngine(workflow.EngineOptions{Workers: opts.Slots})
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Worker{
+		opts:   opts,
+		client: opts.HTTPClient,
+		engine: opts.Engine,
+		blobs:  make(map[string]*workflow.Dataset),
+		preps:  make(map[string]*workflow.StagePrep),
+	}
+}
+
+// Run registers and pulls work until ctx is cancelled. Transient HTTP
+// failures back off and retry; a coordinator that forgot the worker
+// (restart) triggers re-registration. Run returns ctx.Err after in-flight
+// shards drain.
+func (wk *Worker) Run(ctx context.Context) error {
+	backoff := 250 * time.Millisecond
+	sem := make(chan struct{}, wk.opts.Slots)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for ctx.Err() == nil {
+		if wk.id == "" {
+			if err := wk.register(ctx); err != nil {
+				wk.opts.Logf("fleet worker: register: %v (retrying in %s)", err, backoff)
+				if !sleepCtx(ctx, backoff) {
+					break
+				}
+				backoff = min(2*backoff, 5*time.Second)
+				continue
+			}
+			backoff = 250 * time.Millisecond
+		}
+		// Hold a slot before polling so a grant can always start at once.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		resp, err := wk.poll(ctx)
+		if err != nil {
+			<-sem
+			if ctx.Err() != nil {
+				break
+			}
+			if errors.Is(err, errUnknownWorker) {
+				wk.opts.Logf("fleet worker: coordinator forgot %s; re-registering", wk.id)
+				wk.id = ""
+				continue
+			}
+			wk.opts.Logf("fleet worker: poll: %v (retrying in %s)", err, backoff)
+			if !sleepCtx(ctx, backoff) {
+				break
+			}
+			backoff = min(2*backoff, 5*time.Second)
+			continue
+		}
+		backoff = 250 * time.Millisecond
+		if resp.Task == nil {
+			<-sem
+			continue
+		}
+		t, id := *resp.Task, wk.id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			wk.execute(ctx, id, t)
+		}()
+	}
+	return ctx.Err()
+}
+
+var errUnknownWorker = errors.New("fleet: unknown worker")
+
+func (wk *Worker) register(ctx context.Context) error {
+	var resp RegisterResponse
+	err := wk.post(ctx, "/api/v2/fleet/register",
+		RegisterRequest{Name: wk.opts.Name, Slots: wk.opts.Slots}, &resp)
+	if err != nil {
+		return err
+	}
+	if resp.ID == "" {
+		return errors.New("fleet: empty worker id from coordinator")
+	}
+	wk.id = resp.ID
+	wk.opts.Logf("fleet worker: registered as %s at %s", wk.id, wk.opts.Coordinator)
+	return nil
+}
+
+func (wk *Worker) poll(ctx context.Context) (PollResponse, error) {
+	var resp PollResponse
+	err := wk.post(ctx, "/api/v2/fleet/poll", PollRequest{WorkerID: wk.id}, &resp)
+	return resp, err
+}
+
+// execute runs one task through the shared executor path and reports the
+// result; executor errors travel back as task failures, never crash the
+// worker.
+func (wk *Worker) execute(ctx context.Context, id string, t Task) {
+	out, records, err := wk.runTask(ctx, t)
+	if ctx.Err() != nil {
+		return // shutting down: the coordinator's timeout re-queues the shard
+	}
+	res := ResultRequest{WorkerID: id, TaskID: t.ID}
+	if err != nil {
+		res.Error = err.Error()
+	} else {
+		enc, encErr := workflow.EncodeShard(out.shard)
+		if encErr != nil {
+			res.Error = encErr.Error()
+		} else {
+			res.Output = enc
+			res.Records = records
+		}
+	}
+	res.ElapsedMS = float64(out.elapsed) / float64(time.Millisecond)
+	var ack ResultResponse
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := wk.post(ctx, "/api/v2/fleet/result", res, &ack); err == nil {
+			if !ack.Accepted && res.Error == "" {
+				wk.opts.Logf("fleet worker: task %s shard %d: duplicate discarded (another dispatch won)", t.ID, t.Shard)
+			}
+			return
+		} else if ctx.Err() != nil || errors.Is(err, errUnknownWorker) {
+			return
+		} else if attempt < 2 {
+			sleepCtx(ctx, 200*time.Millisecond)
+		} else {
+			wk.opts.Logf("fleet worker: task %s: result delivery failed: %v", t.ID, err)
+		}
+	}
+}
+
+// taskOutput carries a transform's payload plus its observed duration.
+type taskOutput struct {
+	shard   workflow.StreamShard
+	elapsed time.Duration
+}
+
+func (wk *Worker) runTask(ctx context.Context, t Task) (taskOutput, int, error) {
+	prep, err := wk.prepare(ctx, t)
+	if err != nil {
+		return taskOutput{}, 0, err
+	}
+	if t.Shard >= prep.NumShards() {
+		return taskOutput{}, 0, fmt.Errorf("fleet: shard %d out of range: local split yields %d shards (coordinator/worker divergence)",
+			t.Shard, prep.NumShards())
+	}
+	start := time.Now()
+	out, records, err := prep.RunShard(ctx, t.Shard)
+	if err != nil {
+		return taskOutput{}, 0, err
+	}
+	return taskOutput{shard: out, elapsed: time.Since(start)}, records, nil
+}
+
+// prepare resolves the task's context dataset (inline, cache, or blob
+// fetch) and its prepared stage stream.
+func (wk *Worker) prepare(ctx context.Context, t Task) (*workflow.StagePrep, error) {
+	key := t.ContextHash
+	var ds *workflow.Dataset
+	if len(t.Context) > 0 {
+		sum := sha256.Sum256(t.Context)
+		key = hex.EncodeToString(sum[:])
+	}
+	optsJSON, err := json.Marshal(t.Options)
+	if err != nil {
+		return nil, err
+	}
+	prepKey := fmt.Sprintf("%s|%s|%d|%s", key, t.Workflow, t.Stage, optsJSON)
+	wk.mu.Lock()
+	if p, ok := wk.preps[prepKey]; ok {
+		wk.mu.Unlock()
+		return p, nil
+	}
+	ds = wk.blobs[key]
+	wk.mu.Unlock()
+	if ds == nil {
+		var raw []byte
+		if len(t.Context) > 0 {
+			raw = t.Context
+		} else {
+			raw, err = wk.fetchBlob(ctx, t.ContextHash)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ds, err = workflow.DecodeDataset(raw)
+		if err != nil {
+			return nil, err
+		}
+		wk.mu.Lock()
+		if _, ok := wk.blobs[key]; !ok {
+			wk.blobs[key] = ds
+			wk.bAge = append(wk.bAge, key)
+			if len(wk.bAge) > workerCacheMax {
+				delete(wk.blobs, wk.bAge[0])
+				wk.bAge = wk.bAge[1:]
+			}
+		} else {
+			ds = wk.blobs[key]
+		}
+		wk.mu.Unlock()
+	}
+	prep, err := wk.engine.PrepareStageShards(t.Workflow, t.Stage, ds, t.Options.RunOptions())
+	if err != nil {
+		return nil, err
+	}
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if p, ok := wk.preps[prepKey]; ok {
+		return p, nil // a concurrent shard won the prepare race
+	}
+	wk.preps[prepKey] = prep
+	wk.pAge = append(wk.pAge, prepKey)
+	if len(wk.pAge) > workerCacheMax {
+		delete(wk.preps, wk.pAge[0])
+		wk.pAge = wk.pAge[1:]
+	}
+	return prep, nil
+}
+
+func (wk *Worker) fetchBlob(ctx context.Context, hash string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		wk.opts.Coordinator+"/api/v2/blobs/"+hash, nil)
+	if err != nil {
+		return nil, err
+	}
+	if wk.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+wk.opts.Token)
+	}
+	resp, err := wk.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: blob %s: HTTP %d", hash, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (wk *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		wk.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if wk.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+wk.opts.Token)
+	}
+	resp, err := wk.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if bytes.Contains(b, []byte("unknown_worker")) {
+			return errUnknownWorker
+		}
+		return fmt.Errorf("fleet: POST %s: HTTP 404: %s", path, b)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("fleet: POST %s: HTTP %d: %s", path, resp.StatusCode, b)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"scan/internal/fleet"
 )
 
 // DefaultTimeout bounds one unary HTTP call (see WithTimeout). The
@@ -305,6 +307,14 @@ func (c *Client) DeleteDataset(ctx context.Context, idOrName string) (DatasetInf
 	var info DatasetInfo
 	err := c.do(ctx, http.MethodDelete, "/api/v2/datasets/"+url.PathEscape(idOrName), nil, &info)
 	return info, err
+}
+
+// Workers fetches the fleet roster: every registered worker node with its
+// engagement state and shard counts, plus queue depth and fleet metrics.
+func (c *Client) Workers(ctx context.Context) (fleet.Roster, error) {
+	var roster fleet.Roster
+	err := c.do(ctx, http.MethodGet, "/api/v2/workers", nil, &roster)
+	return roster, err
 }
 
 // ---------------------------------------------------------------------------

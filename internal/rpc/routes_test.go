@@ -93,6 +93,22 @@ func TestRouteContract(t *testing.T) {
 		{"DELETE", "/api/v2/datasets/ds-404", "", 404, envV2},
 		{"GET", "/api/v2/datasets/ds-1/bogus", "", 404, envV2},
 
+		// v2 fleet: the worker roster, control plane and blob data plane
+		{"GET", "/api/v2/workers", "", 200, envNone},
+		{"POST", "/api/v2/workers", "", 405, envV2},
+		{"DELETE", "/api/v2/workers", "", 405, envV2},
+		{"POST", "/api/v2/fleet/register", `{"name":"n","slots":1}`, 200, envNone},
+		{"POST", "/api/v2/fleet/register", `not json`, 400, envV2},
+		{"GET", "/api/v2/fleet/register", "", 405, envV2},
+		{"POST", "/api/v2/fleet/poll", `{"worker_id":"w999"}`, 404, envV2},
+		{"POST", "/api/v2/fleet/poll", `not json`, 400, envV2},
+		{"GET", "/api/v2/fleet/poll", "", 405, envV2},
+		{"POST", "/api/v2/fleet/result", `{"worker_id":"w999","task_id":"t1","error":"x"}`, 404, envV2},
+		{"POST", "/api/v2/fleet/result", `{}`, 400, envV2},
+		{"GET", "/api/v2/fleet/result", "", 405, envV2},
+		{"GET", "/api/v2/blobs/nope", "", 404, envV2},
+		{"POST", "/api/v2/blobs/nope", "", 405, envV2},
+
 		// unrouted
 		{"GET", "/api/v2/other", "", 404, envNone},
 		{"GET", "/api/v3/jobs", "", 404, envNone},

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scan/internal/core"
+	"scan/internal/fleet"
 	"scan/internal/genomics"
 	"scan/internal/imaging"
 	"scan/internal/network"
@@ -35,6 +36,12 @@ type ServerOptions struct {
 	// Logf receives one line per request (and per recovered panic) from
 	// the HTTP middleware; nil disables logging.
 	Logf func(format string, args ...any)
+	// Fleet is the distributed shard pool this server coordinates. Nil
+	// builds a default coordinator: the fleet endpoints are always mounted,
+	// and jobs scatter to remote workers whenever any are registered (with
+	// the engine's local pool as the zero-worker default and the per-stage
+	// fallback).
+	Fleet *fleet.Coordinator
 }
 
 // Server exposes a core.Platform over HTTP — /api/v1 (the original flat RPC
@@ -46,6 +53,7 @@ type Server struct {
 	now       func() time.Time
 	retention int
 	logf      func(format string, args ...any)
+	fleet     *fleet.Coordinator
 
 	mu     sync.Mutex
 	nextID int
@@ -153,12 +161,16 @@ func NewServerOptions(p *core.Platform, opts ServerOptions) *Server {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Fleet == nil {
+		opts.Fleet = fleet.NewCoordinator(fleet.Options{Logf: opts.Logf})
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		platform:  p,
 		now:       time.Now,
 		retention: opts.Retention,
 		logf:      opts.Logf,
+		fleet:     opts.Fleet,
 		jobs:      make(map[int]*jobRecord),
 		queue:     make(chan int, 1024),
 		stop:      cancel,
@@ -223,6 +235,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v2/jobs/", s.handleV2Job)
 	mux.HandleFunc("/api/v2/datasets", s.handleV2Datasets)
 	mux.HandleFunc("/api/v2/datasets/", s.handleV2Dataset)
+	// Fleet: the worker roster, control plane and blob data plane
+	// (internal/fleet owns the handlers so in-process tests mount the
+	// identical surface).
+	fleet.Mount(mux, s.fleet)
 	return s.middleware(mux)
 }
 
@@ -565,12 +581,19 @@ func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, 
 		return JobResult{}, err
 	}
 	inputRecords := in.Records()
-	wres, err := s.platform.RunWorkflow(ctx, spec.workflow, in,
-		workflow.RunOptions{
-			Caller:        variant.Config{MinDepth: 8, MinAltFraction: 0.6},
-			ShardRecords:  spec.shardRecords,
-			StageObserver: func(sr workflow.StageResult) { s.publishStage(id, sr) },
-		})
+	opts := workflow.RunOptions{
+		Caller:        variant.Config{MinDepth: 8, MinAltFraction: 0.6},
+		ShardRecords:  spec.shardRecords,
+		StageObserver: func(sr workflow.StageResult) { s.publishStage(id, sr) },
+	}
+	// Scatter to the fleet only when remote workers are actually registered:
+	// a workerless daemon keeps the engine's local pool and its pipelined
+	// scheduler. (A fleet that empties mid-run still falls back per stage via
+	// ErrNoWorkers.)
+	if s.fleet.ReadyWorkers() > 0 {
+		opts.ShardPool = s.fleet
+	}
+	wres, err := s.platform.RunWorkflow(ctx, spec.workflow, in, opts)
 	if err != nil {
 		return JobResult{}, err
 	}

@@ -1,0 +1,137 @@
+package scheduler
+
+// FleetAdvisor adapts the Section III-A2 scaling economics from the
+// simulator's event clock to a live worker fleet's wall clock — the policy
+// brain internal/fleet's coordinator consults before engaging registered
+// workers. The structure mirrors Scheduler.shouldHirePublic: a baseline of
+// workers plays the private tier (engaged unconditionally while work
+// exists), and each engagement beyond it is a "public hire" that must pay
+// for itself — the Equation 1 delay cost the hire removes from the queue
+// has to exceed the hire's cost by the predictive margin. Inputs are live
+// observations instead of simulated ones: the coordinator's queue depth
+// and the Data Broker's fitted per-task cost (knowledge.ChainCosts /
+// StageEnv.EstimateShardCost).
+
+import "time"
+
+// FleetAdvisor holds the tunables of the wall-clock scaling decision.
+// The zero value is usable: defaults applied per call.
+type FleetAdvisor struct {
+	// Policy selects the Table I horizontal-scaling algorithm.
+	Policy ScalingPolicy
+	// Baseline is the private-tier size: workers engaged whenever work
+	// exists, with no hire decision (default 1).
+	Baseline int
+	// HirePrice is the public-tier price of one worker-second (default 1,
+	// matching the simulator's unit price).
+	HirePrice float64
+	// DelayCostPerSec converts one queued task-second into reward-scheme
+	// delay cost (default 1).
+	DelayCostPerSec float64
+	// Margin is the hire-cost multiplier the delay cost must exceed,
+	// mirroring Config.PredictiveMargin (default 3).
+	Margin float64
+	// StartupDelaySec estimates the engage-to-first-result overhead of a
+	// fresh worker (default 0.1).
+	StartupDelaySec float64
+}
+
+func (a FleetAdvisor) withDefaults() FleetAdvisor {
+	if a.Baseline <= 0 {
+		a.Baseline = 1
+	}
+	if a.HirePrice <= 0 {
+		a.HirePrice = 1
+	}
+	if a.DelayCostPerSec <= 0 {
+		a.DelayCostPerSec = 1
+	}
+	if a.Margin <= 0 {
+		a.Margin = 3
+	}
+	if a.StartupDelaySec <= 0 {
+		a.StartupDelaySec = 0.1
+	}
+	return a
+}
+
+// DesiredWorkers answers "how many of the available workers should be
+// engaged right now": queued is the number of tasks waiting for a worker,
+// engaged how many workers are currently engaged, available how many live
+// workers are registered, and estTaskSec the fitted serial cost of one
+// queued task. The result is always within [0, available]; release of
+// workers above it is idle-driven (IdleRelease), never preemptive.
+func (a FleetAdvisor) DesiredWorkers(queued, engaged, available int, estTaskSec float64) int {
+	a = a.withDefaults()
+	if available <= 0 {
+		return 0
+	}
+	if engaged > available {
+		engaged = available
+	}
+	if queued <= 0 {
+		// Nothing waiting: keep what is engaged, hire nothing.
+		return engaged
+	}
+	base := min(a.Baseline, available)
+	switch a.Policy {
+	case NeverScale:
+		// Private tier only: queue rather than hire.
+		return base
+	case AlwaysScale:
+		// Every waiting task justifies a hire — private first, public
+		// overflow, capacity permitting.
+		return min(available, max(base, engaged+queued))
+	}
+	// PredictiveScale: grow k one worker at a time while the marginal
+	// Equation 1 delay-cost reduction exceeds Margin × hire cost. With k
+	// workers task j of the queue waits ≈ (j-1)/k · estTaskSec, so the
+	// aggregate delay cost is DelayCostPerSec · estTaskSec · q(q-1)/(2k)
+	// and the k→k+1 hire removes the 1/k − 1/(k+1) share of it. The hire
+	// costs its startup plus one task's execution at the public price —
+	// the same shape as shouldHirePublic's hireCost.
+	if estTaskSec <= 0 {
+		return max(base, engaged)
+	}
+	k := max(base, engaged)
+	q := float64(queued)
+	aggregate := a.DelayCostPerSec * estTaskSec * q * (q - 1) / 2
+	hireCost := a.HirePrice * (a.StartupDelaySec + estTaskSec)
+	for k < available {
+		if q*estTaskSec/float64(k) <= a.StartupDelaySec {
+			break // an existing worker frees before a fresh one would boot
+		}
+		saved := aggregate * (1/float64(k) - 1/float64(k+1))
+		if saved <= a.Margin*hireCost {
+			break
+		}
+		k++
+	}
+	return k
+}
+
+// IdleRelease maps a Table I resource-allocation policy onto the live
+// fleet's one allocatable resource — how long an engaged worker is held
+// once idle before its engagement is released. Greedy re-plans at every
+// stage, so it holds capacity only as long as rehiring would cost;
+// LongTerm commits for a long horizon; LongTermAdaptive tracks the
+// observed gap between work bursts (gapSec, an EWMA the coordinator
+// maintains; ≤0 when unobserved); BestConstant holds a fixed default.
+func (a FleetAdvisor) IdleRelease(policy AllocationPolicy, gapSec float64) time.Duration {
+	a = a.withDefaults()
+	const def = 2 * time.Second
+	switch policy {
+	case Greedy:
+		return time.Duration(a.StartupDelaySec * float64(time.Second))
+	case LongTerm:
+		return 10 * def
+	case LongTermAdaptive:
+		if gapSec <= 0 {
+			return def
+		}
+		hold := time.Duration(2 * gapSec * float64(time.Second))
+		return min(max(hold, time.Duration(a.StartupDelaySec*float64(time.Second))), 10*def)
+	default: // BestConstant
+		return def
+	}
+}

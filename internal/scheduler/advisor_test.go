@@ -1,0 +1,79 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance contract for the fleet's hire economics: PredictiveScale
+// engages a second worker only when the queue's Equation 1 delay cost
+// exceeds the margin-scaled hire cost; NeverScale never leaves the
+// baseline tier.
+
+func TestFleetAdvisorPredictiveThreshold(t *testing.T) {
+	adv := FleetAdvisor{Policy: PredictiveScale} // defaults: baseline 1, margin 3, startup 0.1
+	// est 1s/task: the 1→2 hire saves q(q-1)/4 delay cost and costs
+	// 3 × 1.1 = 3.3. Four queued tasks save 3 — below the bar; five save
+	// 5 — above it.
+	if got := adv.DesiredWorkers(4, 1, 2, 1.0); got != 1 {
+		t.Fatalf("q=4: desired = %d, want 1 (delay cost 3 under hire cost 3.3)", got)
+	}
+	if got := adv.DesiredWorkers(5, 1, 2, 1.0); got != 2 {
+		t.Fatalf("q=5: desired = %d, want 2 (delay cost 5 over hire cost 3.3)", got)
+	}
+	// Cheap tasks: even a deep queue cannot justify a hire once the
+	// expected wait dips under the startup delay.
+	if got := adv.DesiredWorkers(50, 1, 2, 0.001); got != 1 {
+		t.Fatalf("cheap tasks: desired = %d, want 1", got)
+	}
+	// More capacity: the marginal saving shrinks as k grows, so desired
+	// stops where saving ≤ margin × hire cost, not at the capacity cap.
+	got := adv.DesiredWorkers(12, 1, 8, 1.0)
+	if got <= 1 || got >= 8 {
+		t.Fatalf("q=12 over 8 workers: desired = %d, want interior value", got)
+	}
+}
+
+func TestFleetAdvisorNeverAndAlways(t *testing.T) {
+	never := FleetAdvisor{Policy: NeverScale}
+	for _, q := range []int{0, 1, 100} {
+		want := 1
+		if q == 0 {
+			want = 0 // nothing queued and nothing engaged
+		}
+		if got := never.DesiredWorkers(q, 0, 4, 5.0); got != want {
+			t.Fatalf("never-scale q=%d: desired = %d, want %d", q, got, want)
+		}
+	}
+	always := FleetAdvisor{Policy: AlwaysScale}
+	if got := always.DesiredWorkers(3, 1, 8, 0.01); got != 4 {
+		t.Fatalf("always-scale: desired = %d, want 4 (one per queued task)", got)
+	}
+	if got := always.DesiredWorkers(100, 1, 8, 0.01); got != 8 {
+		t.Fatalf("always-scale capped: desired = %d, want 8", got)
+	}
+}
+
+func TestFleetAdvisorIdleQueueKeepsEngagement(t *testing.T) {
+	adv := FleetAdvisor{Policy: PredictiveScale}
+	if got := adv.DesiredWorkers(0, 3, 4, 1.0); got != 3 {
+		t.Fatalf("empty queue: desired = %d, want 3 (release is idle-driven)", got)
+	}
+}
+
+func TestFleetAdvisorIdleRelease(t *testing.T) {
+	adv := FleetAdvisor{}
+	greedy := adv.IdleRelease(Greedy, 0)
+	fixed := adv.IdleRelease(BestConstant, 0)
+	long := adv.IdleRelease(LongTerm, 0)
+	if !(greedy < fixed && fixed < long) {
+		t.Fatalf("hold ordering: greedy %v < best-constant %v < long-term %v expected", greedy, fixed, long)
+	}
+	// Adaptive tracks the observed burst gap, clamped to the long-term cap.
+	if got := adv.IdleRelease(LongTermAdaptive, 1.5); got != 3*time.Second {
+		t.Fatalf("adaptive hold = %v, want 3s (2× observed gap)", got)
+	}
+	if got := adv.IdleRelease(LongTermAdaptive, 1e6); got != adv.IdleRelease(LongTerm, 0) {
+		t.Fatalf("adaptive hold uncapped: %v", got)
+	}
+}

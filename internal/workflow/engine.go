@@ -114,6 +114,14 @@ type RunOptions struct {
 	// shard plans stay byte-identical to barrier execution; turn it on
 	// when pool occupancy matters more than plan parity.
 	RefineScatter bool
+	// ShardPool, when non-nil, executes streaming stages' shard transforms
+	// remotely (the distributed worker fleet, internal/fleet) instead of on
+	// the engine's local goroutine pool. Remote execution uses the barrier
+	// scheduler — each stage's input materializes before its shards
+	// dispatch, so a worker can rebuild the stage's stream from that input
+	// alone. The local pool stays the default and the equivalence
+	// reference; a pool reporting ErrNoWorkers falls back to it per stage.
+	ShardPool ShardPool
 }
 
 // PipelineTiming reports how a stage executed inside a pipelined segment;
@@ -242,7 +250,11 @@ func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptio
 			return nil, fmt.Errorf("%w: workflow %s stage %q consumes %s, dataset is %s",
 				ErrTypeMismatch, w.Name, st.Name, st.Consumes, ds.Type)
 		}
-		if !opts.Barrier {
+		// A remote ShardPool implies the barrier scheduler: each stage's
+		// input must materialize before its shards can ship to workers.
+		// Equivalence to pipelined execution holds transitively through
+		// the pipelined-vs-barrier contract.
+		if !opts.Barrier && opts.ShardPool == nil {
 			if seg := e.pipelineSegment(w, i, exec, ds, opts); seg != nil {
 				out, err := e.runPipelined(ctx, w, seg, opts, res)
 				if err != nil {
@@ -254,7 +266,8 @@ func (e *Engine) Run(ctx context.Context, w Workflow, in *Dataset, opts RunOptio
 			}
 		}
 		sr := StageResult{Stage: st.Name, Tool: st.Tool}
-		env := &StageEnv{engine: e, stage: st, index: i, opts: opts, result: &sr}
+		env := &StageEnv{engine: e, stage: st, index: i, opts: opts, result: &sr,
+			workflow: w.Name, input: ds}
 		start := time.Now()
 		out, err := exec.Execute(ctx, env, ds)
 		if err != nil {
@@ -293,6 +306,12 @@ type StageEnv struct {
 	// pipelined marks envs built for a pipelined segment; RecordShardSize
 	// refines the scatter width for pool occupancy when set.
 	pipelined bool
+	// workflow and input identify the stage for remote dispatch: the
+	// workflow name and the stage's materialized input dataset. Set only
+	// on the barrier path of Engine.Run (pipelined stages never
+	// materialize their inputs, so they cannot dispatch remotely).
+	workflow string
+	input    *Dataset
 	// records accumulates the stage's processed input records across
 	// concurrent shards (LogShard adds to it); the engine copies it onto
 	// the stage result once the stage completes.
@@ -419,4 +438,59 @@ func (env *StageEnv) LogShard(records int, elapsed time.Duration) {
 		Threads:   1,
 		ETime:     elapsed.Seconds(),
 	})
+}
+
+// Workflow returns the running workflow's name ("" outside Engine.Run's
+// barrier path — a ShardPool must not dispatch such envs).
+func (env *StageEnv) Workflow() string { return env.workflow }
+
+// StageIndex returns the stage's position in the workflow chain.
+func (env *StageEnv) StageIndex() int { return env.index }
+
+// Input returns the stage's materialized input dataset (nil outside the
+// barrier path).
+func (env *StageEnv) Input() *Dataset { return env.input }
+
+// remoteable reports whether this env's stage may dispatch to a remote
+// shard pool: the stage must come from Engine.Run's barrier path (so its
+// input is materialized and addressable) and not be part of a pipelined
+// segment.
+func (env *StageEnv) remoteable() bool {
+	return !env.pipelined && env.workflow != "" && env.input != nil
+}
+
+// RemoteOptions pins the run options a remote worker needs to rebuild this
+// stage's stream deterministically without a knowledge base: the shard
+// plan the coordinator's Split already decided (so the worker's Split
+// produces byte-identical shards without consulting the Data Broker) and
+// the region-scatter width resolved against the coordinator's pool.
+// Scheduling-only fields (ShardPool, StageObserver, Barrier) are dropped.
+func (env *StageEnv) RemoteOptions() RunOptions {
+	opts := RunOptions{
+		Aligner:      env.opts.Aligner,
+		Caller:       env.opts.Caller,
+		ShardRecords: env.opts.ShardRecords,
+		Regions:      env.RegionCount(),
+		MinQual:      env.opts.MinQual,
+	}
+	if env.result.Plan.NumShards > 0 {
+		opts.ShardRecords = env.result.Plan.RecordsPerShard
+	}
+	return opts
+}
+
+// EstimateShardCost predicts one shard's serial execution time in seconds
+// from the Data Broker's fitted model for this (tool, stage) pair — the
+// fleet coordinator's input to its hire economics. Returns fallback when
+// the KB is nil or cannot regress the stage yet.
+func (env *StageEnv) EstimateShardCost(records int, fallback float64) float64 {
+	if env.engine.kb == nil {
+		return fallback
+	}
+	units := float64(records) / float64(env.engine.recordsPerUnit)
+	est, err := env.engine.kb.EstimateStageCost(env.stage.Tool, env.index, units)
+	if err != nil || est.Seconds <= 0 {
+		return fallback
+	}
+	return est.Seconds
 }

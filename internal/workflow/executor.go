@@ -139,10 +139,12 @@ func (alignExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, erro
 	return &alignStream{env: env, in: in, aligner: aligner}, true, nil
 }
 
-// alignedShard is the alignment stage's per-shard output payload.
-type alignedShard struct {
-	alns   []genomics.Alignment
-	mapped int
+// AlignedShard is the alignment stage's per-shard output payload. Exported
+// (with exported fields) because it crosses the fleet wire: a remote worker
+// gob-encodes it back to the coordinator (wire.go).
+type AlignedShard struct {
+	Alns   []genomics.Alignment
+	Mapped int
 }
 
 type alignStream struct {
@@ -184,16 +186,16 @@ func (s *alignStream) Transform(ctx context.Context, _ int, in StreamShard) (Str
 		alns = append(alns, aln)
 	}
 	genomics.SortAlignments(alns)
-	return StreamShard{Records: len(alns), Data: alignedShard{alns: alns, mapped: mapped}}, nil
+	return StreamShard{Records: len(alns), Data: AlignedShard{Alns: alns, Mapped: mapped}}, nil
 }
 
 func (s *alignStream) Gather(shards []StreamShard) (*Dataset, error) {
 	groups := make([][]genomics.Alignment, len(shards))
 	mapped := 0
 	for i, sh := range shards {
-		as := sh.Data.(alignedShard)
-		groups[i] = as.alns
-		mapped += as.mapped
+		as := sh.Data.(AlignedShard)
+		groups[i] = as.Alns
+		mapped += as.Mapped
 	}
 	out := *s.in
 	out.Type = BAM
@@ -209,53 +211,89 @@ func (s *alignStream) Gather(shards []StreamShard) (*Dataset, error) {
 // genomic regions with boundary overlap, call variants per region on the
 // pool, keep each call only in the region that contains it, and gather
 // into one sorted, deduplicated call set — the GATK-style scatter the
-// paper parallelizes.
+// paper parallelizes. A re-scatter stage: its stream needs the whole
+// materialized alignment set, so it declines pipelined participation and
+// streams only behind a stage-local barrier (where the fleet's remote
+// shard pool can pick its transforms up).
 type callExecutor struct{}
 
-func (callExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
-	regions, err := shard.Regions(in.Reference.Len(), env.RegionCount())
+func (e callExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := e.Stream(env, in)
 	if err != nil {
 		return nil, err
 	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+// Stream implements StreamingExecutor. The region scatter re-partitions
+// the stage's whole input, so it cannot ride a pipelined segment (ok=false
+// when the env is pipelined — the engine barriers at this stage, exactly
+// the pre-streaming behavior).
+func (callExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
+	if env.pipelined {
+		return nil, false, nil
+	}
+	return &callStream{env: env, in: in}, true, nil
+}
+
+type callStream struct {
+	env     *StageEnv
+	in      *Dataset
+	regions []shard.Region
+}
+
+func (s *callStream) Split() ([]StreamShard, error) {
+	regions, err := shard.Regions(s.in.Reference.Len(), s.env.RegionCount())
+	if err != nil {
+		return nil, err
+	}
+	s.regions = regions
 	// Overlap-aware scatter: a read spanning a region boundary feeds the
 	// pileups of both regions, so boundary positions see full coverage.
-	parts, _ := shard.PartitionByOverlap(in.Alignments, regions)
-	varShards := make([][]genomics.Variant, len(parts))
-	err = env.Pool(ctx, len(parts), func(i int) error {
-		start := time.Now()
-		caller := variant.NewCaller(in.Reference, env.Options().Caller)
-		for j, a := range parts[i] {
-			if j%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			if err := caller.Add(a); err != nil {
-				return err
-			}
-		}
-		calls := caller.Call()
-		// Keep only calls inside this region so region overlaps cannot
-		// duplicate evidence across shards.
-		kept := calls[:0]
-		for j, v := range calls {
-			if j%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			if regions[i].Contains(v.Pos) {
-				kept = append(kept, v)
-			}
-		}
-		varShards[i] = kept
-		env.LogShard(len(parts[i]), time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	parts, _ := shard.PartitionByOverlap(s.in.Alignments, regions)
+	shards := make([]StreamShard, len(parts))
+	for i, p := range parts {
+		shards[i] = StreamShard{Records: len(p), Data: p}
 	}
-	out := *in
+	return shards, nil
+}
+
+func (s *callStream) Transform(ctx context.Context, i int, in StreamShard) (StreamShard, error) {
+	alns := in.Data.([]genomics.Alignment)
+	caller := variant.NewCaller(s.in.Reference, s.env.Options().Caller)
+	for j, a := range alns {
+		if j%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return StreamShard{}, err
+			}
+		}
+		if err := caller.Add(a); err != nil {
+			return StreamShard{}, err
+		}
+	}
+	calls := caller.Call()
+	// Keep only calls inside this region so region overlaps cannot
+	// duplicate evidence across shards.
+	kept := calls[:0]
+	for j, v := range calls {
+		if j%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return StreamShard{}, err
+			}
+		}
+		if s.regions[i].Contains(v.Pos) {
+			kept = append(kept, v)
+		}
+	}
+	return StreamShard{Records: len(kept), Data: kept}, nil
+}
+
+func (s *callStream) Gather(shards []StreamShard) (*Dataset, error) {
+	varShards := make([][]genomics.Variant, len(shards))
+	for i, sh := range shards {
+		varShards[i] = sh.Data.([]genomics.Variant)
+	}
+	out := *s.in
 	out.Type = VCF
 	out.Variants = genomics.MergeVariants(varShards...)
 	return &out, nil
@@ -290,44 +328,76 @@ func (filterExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (
 // quantifyExecutor implements the expression Quantify stage: scatter the
 // reference into regions, count the mapped alignments starting in each and
 // their mean coverage on the pool, and gather a per-region FeatureTable —
-// the RNA-seq expression workload.
+// the RNA-seq expression workload. Like the callers it is a re-scatter
+// stage: streaming-capable behind a barrier, declined inside pipelines.
 type quantifyExecutor struct{}
 
-func (quantifyExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
-	regions, err := shard.Regions(in.Reference.Len(), env.RegionCount())
+func (e quantifyExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := e.Stream(env, in)
 	if err != nil {
 		return nil, err
 	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+// Stream implements StreamingExecutor (barrier-only; see callExecutor).
+func (quantifyExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
+	if env.pipelined {
+		return nil, false, nil
+	}
+	return &quantifyStream{env: env, in: in}, true, nil
+}
+
+type quantifyStream struct {
+	env     *StageEnv
+	in      *Dataset
+	regions []shard.Region
+}
+
+func (s *quantifyStream) Split() ([]StreamShard, error) {
+	regions, err := shard.Regions(s.in.Reference.Len(), s.env.RegionCount())
+	if err != nil {
+		return nil, err
+	}
+	s.regions = regions
 	// Start-position scatter: each alignment counts toward exactly one
 	// region, so feature counts sum to the mapped total.
-	parts, _ := shard.PartitionByRegion(in.Alignments, regions)
-	features := make([]Feature, len(regions))
-	err = env.Pool(ctx, len(parts), func(i int) error {
-		start := time.Now()
-		bases := 0
-		for j, a := range parts[i] {
-			if j%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			bases += len(a.Seq)
-		}
-		r := regions[i]
-		features[i] = Feature{
-			Name:  fmt.Sprintf("%s:%d-%d", in.Reference.Name, r.Start, r.End),
-			Start: r.Start,
-			End:   r.End,
-			Count: len(parts[i]),
-			Value: float64(bases) / float64(r.Len()),
-		}
-		env.LogShard(len(parts[i]), time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	parts, _ := shard.PartitionByRegion(s.in.Alignments, regions)
+	shards := make([]StreamShard, len(parts))
+	for i, p := range parts {
+		shards[i] = StreamShard{Records: len(p), Data: p}
 	}
-	out := *in
+	return shards, nil
+}
+
+func (s *quantifyStream) Transform(ctx context.Context, i int, in StreamShard) (StreamShard, error) {
+	alns := in.Data.([]genomics.Alignment)
+	bases := 0
+	for j, a := range alns {
+		if j%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return StreamShard{}, err
+			}
+		}
+		bases += len(a.Seq)
+	}
+	r := s.regions[i]
+	f := Feature{
+		Name:  fmt.Sprintf("%s:%d-%d", s.in.Reference.Name, r.Start, r.End),
+		Start: r.Start,
+		End:   r.End,
+		Count: len(alns),
+		Value: float64(bases) / float64(r.Len()),
+	}
+	return StreamShard{Records: 1, Data: f}, nil
+}
+
+func (s *quantifyStream) Gather(shards []StreamShard) (*Dataset, error) {
+	features := make([]Feature, len(shards))
+	for i, sh := range shards {
+		features[i] = sh.Data.(Feature)
+	}
+	out := *s.in
 	out.Type = FeatureTable
 	out.Features = features
 	return &out, nil

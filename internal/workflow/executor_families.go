@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"scan/internal/imaging"
 	"scan/internal/network"
@@ -99,150 +98,187 @@ func (s *spectralStream) Gather(shards []StreamShard) (*Dataset, error) {
 	return &out, nil
 }
 
+// TileShard is the imaging Profile stage's per-shard input payload: which
+// frame to segment and the tile window inside it. Exported (with exported
+// fields) because it crosses the fleet wire (wire.go) — the pixels
+// themselves travel in the stage's context dataset, not per shard.
+type TileShard struct {
+	Img  int
+	Tile imaging.Tile
+}
+
 // cellProfileExecutor implements the imaging Profile stage: scatter every
 // frame into overlapping tiles (core partition + halo, so a cell on a tile
 // boundary is counted once by the tile owning its centroid), segment tiles
 // on the pool, and gather per-cell features into one FeatureTable row per
-// detected cell.
+// detected cell. A re-scatter stage: streaming-capable behind a barrier,
+// declined inside pipelines.
 type cellProfileExecutor struct{}
 
-func (cellProfileExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
-	type unit struct {
-		img  int
-		tile imaging.Tile
-	}
-	tilesPerImage := env.RegionCount()
-	var units []unit
-	for i := range in.Images {
-		im := &in.Images[i]
-		for j, t := range imaging.TileGrid(im.W, im.H, tilesPerImage, imaging.DefaultHalo) {
-			if j%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			units = append(units, unit{img: i, tile: t})
-		}
-	}
-	regionShards := make([][]imaging.Region, len(units))
-	err := env.Pool(ctx, len(units), func(i int) error {
-		start := time.Now()
-		u := units[i]
-		regionShards[i] = imaging.SegmentTile(&in.Images[u.img], u.tile, imaging.SegConfig{})
-		// The tile's work scales with its segmented window, so telemetry
-		// records halo pixels as the shard's input size.
-		halo := u.tile.Halo
-		env.LogShard((halo.X1-halo.X0)*(halo.Y1-halo.Y0), time.Since(start))
-		return nil
-	})
+func (e cellProfileExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := e.Stream(env, in)
 	if err != nil {
 		return nil, err
 	}
+	return runStreamBarrier(ctx, env, st)
+}
+
+// Stream implements StreamingExecutor (barrier-only; see callExecutor).
+func (cellProfileExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
+	if env.pipelined {
+		return nil, false, nil
+	}
+	return &cellStream{env: env, in: in}, true, nil
+}
+
+type cellStream struct {
+	env   *StageEnv
+	in    *Dataset
+	units []TileShard
+}
+
+func (s *cellStream) Split() ([]StreamShard, error) {
+	tilesPerImage := s.env.RegionCount()
+	for i := range s.in.Images {
+		im := &s.in.Images[i]
+		for _, t := range imaging.TileGrid(im.W, im.H, tilesPerImage, imaging.DefaultHalo) {
+			s.units = append(s.units, TileShard{Img: i, Tile: t})
+		}
+	}
+	shards := make([]StreamShard, len(s.units))
+	for i, u := range s.units {
+		// The tile's work scales with its segmented window, so telemetry
+		// records halo pixels as the shard's input size.
+		halo := u.Tile.Halo
+		shards[i] = StreamShard{Records: (halo.X1 - halo.X0) * (halo.Y1 - halo.Y0), Data: u}
+	}
+	return shards, nil
+}
+
+func (s *cellStream) Transform(ctx context.Context, _ int, in StreamShard) (StreamShard, error) {
+	if err := ctx.Err(); err != nil {
+		return StreamShard{}, err
+	}
+	u := in.Data.(TileShard)
+	regions := imaging.SegmentTile(&s.in.Images[u.Img], u.Tile, imaging.SegConfig{})
+	return StreamShard{Records: in.Records, Data: regions}, nil
+}
+
+func (s *cellStream) Gather(shards []StreamShard) (*Dataset, error) {
 	var features []Feature
-	for i := range in.Images {
+	for i := range s.in.Images {
 		var regions []imaging.Region
-		for j, u := range units {
-			if j%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			if u.img == i {
-				regions = append(regions, regionShards[j]...)
+		for j, u := range s.units {
+			if u.Img == i {
+				regions = append(regions, shards[j].Data.([]imaging.Region)...)
 			}
 		}
 		imaging.SortRegions(regions) // canonical order regardless of tiling
 		for n, r := range regions {
-			if n%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
 			features = append(features, Feature{
-				Name:  fmt.Sprintf("%s:cell%03d", in.Images[i].ID, n),
+				Name:  fmt.Sprintf("%s:cell%03d", s.in.Images[i].ID, n),
 				Count: r.Area,
 				Value: r.Mean,
 			})
 		}
 	}
-	out := *in
+	out := *s.in
 	out.Type = FeatureTable
 	out.Images = nil // the caller's own input; release once consumed
 	out.Features = features
 	return &out, nil
 }
 
+// NodeRange is the Integrate stage's per-shard input payload: a half-open
+// range [Lo, Hi) of node indices whose pairwise edges the shard builds.
+// Exported because it crosses the fleet wire (wire.go) — workers rebuild
+// the node list from the stage's context dataset.
+type NodeRange struct {
+	Lo, Hi int
+}
+
 // integrateExecutor implements the integrative Integrate stage: treat each
 // feature as a network node, scatter the O(n²) pairwise edge construction
 // over Data-Broker-sized node-range partitions on the pool, then gather the
 // edge slabs and detect modules in one pass — the Cytoscape-style network
-// build.
+// build. A re-scatter stage: streaming-capable behind a barrier, declined
+// inside pipelines.
 type integrateExecutor struct{}
 
-func (integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
-	nodes := make([]network.Node, len(in.Features))
-	for i, f := range in.Features {
-		if i%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		nodes[i] = network.Node{Name: f.Name, Value: f.Value}
-	}
-	per, err := env.RecordShardSize(len(nodes))
+func (e integrateExecutor) Execute(ctx context.Context, env *StageEnv, in *Dataset) (*Dataset, error) {
+	st, _, err := e.Stream(env, in)
 	if err != nil {
 		return nil, err
 	}
-	type nodeRange struct{ lo, hi int }
-	ranges := []nodeRange{{0, 0}} // empty input still runs one (empty) unit
-	if len(nodes) > 0 {
+	return runStreamBarrier(ctx, env, st)
+}
+
+// Stream implements StreamingExecutor (barrier-only; see callExecutor).
+func (integrateExecutor) Stream(env *StageEnv, in *Dataset) (StageStream, bool, error) {
+	if env.pipelined {
+		return nil, false, nil
+	}
+	return &integrateStream{env: env, in: in}, true, nil
+}
+
+type integrateStream struct {
+	env   *StageEnv
+	in    *Dataset
+	nodes []network.Node
+}
+
+func (s *integrateStream) Split() ([]StreamShard, error) {
+	s.nodes = make([]network.Node, len(s.in.Features))
+	for i, f := range s.in.Features {
+		s.nodes[i] = network.Node{Name: f.Name, Value: f.Value}
+	}
+	per, err := s.env.RecordShardSize(len(s.nodes))
+	if err != nil {
+		return nil, err
+	}
+	ranges := []NodeRange{{0, 0}} // empty input still runs one (empty) unit
+	if len(s.nodes) > 0 {
 		ranges = ranges[:0]
-		for lo := 0; lo < len(nodes); lo += per {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			ranges = append(ranges, nodeRange{lo, min(lo+per, len(nodes))})
+		for lo := 0; lo < len(s.nodes); lo += per {
+			ranges = append(ranges, NodeRange{Lo: lo, Hi: min(lo+per, len(s.nodes))})
 		}
 	}
-	edgeSlabs := make([][]network.Edge, len(ranges))
-	err = env.Pool(ctx, len(ranges), func(i int) error {
-		start := time.Now()
-		r := ranges[i]
-		// Build the range in consecutive sub-blocks with a context poll
-		// between each, so cancelling interrupts the O(n²) edge scan
-		// mid-range. Concatenating consecutive sub-ranges yields exactly
-		// the edge order of one full-range call.
-		var slab []network.Edge
-		for lo := r.lo; lo < r.hi; lo += ctxCheckInterval {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			hi := min(lo+ctxCheckInterval, r.hi)
-			slab = append(slab, network.EdgesInRange(nodes, lo, hi, network.Config{})...)
-		}
-		edgeSlabs[i] = slab
-		env.LogShard(r.hi-r.lo, time.Since(start))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	shards := make([]StreamShard, len(ranges))
+	for i, r := range ranges {
+		shards[i] = StreamShard{Records: r.Hi - r.Lo, Data: r}
 	}
+	return shards, nil
+}
+
+func (s *integrateStream) Transform(ctx context.Context, _ int, in StreamShard) (StreamShard, error) {
+	r := in.Data.(NodeRange)
+	// Build the range in consecutive sub-blocks with a context poll
+	// between each, so cancelling interrupts the O(n²) edge scan
+	// mid-range. Concatenating consecutive sub-ranges yields exactly
+	// the edge order of one full-range call.
+	var slab []network.Edge
+	for lo := r.Lo; lo < r.Hi; lo += ctxCheckInterval {
+		if err := ctx.Err(); err != nil {
+			return StreamShard{}, err
+		}
+		hi := min(lo+ctxCheckInterval, r.Hi)
+		slab = append(slab, network.EdgesInRange(s.nodes, lo, hi, network.Config{})...)
+	}
+	return StreamShard{Records: in.Records, Data: slab}, nil
+}
+
+func (s *integrateStream) Gather(shards []StreamShard) (*Dataset, error) {
 	var edges []network.Edge
-	for i, slab := range edgeSlabs {
-		if i%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		edges = append(edges, slab...)
+	for _, sh := range shards {
+		edges = append(edges, sh.Data.([]network.Edge)...)
 	}
 	network.SortEdges(edges)
-	out := *in
+	out := *s.in
 	out.Type = Network
 	out.Net = &network.Network{
-		Nodes:   nodes,
+		Nodes:   s.nodes,
 		Edges:   edges,
-		Modules: network.Modules(len(nodes), edges),
+		Modules: network.Modules(len(s.nodes), edges),
 	}
 	return &out, nil
 }

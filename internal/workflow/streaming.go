@@ -2,8 +2,33 @@ package workflow
 
 import (
 	"context"
+	"errors"
 	"time"
 )
+
+// ErrNoWorkers is returned by a ShardPool that currently has no remote
+// capacity. The engine treats it as "run this stage on the local pool
+// instead" rather than failing the stage, so a coordinator with an empty
+// roster degrades to exactly the single-process behavior.
+var ErrNoWorkers = errors.New("workflow: shard pool has no workers")
+
+// ShardPool executes one streaming stage's shard transforms on behalf of
+// the engine — the seam a distributed worker fleet (internal/fleet) plugs
+// into via RunOptions.ShardPool. The engine Splits the stage locally and
+// hands the pool the resulting shards; implementations must return outs
+// indexed 1:1 with shards, call env.LogShard exactly once per completed
+// shard with the remotely observed execution time (so fleet runs feed the
+// same Data Broker telemetry as local ones), and honor ctx cancellation.
+// Returning an error wrapping ErrNoWorkers makes the engine fall back to
+// the local pool for this stage; any other error fails the stage.
+//
+// Remote and local shard pools share one executor path: a pool executes
+// the same StageStream transforms runStreamBarrier would (a worker
+// rebuilds the stream via Engine.RunStageShard from the stage's input and
+// pinned options) — there is no separate remote Execute.
+type ShardPool interface {
+	RunShards(ctx context.Context, env *StageEnv, shards []StreamShard) ([]StreamShard, error)
+}
 
 // StreamShard is one unit of data flowing through a pipelined segment: a
 // stage-specific payload plus the record count the engine uses for shard
@@ -72,11 +97,25 @@ type PassthroughExecutor interface {
 // runStreamBarrier executes a stage stream under the stage-local pool:
 // split, transform every shard, gather. Streaming executors implement
 // Execute with it so the barrier path and the pipelined path share one
-// per-shard implementation and cannot diverge.
+// per-shard implementation and cannot diverge. When the run carries a
+// remote ShardPool the transforms dispatch through it instead — same
+// Split, same Gather, same telemetry — with a per-stage fallback to the
+// local pool when the fleet has no capacity.
 func runStreamBarrier(ctx context.Context, env *StageEnv, st StageStream) (*Dataset, error) {
 	shards, err := st.Split()
 	if err != nil {
 		return nil, err
+	}
+	if pool := env.opts.ShardPool; pool != nil && env.remoteable() {
+		outs, rerr := pool.RunShards(ctx, env, shards)
+		if rerr == nil {
+			env.result.Shards = len(shards)
+			return st.Gather(outs)
+		}
+		if !errors.Is(rerr, ErrNoWorkers) {
+			return nil, rerr
+		}
+		// No remote capacity right now: run this stage on the local pool.
 	}
 	outs := make([]StreamShard, len(shards))
 	err = env.Pool(ctx, len(shards), func(i int) error {
