@@ -13,7 +13,7 @@
 //	scanctl submit -spectra 400 -proteins 20 [-wait]
 //	scanctl submit -images 4 -cells 6 [-wait]
 //	scanctl submit -genes 200 -modules 5 [-wait]
-//	scanctl dataset upload -name sample1 -family fastq -data reads.fq [-reference ref.fa]
+//	scanctl dataset upload -name sample1 -family fastq -data reads.fq [-reference ref.fa] [-resume]
 //	scanctl dataset upload -name acq1 -family mgf -peptides db.txt -spectra scans.mgf
 //	scanctl dataset list
 //	scanctl dataset rm <id|name>
@@ -463,6 +463,7 @@ func cmdDatasetUpload(ctx context.Context, c *rpc.Client, args []string) error {
 	refFile := fs.String("reference", "", "fastq only: FASTA reference to embed alongside the reads")
 	peptides := fs.String("peptides", "", "mgf only: peptide database file")
 	spectra := fs.String("spectra", "", "mgf only: MGF scan file")
+	resume := fs.Bool("resume", false, "use the resumable session API: survive disconnects and continue an interrupted upload without re-sending verified bytes (files only, no stdin)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -470,6 +471,7 @@ func cmdDatasetUpload(ctx context.Context, c *rpc.Client, args []string) error {
 		return fmt.Errorf("dataset upload needs -name and -family")
 	}
 	var parts []rpc.UploadPart
+	var seekable []rpc.SeekablePart
 	var closers []io.Closer
 	defer func() {
 		for _, cl := range closers {
@@ -480,16 +482,22 @@ func cmdDatasetUpload(ctx context.Context, c *rpc.Client, args []string) error {
 		if path == "" {
 			return nil
 		}
-		var r io.Reader = os.Stdin
-		if path != "-" {
-			f, err := os.Open(path)
-			if err != nil {
-				return err
+		if path == "-" {
+			if *resume {
+				// Resume re-reads the local prefix to verify the server's
+				// running hash; a pipe cannot be re-read.
+				return fmt.Errorf("-resume needs seekable files, not stdin (-%s -)", field)
 			}
-			closers = append(closers, f)
-			r = f
+			parts = append(parts, rpc.UploadPart{Field: field, R: os.Stdin})
+			return nil
 		}
-		parts = append(parts, rpc.UploadPart{Field: field, R: r})
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		parts = append(parts, rpc.UploadPart{Field: field, R: f})
+		seekable = append(seekable, rpc.SeekablePart{Field: field, R: f})
 		return nil
 	}
 	// Part order matters for fastq+reference only in that both must arrive;
@@ -504,7 +512,13 @@ func cmdDatasetUpload(ctx context.Context, c *rpc.Client, args []string) error {
 	if len(parts) == 0 {
 		return fmt.Errorf("dataset upload needs a data source (-data, or -peptides/-spectra for mgf)")
 	}
-	d, err := c.UploadDataset(ctx, *name, *family, parts...)
+	var d rpc.DatasetInfo
+	var err error
+	if *resume {
+		d, err = c.UploadDatasetResumable(ctx, *name, *family, seekable...)
+	} else {
+		d, err = c.UploadDataset(ctx, *name, *family, parts...)
+	}
 	if err != nil {
 		return err
 	}

@@ -6,18 +6,26 @@
 // Usage:
 //
 //	scand [-addr :7390] [-pool N] [-executors N] [-retain N]
-//	      [-max-datasets N] [-max-dataset-mb N] [-fleet-token T]
-//	      [-fleet-scaling predictive] [-fleet-baseline N] [-quiet]
+//	      [-data-dir DIR] [-max-datasets N] [-max-dataset-mb N]
+//	      [-fleet-token T] [-fleet-scaling predictive] [-fleet-baseline N]
+//	      [-quiet]
 //	scand -role worker -join http://coordinator:7390 [-name NODE]
 //	      [-pool N] [-fleet-token T] [-quiet]
 //
 // scand serves /api/v1 (the original flat RPC surface, kept
 // wire-compatible) and /api/v2 (resource-oriented jobs with cancellation,
-// paginated listing, SSE event streams, the dataset registry, and the
-// worker-fleet endpoints). -retain bounds how many finished jobs the store
-// keeps before evicting the oldest; -max-datasets and -max-dataset-mb
-// bound the dataset registry the same retention-style way; -quiet
-// suppresses the per-request access log.
+// paginated listing, SSE event streams, the dataset registry, resumable
+// uploads, and the worker-fleet endpoints). -retain bounds how many
+// finished jobs the store keeps before evicting the oldest; -max-datasets
+// and -max-dataset-mb bound the dataset registry the same retention-style
+// way; -quiet suppresses the per-request access log.
+//
+// -data-dir makes the data plane durable: uploaded datasets live in a
+// content-addressed blob store under DIR and survive restarts, datasets
+// over the -max-dataset-mb memory budget spill to disk instead of being
+// rejected, and the knowledge base's accumulated run telemetry is
+// WAL-logged and snapshotted under DIR/kb, replayed on the next start.
+// Without it every byte is heap-resident and dies with the process.
 //
 // -pool sizes the local shard pool (it was called -workers before the
 // daemon grew remote workers; the old name still works, deprecated).
@@ -38,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"scan/internal/core"
@@ -54,8 +63,9 @@ func main() {
 		poolOld    = flag.Int("workers", 0, "deprecated alias for -pool")
 		executors  = flag.Int("executors", 2, "concurrent jobs")
 		retain     = flag.Int("retain", rpc.DefaultRetention, "finished jobs kept before eviction")
+		dataDir    = flag.String("data-dir", "", "durable state directory (blob store, dataset manifest, knowledge WAL); empty keeps all state in memory")
 		maxDS      = flag.Int("max-datasets", registry.DefaultMaxDatasets, "registered datasets kept before eviction")
-		maxDSMB    = flag.Int64("max-dataset-mb", registry.DefaultMaxBytes>>20, "registered dataset bytes kept before eviction (MiB)")
+		maxDSMB    = flag.Int64("max-dataset-mb", registry.DefaultMaxBytes>>20, "registered dataset bytes kept resident before eviction (MiB; with -data-dir the overflow spills to disk)")
 		role       = flag.String("role", "serve", `"serve" (coordinator daemon) or "worker" (join a fleet)`)
 		join       = flag.String("join", "", "coordinator base URL to join (worker role)")
 		name       = flag.String("name", "", "worker name on the roster (worker role; default hostname)")
@@ -99,10 +109,16 @@ func main() {
 		log.Fatalf("scand: unknown -fleet-scaling %q (want always, never or predictive)", *scaling)
 	}
 
-	platform := core.NewPlatform(core.Options{
+	platform, err := core.OpenPlatform(core.Options{
 		Workers:  *pool,
-		Datasets: registry.NewStore(registry.Options{MaxDatasets: *maxDS, MaxBytes: *maxDSMB << 20}),
+		DataDir:  *dataDir,
+		Registry: registry.Options{MaxDatasets: *maxDS, MaxBytes: *maxDSMB << 20},
+		Logf:     log.Printf, // persistence warnings matter even under -quiet
 	})
+	if err != nil {
+		log.Fatalf("scand: %v", err)
+	}
+	defer platform.Close()
 	server := rpc.NewServerOptions(platform, rpc.ServerOptions{
 		Executors: *executors,
 		Retention: *retain,
@@ -113,6 +129,7 @@ func main() {
 			Allocation: scheduler.LongTermAdaptive,
 			Baseline:   *baseline,
 			Logf:       logf,
+			Blobs:      platform.Datasets().Blobs(),
 		}),
 	})
 	defer server.Close()
@@ -120,11 +137,14 @@ func main() {
 	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr, "scand: shutting down")
 		_ = httpServer.Close()
 	}()
+	if *dataDir != "" {
+		log.Printf("scand: durable state under %s", *dataDir)
+	}
 	log.Printf("scand: listening on %s (%d pool, %d executors, %s scaling)", *addr, *pool, *executors, policy)
 	if err := httpServer.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("scand: %v", err)
@@ -140,7 +160,7 @@ func runWorker(join, name, token string, slots int, logf func(string, ...any)) {
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr, "scand: worker shutting down")
 		cancel()

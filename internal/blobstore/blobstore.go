@@ -1,0 +1,327 @@
+// Package blobstore implements the platform's disk-backed, content-addressed
+// payload store: every blob is one file named by the hex SHA-256 of its
+// bytes, written through a temp file and atomically renamed into place, and
+// served back through pread-style section readers so consumers slice large
+// payloads without the store ever buffering them on the heap.
+//
+// pread over an ordinary *os.File was chosen over mmap deliberately: it is
+// portable, it needs no unsafe, and the access pattern here — sequential
+// re-decode of a whole part, or ranged reads by the fleet data plane — gets
+// no locality win from a mapping while an mmap'd slice would pin address
+// space per open blob.
+//
+// Reference counts are store metadata, not heap bookkeeping: each blob's
+// dataset reference count lives in a sibling "<hash>.ref" file, rewritten
+// atomically, so references survive a restart. Runtime pins (a job actively
+// reading a blob) are process-local and additionally hold a blob alive;
+// eviction is simply the release that drops both counts to zero, which
+// unlinks the chunk file. Opening a store sweeps orphaned temp files and
+// unreferenced blobs left by a crash.
+package blobstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrNoBlob reports an unknown blob hash.
+var ErrNoBlob = errors.New("blobstore: no such blob")
+
+// Store is a directory of content-addressed blobs with durable refcounts.
+// Safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	refs map[string]int // durable dataset references, mirrored in .ref files
+	pins map[string]int // process-local pins; never persisted
+}
+
+// Open opens (creating if needed) the blob store rooted at dir and recovers
+// its metadata: refcount files are loaded, orphaned temp files from
+// interrupted writes are removed, and blobs whose reference count is zero —
+// including blobs missing their .ref file entirely — are swept, so a crash
+// between ingest and the owner taking its reference cannot leak disk.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blobstore: %w", err)
+	}
+	s := &Store{dir: dir, refs: make(map[string]int), pins: make(map[string]int)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: %w", err)
+	}
+	present := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".ref"):
+			hash := strings.TrimSuffix(name, ".ref")
+			if !ValidHash(hash) {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				continue
+			}
+			if n, err := strconv.Atoi(strings.TrimSpace(string(raw))); err == nil && n > 0 {
+				s.refs[hash] = n
+			}
+		case ValidHash(name):
+			present[name] = true
+		}
+	}
+	// Sweep: a blob without a positive refcount is unowned (crash between
+	// ingest and AddRef, or between the last Release and the unlink); a
+	// refcount without its blob is stale metadata. The store is not yet
+	// published, but removeLocked's contract wants the mutex regardless.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for hash := range present {
+		if s.refs[hash] == 0 {
+			s.removeLocked(hash)
+		}
+	}
+	for hash := range s.refs {
+		if !present[hash] {
+			delete(s.refs, hash)
+			_ = os.Remove(s.refPath(hash))
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ValidHash reports whether hash is a well-formed lowercase hex SHA-256 —
+// the only names the store will touch on disk, which keeps URL-supplied
+// hashes from escaping the store directory.
+func ValidHash(hash string) bool {
+	if len(hash) != 64 {
+		return false
+	}
+	for i := 0; i < len(hash); i++ {
+		c := hash[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) blobPath(hash string) string { return filepath.Join(s.dir, hash) }
+func (s *Store) refPath(hash string) string  { return filepath.Join(s.dir, hash+".ref") }
+
+// Write streams r into the store and returns the blob's hash and size,
+// holding one reference for the caller (pass ownership on with AddRef /
+// Release). The bytes spool through a temp file in the store directory and
+// rename into place only once fully written and hashed, so a crash mid-write
+// leaves a sweepable .tmp, never a half-blob under a valid name.
+func (s *Store) Write(r io.Reader) (hash string, size int64, err error) {
+	tmp, err := os.CreateTemp(s.dir, "ingest-*.tmp")
+	if err != nil {
+		return "", 0, fmt.Errorf("blobstore: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	h := sha256.New()
+	size, err = io.Copy(io.MultiWriter(tmp, h), r)
+	if err != nil {
+		return "", 0, fmt.Errorf("blobstore: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return "", 0, fmt.Errorf("blobstore: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return "", 0, fmt.Errorf("blobstore: %w", err)
+	}
+	hash = hex.EncodeToString(h.Sum(nil))
+	if err = s.Ingest(tmp.Name(), hash); err != nil {
+		return "", 0, err
+	}
+	return hash, size, nil
+}
+
+// Ingest moves the file at path into the store as the blob named hash,
+// taking one reference for the caller. The caller vouches for the hash
+// (upload sessions hash while spooling); if the blob already exists the
+// file is discarded and the existing blob gains the reference — the
+// content-dedup path. The rename is atomic within the filesystem, which is
+// what "commit atomically promotes the blob" means mechanically, so path
+// must live on the same filesystem as the store (spool into Dir()).
+func (s *Store) Ingest(path, hash string) error {
+	if !ValidHash(hash) {
+		return fmt.Errorf("blobstore: bad hash %q", hash)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(s.blobPath(hash)); err == nil {
+		_ = os.Remove(path)
+	} else if err := os.Rename(path, s.blobPath(hash)); err != nil {
+		return fmt.Errorf("blobstore: %w", err)
+	}
+	return s.setRefLocked(hash, s.refs[hash]+1)
+}
+
+// AddRef takes one durable reference on an existing blob.
+func (s *Store) AddRef(hash string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(s.blobPath(hash)); err != nil {
+		return fmt.Errorf("%w: %q", ErrNoBlob, hash)
+	}
+	return s.setRefLocked(hash, s.refs[hash]+1)
+}
+
+// Release drops one durable reference. The blob is unlinked once no
+// references and no pins remain — eviction is exactly this edge. Unknown
+// hashes are a no-op so release-after-crash-sweep stays safe.
+func (s *Store) Release(hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.refs[hash]
+	if !ok {
+		return
+	}
+	if n > 1 {
+		_ = s.setRefLocked(hash, n-1)
+		return
+	}
+	delete(s.refs, hash)
+	_ = os.Remove(s.refPath(hash))
+	if s.pins[hash] == 0 {
+		s.removeLocked(hash)
+	}
+}
+
+// Pin marks a blob as actively read by this process (a pinned blob is never
+// unlinked even if every durable reference is released mid-read). Pair with
+// Unpin.
+func (s *Store) Pin(hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[hash]++
+}
+
+// Unpin drops one pin, completing a deferred eviction if the last durable
+// reference went away while the blob was pinned.
+func (s *Store) Unpin(hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[hash] <= 1 {
+		delete(s.pins, hash)
+	} else {
+		s.pins[hash]--
+	}
+	if s.refs[hash] == 0 && s.pins[hash] == 0 {
+		s.removeLocked(hash)
+	}
+}
+
+// setRefLocked persists a refcount through an atomic rewrite of the .ref
+// file, keeping the in-memory mirror consistent. The caller holds s.mu.
+func (s *Store) setRefLocked(hash string, n int) error {
+	tmp := s.refPath(hash) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(n)), 0o644); err != nil {
+		return fmt.Errorf("blobstore: %w", err)
+	}
+	if err := os.Rename(tmp, s.refPath(hash)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blobstore: %w", err)
+	}
+	s.refs[hash] = n
+	return nil
+}
+
+// removeLocked unlinks a blob's files best-effort. The caller holds s.mu.
+func (s *Store) removeLocked(hash string) {
+	_ = os.Remove(s.blobPath(hash))
+	_ = os.Remove(s.refPath(hash))
+}
+
+// Refs reports a blob's durable reference count (0 for unknown blobs).
+func (s *Store) Refs(hash string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs[hash]
+}
+
+// Hashes returns every referenced blob hash, in no particular order. Owners
+// use it on startup to reconcile their own metadata against the store —
+// releasing references a crash orphaned (e.g. an upload session that was
+// ingested but never promoted).
+func (s *Store) Hashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.refs))
+	for hash := range s.refs {
+		out = append(out, hash)
+	}
+	return out
+}
+
+// Len reports resident blobs and their summed sizes.
+func (s *Store) Len() (blobs int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for hash := range s.refs {
+		if fi, err := os.Stat(s.blobPath(hash)); err == nil {
+			blobs++
+			bytes += fi.Size()
+		}
+	}
+	return blobs, bytes
+}
+
+// Blob is one open blob: a pread-backed io.ReaderAt over the chunk file.
+// Readers built on it slice the file without buffering it, so resident
+// memory stays bounded however large the blob is. Close when done; an open
+// Blob stays readable even if the blob is evicted (POSIX unlink semantics).
+type Blob struct {
+	f    *os.File
+	size int64
+}
+
+// Get opens a blob for reading.
+func (s *Store) Get(hash string) (*Blob, error) {
+	if !ValidHash(hash) {
+		return nil, fmt.Errorf("%w: %q", ErrNoBlob, hash)
+	}
+	f, err := os.Open(s.blobPath(hash))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoBlob, hash)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blobstore: %w", err)
+	}
+	return &Blob{f: f, size: fi.Size()}, nil
+}
+
+// Size returns the blob's byte length.
+func (b *Blob) Size() int64 { return b.size }
+
+// ReadAt reads from the blob at the given offset (pread).
+func (b *Blob) ReadAt(p []byte, off int64) (int, error) { return b.f.ReadAt(p, off) }
+
+// Reader returns a sequential reader over the whole blob. Multiple readers
+// are independent: each is its own section over the shared pread handle.
+func (b *Blob) Reader() io.Reader { return io.NewSectionReader(b, 0, b.size) }
+
+// Close releases the underlying file handle.
+func (b *Blob) Close() error { return b.f.Close() }

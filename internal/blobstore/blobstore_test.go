@@ -1,0 +1,204 @@
+package blobstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("spill me to disk\n"), 1000)
+	hash, size, err := s.Write(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(payload)) {
+		t.Fatalf("size = %d, want %d", size, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if want := hex.EncodeToString(sum[:]); hash != want {
+		t.Fatalf("hash = %s, want %s", hash, want)
+	}
+	if got := s.Refs(hash); got != 1 {
+		t.Fatalf("refs = %d, want 1", got)
+	}
+	b, err := s.Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err := io.ReadAll(b.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload round-trip mismatch")
+	}
+	// Ranged pread.
+	mid := make([]byte, 7)
+	if _, err := b.ReadAt(mid, 17); err != nil {
+		t.Fatal(err)
+	}
+	if string(mid) != string(payload[17:24]) {
+		t.Fatalf("ReadAt = %q", mid)
+	}
+}
+
+func TestDedupAndRefcountLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := s.Write(strings.NewReader("same bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second write of identical content dedups onto the same blob.
+	hash2, _, err := s.Write(strings.NewReader("same bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != hash2 {
+		t.Fatalf("dedup split hashes: %s vs %s", hash, hash2)
+	}
+	if got := s.Refs(hash); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+	if err := s.AddRef(hash); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(hash)
+	s.Release(hash)
+	if _, err := s.Get(hash); err != nil {
+		t.Fatalf("blob evicted while referenced: %v", err)
+	}
+	s.Release(hash)
+	if _, err := s.Get(hash); err == nil {
+		t.Fatal("blob survived its last release")
+	}
+	if _, err := os.Stat(filepath.Join(dir, hash+".ref")); !os.IsNotExist(err) {
+		t.Fatal("ref file survived eviction")
+	}
+}
+
+func TestPinDefersEviction(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := s.Write(strings.NewReader("pinned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(hash)
+	s.Release(hash) // last durable ref, but pinned
+	if _, err := s.Get(hash); err != nil {
+		t.Fatalf("pinned blob evicted: %v", err)
+	}
+	s.Unpin(hash)
+	if _, err := s.Get(hash); err == nil {
+		t.Fatal("unpinned zero-ref blob not evicted")
+	}
+}
+
+func TestOpenRecoversRefsAndSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := s.Write(strings.NewReader("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRef(hash); err != nil {
+		t.Fatal(err)
+	}
+	// Crash debris: a temp spool, an unreferenced blob, a stale ref file.
+	orphan := strings.Repeat("0", 63) + "a"
+	if err := os.WriteFile(filepath.Join(dir, orphan), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ingest-zz.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Repeat("1", 63) + "b"
+	if err := os.WriteFile(filepath.Join(dir, stale+".ref"), []byte("3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Refs(hash); got != 2 {
+		t.Fatalf("recovered refs = %d, want 2", got)
+	}
+	if _, err := s2.Get(hash); err != nil {
+		t.Fatalf("referenced blob swept: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
+		t.Fatal("unreferenced blob not swept")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ingest-zz.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp spool not swept")
+	}
+	if got := s2.Refs(stale); got != 0 {
+		t.Fatalf("stale ref survived: %d", got)
+	}
+}
+
+func TestRejectsBadHashes(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if _, err := s.Get(h); err == nil {
+			t.Fatalf("Get(%q) accepted", h)
+		}
+		if err := s.Ingest("nowhere", h); err == nil {
+			t.Fatalf("Ingest(%q) accepted", h)
+		}
+	}
+}
+
+func TestConcurrentWriteReleaseRace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				hash, _, err := s.Write(strings.NewReader("contended content"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Pin(hash)
+				if b, err := s.Get(hash); err == nil {
+					_, _ = io.ReadAll(b.Reader())
+					b.Close()
+				}
+				s.Unpin(hash)
+				s.Release(hash)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,11 +15,14 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"scan/internal/align"
+	"scan/internal/blobstore"
 	"scan/internal/cloud"
 	"scan/internal/genomics"
 	"scan/internal/knowledge"
@@ -54,8 +57,24 @@ type Options struct {
 	// proving cancellation propagates into a running workflow.
 	Executors *workflow.ExecutorRegistry
 	// Datasets overrides the platform's dataset registry (default: a fresh
-	// store with registry defaults). scand sizes it from flags.
+	// store with registry defaults). scand sizes it from flags. Mutually
+	// exclusive with DataDir's registry wiring — when both are given, the
+	// provided store wins and only the knowledge base becomes durable.
 	Datasets *registry.Store
+	// Registry configures the dataset store built when Datasets is nil;
+	// DataDir's blob-store wiring is layered on top of it.
+	Registry registry.Options
+	// DataDir, when set, roots the platform's durable state: the blob store
+	// and dataset manifest under <dir>/blobs + <dir>/manifest.json (uploads
+	// survive restarts, oversize payloads spill to disk instead of being
+	// rejected), and the knowledge base's WAL + graph snapshots under
+	// <dir>/kb (RunCount and fitted stage costs survive restarts). Empty
+	// keeps everything heap-resident and process-local. Use OpenPlatform to
+	// surface setup errors.
+	DataDir string
+	// Logf receives persistence warnings from the durable subsystems
+	// (default: silent).
+	Logf func(format string, args ...any)
 }
 
 // Platform is the SCAN application platform: the workflow catalogue, the
@@ -70,8 +89,24 @@ type Platform struct {
 	recordsPerUnit int
 }
 
-// NewPlatform builds a platform.
+// NewPlatform builds a platform, panicking on durable-state setup errors
+// (only possible when Options.DataDir is set — use OpenPlatform there).
 func NewPlatform(opts Options) *Platform {
+	p, err := OpenPlatform(opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OpenPlatform builds a platform, attaching the durable data plane when
+// Options.DataDir is set: the dataset registry gains a disk-backed blob
+// store (committed uploads and spilled payloads survive restarts; datasets
+// over the memory budget spill instead of being rejected) and the knowledge
+// base replays its snapshot + WAL before accepting new telemetry. The only
+// error sources are that durable setup — a heap-only configuration cannot
+// fail.
+func OpenPlatform(opts Options) (*Platform, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -98,8 +133,32 @@ func NewPlatform(opts Options) *Platform {
 	if opts.RecordsPerUnit <= 0 {
 		opts.RecordsPerUnit = 1000
 	}
+	if opts.DataDir != "" {
+		// Seeding precedes the attach: the snapshot re-imports over the
+		// deterministic seed triples (a union), then the WAL replays the
+		// accumulated run telemetry on top.
+		if err := opts.KB.AttachStorage(knowledge.StorageOptions{
+			Dir:  filepath.Join(opts.DataDir, "kb"),
+			Logf: opts.Logf,
+		}); err != nil {
+			return nil, fmt.Errorf("core: knowledge storage: %w", err)
+		}
+		if opts.Datasets == nil {
+			blobs, err := blobstore.Open(filepath.Join(opts.DataDir, "blobs"))
+			if err != nil {
+				return nil, fmt.Errorf("core: blob store: %w", err)
+			}
+			ro := opts.Registry
+			ro.Blobs = blobs
+			ro.Dir = opts.DataDir
+			if ro.Logf == nil {
+				ro.Logf = opts.Logf
+			}
+			opts.Datasets = registry.NewStore(ro)
+		}
+	}
 	if opts.Datasets == nil {
-		opts.Datasets = registry.NewStore(registry.Options{})
+		opts.Datasets = registry.NewStore(opts.Registry)
 	}
 	engine := workflow.NewEngine(workflow.EngineOptions{
 		Catalogue:      catalogue,
@@ -115,7 +174,7 @@ func NewPlatform(opts Options) *Platform {
 		datasets:       opts.Datasets,
 		workers:        opts.Workers,
 		recordsPerUnit: opts.RecordsPerUnit,
-	}
+	}, nil
 }
 
 // KB exposes the platform's knowledge base.
@@ -127,6 +186,14 @@ func (p *Platform) KB() *knowledge.Base { return p.kb }
 // snapshotting — to guarantee nothing is still buffered. Reads through the
 // knowledge base's query surface flush automatically.
 func (p *Platform) Flush() { p.kb.Flush() }
+
+// Close flushes buffered telemetry and detaches the knowledge base's
+// durable storage (the WAL file handle). For a heap-only platform Close is
+// just a Flush; either way the platform must not be used afterwards.
+func (p *Platform) Close() {
+	p.kb.Flush()
+	p.kb.CloseStorage()
+}
 
 // Workers returns the configured worker count.
 func (p *Platform) Workers() int { return p.workers }

@@ -8,12 +8,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"scan/internal/blobstore"
 	"scan/internal/scheduler"
 	"scan/internal/workflow"
 )
@@ -63,6 +65,13 @@ type Options struct {
 	// MaxBlobs bounds the coordinator's cached context blobs (default 16;
 	// blobs referenced by active stages are never evicted).
 	MaxBlobs int
+	// Blobs is the durable content-addressed store the dataset registry
+	// spills into. When set, blob GETs that miss the in-memory context
+	// cache fall back to it, so coordinator and workers share one
+	// content-addressed data plane (a worker fetches a spilled dataset
+	// part by the same hash a stage context travels under). Nil keeps the
+	// data plane memory-only.
+	Blobs *blobstore.Store
 	// Logf receives coordinator events (default: silent).
 	Logf func(format string, args ...any)
 	// Now is the clock (default time.Now; a test seam).
@@ -844,6 +853,18 @@ func (c *Coordinator) handleBlob(w http.ResponseWriter, r *http.Request) {
 	b, ok := c.blobs[hash]
 	c.mu.Unlock()
 	if !ok {
+		// Not a cached stage context: fall back to the durable store, which
+		// streams from disk (pread off the chunk file — the bytes never
+		// become coordinator heap).
+		if c.opts.Blobs != nil {
+			if blob, err := c.opts.Blobs.Get(hash); err == nil {
+				defer blob.Close()
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("Content-Length", fmt.Sprint(blob.Size()))
+				_, _ = io.Copy(w, blob.Reader())
+				return
+			}
+		}
 		writeErr(w, http.StatusNotFound, "not_found", "no blob %q", hash)
 		return
 	}

@@ -141,16 +141,30 @@ func (b *Base) takePending() []RunLog {
 // foldLocked folds a batch of observations into the graph under a single
 // write-lock acquisition. The caller must hold foldMu, which serializes
 // folds so a Flush cannot return while another fold still holds a swapped
-// batch.
+// batch. With storage attached (wal.go) the batch is appended and fsynced
+// to the WAL before it touches the graph — every ingestion path funnels
+// through here, so this one hook makes Flush an on-disk barrier — and a
+// snapshot compacts the log once enough records accumulate. Storage
+// failures disable persistence rather than rejecting the fold.
 func (b *Base) foldLocked(batch []RunLog) {
 	if len(batch) == 0 {
 		return
+	}
+	if d := b.durable; d != nil {
+		if err := d.appendBatch(batch); err != nil {
+			b.disableStorage("wal append", err)
+		}
 	}
 	b.mu.Lock()
 	for _, l := range batch {
 		b.addRunLocked(l)
 	}
 	b.mu.Unlock()
+	if d := b.durable; d != nil {
+		if err := b.maybeSnapshot(d); err != nil {
+			b.disableStorage("snapshot", err)
+		}
+	}
 }
 
 // kickFlusher starts the background flusher unless one is already running.

@@ -64,6 +64,11 @@ type Base struct {
 	pending     []RunLog
 	flusherBusy atomic.Bool
 
+	// durable is the attached WAL + snapshot state (wal.go), nil until
+	// AttachStorage and after a persistence failure. Accessed only under
+	// foldMu, the same lock that serializes the folds it journals.
+	durable *storage
+
 	// Materialized Data Broker cache (broker.go): an immutable snapshot
 	// valid for one profile epoch, read lock-free on the hot path.
 	// cacheMu serializes rebuilds and memo extensions only.
@@ -535,7 +540,6 @@ func (b *Base) Import(r io.Reader) error {
 	defer b.foldMu.Unlock()
 	b.foldLocked(b.takePending())
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	rename := b.runRenamesLocked(staged)
 	for _, p := range staged.Prefixes() {
 		if ns, ok := staged.Prefix(p); ok {
@@ -557,6 +561,14 @@ func (b *Base) Import(r io.Reader) error {
 	// A document can carry anything, profiles included: conservatively
 	// invalidate the materialized advice.
 	b.profileEpoch.Add(1)
+	b.mu.Unlock()
+	// Imported triples are not in the WAL (it carries only run-log folds),
+	// so an attached store must snapshot now or lose them to a restart.
+	if b.durable != nil {
+		if err := b.compact(b.durable); err != nil {
+			b.disableStorage("post-import snapshot", err)
+		}
+	}
 	return nil
 }
 

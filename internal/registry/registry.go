@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"scan/internal/blobstore"
 	"scan/internal/genomics"
 	"scan/internal/imaging"
 	"scan/internal/proteome"
@@ -118,7 +119,18 @@ type Options struct {
 	// MaxDatasets bounds the stored dataset count (default 64).
 	MaxDatasets int
 	// MaxBytes bounds the summed Dataset.Bytes accounting (default 256 MiB).
+	// With Blobs attached this is the resident-memory budget decoded
+	// payloads spill against, not a capacity limit (persist.go).
 	MaxBytes int64
+	// Blobs attaches the disk-backed blob store that makes datasets durable
+	// and spillable. Nil keeps the registry heap-only (the pre-durability
+	// behavior, byte for byte).
+	Blobs *blobstore.Store
+	// Dir is where the dataset manifest persists (requires Blobs). Empty
+	// disables metadata persistence even when payload parts are durable.
+	Dir string
+	// Logf receives persistence warnings (default: silent).
+	Logf func(format string, args ...any)
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -138,15 +150,22 @@ type Store struct {
 	mu      sync.Mutex
 	byID    map[string]*entry
 	byName  map[string]string // name -> id
-	blobs   map[blobKey]*blob // content-addressed payload store
+	blobs   map[blobKey]*blob // content-addressed payload index
 	order   []string          // insertion order (oldest first), compacted on removal
 	next    int
-	total   int64
+	total   int64 // resident decoded payload bytes (spilled blobs excluded)
 	maxN    int
 	maxB    int64
 	now     func() time.Time
 	evicted int
 	deduped int
+
+	// Durable data plane (persist.go); disk nil = heap-only store.
+	disk    *blobstore.Store
+	dir     string
+	logf    func(format string, args ...any)
+	spilled int
+	remats  int
 }
 
 type entry struct {
@@ -169,6 +188,16 @@ type blob struct {
 	payload Payload
 	bytes   int64
 	refs    int
+
+	// Durable state (persist.go). parts lists the raw upload parts held in
+	// the blob store (nil = heap-only blob, never spillable); spilled marks
+	// the payload dropped pending rematerialization; pins aggregates entry
+	// pins plus in-flight fetches — a pinned blob is never spilled; fetchMu
+	// serializes rematerializations so concurrent resolvers decode once.
+	parts   []Part
+	spilled bool
+	pins    int
+	fetchMu sync.Mutex
 }
 
 // NewStore builds a store with the given bounds.
@@ -182,7 +211,10 @@ func NewStore(opts Options) *Store {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	return &Store{
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &Store{
 		byID:   make(map[string]*entry),
 		byName: make(map[string]string),
 		blobs:  make(map[blobKey]*blob),
@@ -190,7 +222,14 @@ func NewStore(opts Options) *Store {
 		maxN:   opts.MaxDatasets,
 		maxB:   opts.MaxBytes,
 		now:    opts.Now,
+		disk:   opts.Blobs,
+		logf:   opts.Logf,
 	}
+	if s.disk != nil && opts.Dir != "" {
+		s.dir = opts.Dir
+		s.loadManifest()
+	}
+	return s
 }
 
 // Put stores a decoded dataset under a unique name and returns its
@@ -199,18 +238,12 @@ func NewStore(opts Options) *Store {
 // dataset still cannot fit (every resident dataset is pinned, or it is
 // larger than the store bound on its own), Put returns ErrStoreFull.
 func (s *Store) Put(name string, family Family, payload Payload, st Stats) (Dataset, error) {
-	if name == "" {
-		return Dataset{}, errors.New("registry: dataset needs a name")
-	}
-	// Names share a resolution namespace with ids (Resolve prefers ids), so
-	// an id-shaped name could silently resolve to — or be shadowed by — a
-	// future dataset's id; reserve the shape. '/' would make the name
-	// unaddressable through the one-segment HTTP resource path.
-	if isIDShaped(name) {
-		return Dataset{}, fmt.Errorf("registry: name %q is reserved for dataset ids", name)
-	}
-	if strings.ContainsAny(name, "/\\") {
-		return Dataset{}, fmt.Errorf("registry: name %q must not contain path separators", name)
+	// Names share a resolution namespace with ids and content hashes
+	// (Resolve prefers hashes, then ids), so id-shaped and "sha256:"-prefixed
+	// names are reserved. '/' would make the name unaddressable through the
+	// one-segment HTTP resource path.
+	if err := validateName(name); err != nil {
+		return Dataset{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -268,27 +301,37 @@ func (s *Store) Put(name string, family Family, payload Payload, st Stats) (Data
 	s.byID[id] = e
 	s.byName[name] = id
 	s.order = append(s.order, id)
+	s.persistLocked()
 	return e.meta, nil
 }
 
 // releaseBlobLocked drops one blob reference, freeing the payload and its
-// byte accounting at zero. The caller holds s.mu.
+// byte accounting at zero — along with the blob-store references a durable
+// blob owns on its parts, which lets the disk store unlink chunk files
+// nothing references anymore. The caller holds s.mu.
 func (s *Store) releaseBlobLocked(key blobKey, b *blob) {
 	b.refs--
 	if b.refs > 0 {
 		return
 	}
-	s.total -= b.bytes
+	if !b.spilled {
+		s.total -= b.bytes
+	}
+	for _, p := range b.parts {
+		s.disk.Release(p.Hash)
+	}
 	if key.hash != "" {
 		delete(s.blobs, key)
 	}
 }
 
 // evictOldestLocked removes the oldest unpinned dataset; false when none
-// qualifies. The caller holds s.mu.
+// qualifies. Blobs with in-flight rematerializations (blob pins) count as
+// pinned: a resolver is about to hand their records out. The caller holds
+// s.mu.
 func (s *Store) evictOldestLocked() bool {
 	for _, id := range s.order {
-		if e := s.byID[id]; e != nil && e.pins == 0 {
+		if e := s.byID[id]; e != nil && e.pins == 0 && e.blob.pins == 0 {
 			s.removeLocked(id)
 			s.evicted++
 			return true
@@ -311,20 +354,50 @@ func (s *Store) removeLocked(id string) {
 	s.order = keep
 }
 
-// Resolve finds a dataset by id or name and returns its metadata and
-// payload. The payload's slices alias the stored records — callers must
-// treat them as read-only.
+// Resolve finds a dataset by id, name or "sha256:"-prefixed content hash
+// and returns its metadata and payload, rematerializing a spilled payload
+// from the blob store first. The payload's slices alias the stored records —
+// callers must treat them as read-only.
 func (s *Store) Resolve(idOrName string) (Dataset, Payload, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, err := s.lookupLocked(idOrName)
+	if err != nil {
+		s.mu.Unlock()
+		return Dataset{}, Payload{}, err
+	}
+	meta := e.meta
+	if !e.blob.spilled {
+		p := e.blob.payload
+		s.mu.Unlock()
+		return meta, p, nil
+	}
+	// Spilled: take a fetch pin so the blob is neither evicted nor
+	// re-spilled while the decode runs outside the lock.
+	e.blob.pins++
+	s.mu.Unlock()
+	p, err := s.fetch(e)
+	s.mu.Lock()
+	e.blob.pins--
+	s.reclaimLocked()
+	s.mu.Unlock()
 	if err != nil {
 		return Dataset{}, Payload{}, err
 	}
-	return e.meta, e.blob.payload, nil
+	return meta, p, nil
 }
 
 func (s *Store) lookupLocked(idOrName string) (*entry, error) {
+	// Content addressing: an explicit "sha256:" prefix resolves to the
+	// oldest dataset whose combined upload hash matches — the first dataset
+	// registered with that content, stable under later dedup aliases.
+	if hash, ok := strings.CutPrefix(idOrName, "sha256:"); ok {
+		for _, id := range s.order {
+			if e := s.byID[id]; e != nil && e.meta.Hash == hash {
+				return e, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, idOrName)
+	}
 	if e, ok := s.byID[idOrName]; ok {
 		return e, nil
 	}
@@ -334,28 +407,55 @@ func (s *Store) lookupLocked(idOrName string) (*entry, error) {
 	return nil, fmt.Errorf("%w: %q", ErrNotFound, idOrName)
 }
 
-// Pin resolves a dataset and marks it referenced by one unfinished job:
-// pinned datasets are neither evicted nor deletable. Every successful Pin
-// must be paired with an Unpin of the returned id when the job reaches a
-// terminal state.
+// Pin resolves a dataset (id, name or "sha256:" hash) and marks it
+// referenced by one unfinished job: pinned datasets are neither evicted,
+// deleted nor spilled — the job is about to walk the returned record
+// slices. Every successful Pin must be paired with an Unpin of the returned
+// id when the job reaches a terminal state. A spilled payload
+// rematerializes before the pin is visible as resident; pin counts are
+// re-checked under the lock after the decode, so a concurrent reclaim
+// cannot spill the payload a just-pinned job holds.
 func (s *Store) Pin(idOrName string) (Dataset, Payload, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, err := s.lookupLocked(idOrName)
 	if err != nil {
+		s.mu.Unlock()
 		return Dataset{}, Payload{}, err
 	}
 	e.pins++
-	return e.meta, e.blob.payload, nil
+	e.blob.pins++
+	meta := e.meta
+	if !e.blob.spilled {
+		p := e.blob.payload
+		s.mu.Unlock()
+		return meta, p, nil
+	}
+	s.mu.Unlock()
+	p, err := s.fetch(e)
+	if err != nil {
+		s.mu.Lock()
+		e.pins--
+		e.blob.pins--
+		s.mu.Unlock()
+		return Dataset{}, Payload{}, err
+	}
+	return meta, p, nil
 }
 
 // Unpin releases one job reference. Unknown ids are a no-op, so releasing
-// after an eviction race stays safe.
+// after an eviction race stays safe. Dropping a blob's last pin re-runs the
+// reclaim pass: the records the job held resident become spillable.
 func (s *Store) Unpin(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.byID[id]; ok && e.pins > 0 {
 		e.pins--
+		if e.blob.pins > 0 {
+			e.blob.pins--
+		}
+		if e.blob.pins == 0 {
+			s.reclaimLocked()
+		}
 	}
 }
 
@@ -371,7 +471,12 @@ func (s *Store) Delete(idOrName string) (Dataset, error) {
 	if e.pins > 0 {
 		return Dataset{}, fmt.Errorf("%w: %q (%d)", ErrPinned, e.meta.ID, e.pins)
 	}
+	if e.blob.pins > 0 {
+		// An in-flight rematerialization is reading the blob's parts.
+		return Dataset{}, fmt.Errorf("%w: %q (%d)", ErrPinned, e.meta.ID, e.blob.pins)
+	}
 	s.removeLocked(e.meta.ID)
+	s.persistLocked()
 	return e.meta, nil
 }
 

@@ -29,6 +29,9 @@ type Client struct {
 	base   string
 	http   *http.Client // unary calls, bounded by Timeout
 	stream *http.Client // Watch: same transport, no overall timeout
+	// uploadChunk is the resumable-upload append size (0 means
+	// DefaultUploadChunk; see WithUploadChunkSize).
+	uploadChunk int64
 }
 
 // ClientOption configures a Client.

@@ -113,6 +113,27 @@ func TestRouteContract(t *testing.T) {
 		{"GET", "/api/v2/other", "", 404, envNone},
 		{"GET", "/api/v3/jobs", "", 404, envNone},
 		{"GET", "/api/v1/other", "", 404, envNone},
+
+		// v2 content addressing (appended rows; everything above is frozen).
+		// "rows2" carries the same body the earlier "rows" dataset did, so
+		// its content hash is the known constant below.
+		{"POST", "/api/v2/datasets?name=rows2&family=feature-table", "g0 1.5\n", 201, envNone},
+		{"GET", "/api/v2/datasets/sha256:9354a738afff7d7be09d67d1a6a6a03aa3d2621cb56ab4a12b8d4aea16584274", "", 200, envNone},
+		{"GET", "/api/v2/datasets/sha256:0000000000000000000000000000000000000000000000000000000000000000", "", 404, envV2},
+
+		// v2 resumable uploads
+		{"GET", "/api/v2/uploads", "", 200, envNone},
+		{"POST", "/api/v2/uploads", `{"name":"sess","family":"feature-table"}`, 201, envNone},
+		{"POST", "/api/v2/uploads", `{"name":"rows2","family":"feature-table"}`, 409, envV2}, // name taken
+		{"POST", "/api/v2/uploads", `{"name":"x","family":"bogus"}`, 400, envV2},
+		{"POST", "/api/v2/uploads", `not json`, 400, envV2},
+		{"PUT", "/api/v2/uploads", "", 405, envV2},
+		{"DELETE", "/api/v2/uploads", "", 405, envV2},
+		{"GET", "/api/v2/uploads/up-404", "", 404, envV2},
+		{"PUT", "/api/v2/uploads/up-404?part=data&offset=0", "x", 404, envV2},
+		{"POST", "/api/v2/uploads/up-404/commit", "", 404, envV2},
+		{"DELETE", "/api/v2/uploads/up-404", "", 404, envV2},
+		{"GET", "/api/v2/uploads/up-404/bogus", "", 404, envV2},
 	}
 	for _, tc := range cases {
 		code, raw := rawRequest(t, c, tc.method, tc.path, tc.body)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -42,6 +43,11 @@ type ServerOptions struct {
 	// the engine's local pool as the zero-worker default and the per-stage
 	// fallback).
 	Fleet *fleet.Coordinator
+	// UploadDir is where resumable upload sessions spool their parts before
+	// commit. Empty picks the registry's blob directory when the platform is
+	// durable (so commit promotes spools by rename, never copy), or a private
+	// temp directory otherwise.
+	UploadDir string
 }
 
 // Server exposes a core.Platform over HTTP — /api/v1 (the original flat RPC
@@ -54,6 +60,8 @@ type Server struct {
 	retention int
 	logf      func(format string, args ...any)
 	fleet     *fleet.Coordinator
+	uploads   *registry.UploadManager
+	uploadTmp string // private spool dir to remove on Close ("" if none)
 
 	mu     sync.Mutex
 	nextID int
@@ -162,7 +170,12 @@ func NewServerOptions(p *core.Platform, opts ServerOptions) *Server {
 		opts.Logf = func(string, ...any) {}
 	}
 	if opts.Fleet == nil {
-		opts.Fleet = fleet.NewCoordinator(fleet.Options{Logf: opts.Logf})
+		opts.Fleet = fleet.NewCoordinator(fleet.Options{
+			Logf: opts.Logf,
+			// Share the durable blob store (nil for heap-only platforms) so
+			// workers fetch spilled dataset parts over the same data plane.
+			Blobs: p.Datasets().Blobs(),
+		})
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -175,6 +188,30 @@ func NewServerOptions(p *core.Platform, opts ServerOptions) *Server {
 		queue:     make(chan int, 1024),
 		stop:      cancel,
 	}
+	// Resumable upload sessions spool next to the blob store when the
+	// platform is durable (commit then promotes by rename); a heap-only
+	// platform gets a private temp spool removed on Close. MaxSessions is
+	// sized above the resumable default because the one-shot dataset POST
+	// also rides a (transient) session per request.
+	spool := opts.UploadDir
+	if spool == "" && p.Datasets().Blobs() == nil {
+		if tmp, err := os.MkdirTemp("", "scan-uploads-"); err == nil {
+			spool, s.uploadTmp = tmp, tmp
+		}
+	}
+	uploads, err := registry.NewUploadManager(registry.UploadConfig{
+		Store:       p.Datasets(),
+		Dir:         spool,
+		LimitsFor:   uploadPartLimits,
+		MaxSessions: 64,
+		Logf:        opts.Logf,
+	})
+	if err != nil {
+		// The spool directory is unusable; uploads (v2 sessions and the
+		// one-shot POST alike) will report it per request.
+		opts.Logf("rpc: upload spool unavailable: %v", err)
+	}
+	s.uploads = uploads
 	for i := 0; i < opts.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor(ctx)
@@ -209,6 +246,14 @@ func (s *Server) Close() {
 		}
 	}
 	s.mu.Unlock()
+	// Abort open upload sessions (their spools are process-local state) and
+	// drop a private spool directory if we created one.
+	if s.uploads != nil {
+		s.uploads.Close()
+	}
+	if s.uploadTmp != "" {
+		os.RemoveAll(s.uploadTmp)
+	}
 	// Fold any run-log telemetry still buffered in the knowledge base, so
 	// exports taken after shutdown carry every completed job's telemetry.
 	s.platform.Flush()
@@ -230,11 +275,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/kb/query", s.handleQuery)
 	mux.HandleFunc("/api/v1/kb/profiles", s.handleProfiles)
 	mux.HandleFunc("/api/v1/kb/export", s.handleExport)
-	// v2: resource-oriented jobs and the dataset registry.
+	// v2: resource-oriented jobs, the dataset registry and resumable uploads.
 	mux.HandleFunc("/api/v2/jobs", s.handleV2Jobs)
 	mux.HandleFunc("/api/v2/jobs/", s.handleV2Job)
 	mux.HandleFunc("/api/v2/datasets", s.handleV2Datasets)
 	mux.HandleFunc("/api/v2/datasets/", s.handleV2Dataset)
+	mux.HandleFunc("/api/v2/uploads", s.handleV2Uploads)
+	mux.HandleFunc("/api/v2/uploads/", s.handleV2Upload)
 	// Fleet: the worker roster, control plane and blob data plane
 	// (internal/fleet owns the handlers so in-process tests mount the
 	// identical surface).

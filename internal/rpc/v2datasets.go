@@ -106,23 +106,38 @@ func datasetInfo(d registry.Dataset) DatasetInfo {
 //     query parameters (mgf excluded — it needs two parts).
 //
 // Either way the body is decoded streaming, record by record, under the
-// per-family caps.
+// per-family caps. Internally the request rides a transient upload session
+// (the same machinery as /api/v2/uploads): each part is decoded *while*
+// spooling, so decode errors surface mid-body exactly as they always did,
+// and the commit is the identical atomic promotion the resumable API gets —
+// including durable blob ingestion when the platform runs with a data
+// directory.
 func (s *Server) handleV2DatasetUpload(w http.ResponseWriter, r *http.Request) {
+	if !s.uploadsReady(w) {
+		return
+	}
 	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var (
-		up  upload
+		u   *registry.UploadSession
 		err error
 	)
 	if mediaType == "multipart/form-data" {
-		up, err = decodeMultipartUpload(r)
+		u, err = s.decodeMultipartUpload(r)
 	} else {
-		up, err = decodeRawUpload(r)
+		u, err = s.decodeRawUpload(r)
 	}
 	if err != nil {
+		if u != nil {
+			u.Abort()
+		}
 		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 		return
 	}
-	meta, err := s.platform.Datasets().Put(up.name, up.family, up.payload, up.stats)
+	meta, err := u.Commit()
+	if err != nil {
+		// One-shot callers cannot resume; drop the session and its spools.
+		u.Abort()
+	}
 	switch {
 	case errors.Is(err, registry.ErrDuplicateName):
 		writeV2Error(w, http.StatusConflict, CodeConflict, "%v", err)
@@ -135,157 +150,105 @@ func (s *Server) handleV2DatasetUpload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// upload is one decoded dataset upload, ready for the store.
-type upload struct {
-	name    string
-	family  registry.Family
-	payload registry.Payload
-	stats   registry.Stats
-}
-
-// decodePart streams one data part into the upload's payload. For the
-// multi-part families the per-part stats are combined by the caller.
-func decodePart(up *upload, field string, body io.Reader) (registry.Stats, error) {
-	switch {
-	case up.family == registry.FASTQ && field == "data":
-		reads, st, err := registry.DecodeFASTQ(body, uploadLimits(maxUploadReads))
-		up.payload.Reads = reads
-		return st, err
-	case up.family == registry.FASTQ && field == "reference",
-		up.family == registry.Reference && field == "data":
-		ref, st, err := registry.DecodeFASTA(body, uploadLimits(1))
-		up.payload.Ref = ref
-		return st, err
-	case up.family == registry.MGF && field == "peptides":
-		db, st, err := registry.DecodePeptides(body, uploadLimits(maxUploadPeptides))
-		up.payload.PeptideDB = db
-		return st, err
-	case up.family == registry.MGF && field == "spectra":
-		spectra, st, err := registry.DecodeMGFSpectra(body, uploadLimits(maxUploadSpectra))
-		up.payload.Spectra = spectra
-		return st, err
-	case up.family == registry.TIFF && field == "data":
-		frames, st, err := registry.DecodeFrames(body, uploadLimits(maxUploadFrames))
-		up.payload.Images = frames
-		return st, err
-	case up.family == registry.FeatureTable && field == "data":
-		rows, st, err := registry.DecodeFeatures(body, uploadLimits(maxUploadRows))
-		up.payload.Features = rows
-		return st, err
-	}
-	return registry.Stats{}, fmt.Errorf("unexpected part %q for family %q", field, up.family)
-}
-
-// finishUpload checks every required part arrived and settles the
-// dataset-level stats.
-func finishUpload(up *upload, parts map[string]registry.Stats) error {
-	switch up.family {
-	case registry.FASTQ:
-		data, ok := parts["data"]
-		if !ok {
-			return errors.New(`fastq upload needs a "data" part (FASTQ records)`)
-		}
-		if ref, ok := parts["reference"]; ok {
-			up.stats = registry.CombineStats(data.Records, ref, data)
-		} else {
-			up.stats = data
-		}
-	case registry.MGF:
-		pep, okP := parts["peptides"]
-		spec, okS := parts["spectra"]
-		if !okP || !okS {
-			return errors.New(`mgf upload needs "peptides" and "spectra" parts`)
-		}
-		up.stats = registry.CombineStats(spec.Records, pep, spec)
-	default:
-		data, ok := parts["data"]
-		if !ok {
-			return fmt.Errorf(`%s upload needs a "data" part`, up.family)
-		}
-		up.stats = data
-	}
-	return nil
-}
-
-// decodeMultipartUpload streams a multipart/form-data body: metadata fields
-// first (name, family), then the data part(s), each decoded record by
-// record as it arrives. ParseMultipartForm would buffer file parts to
-// memory or disk; MultipartReader hands them over as streams.
-func decodeMultipartUpload(r *http.Request) (upload, error) {
+// decodeMultipartUpload streams a multipart/form-data body into a staged
+// upload session: metadata fields first (name, family), then the data
+// part(s), each decoded record by record as it arrives (ParseMultipartForm
+// would buffer file parts to memory or disk; MultipartReader hands them
+// over as streams). On error the partially-fed session (possibly nil) is
+// returned for the caller to abort.
+func (s *Server) decodeMultipartUpload(r *http.Request) (*registry.UploadSession, error) {
 	mr, err := r.MultipartReader()
 	if err != nil {
-		return upload{}, fmt.Errorf("bad multipart body: %v", err)
+		return nil, fmt.Errorf("bad multipart body: %v", err)
 	}
-	var up upload
-	parts := map[string]registry.Stats{}
+	var (
+		u      *registry.UploadSession
+		name   string
+		family registry.Family
+		seen   = map[string]bool{}
+	)
 	for {
 		part, err := mr.NextPart()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return upload{}, fmt.Errorf("bad multipart body: %v", err)
+			return u, fmt.Errorf("bad multipart body: %v", err)
 		}
 		field := part.FormName()
 		switch field {
 		case "name", "family":
 			raw, err := io.ReadAll(io.LimitReader(part, maxUploadFieldSize+1))
 			if err != nil {
-				return upload{}, fmt.Errorf("bad %s field: %v", field, err)
+				return u, fmt.Errorf("bad %s field: %v", field, err)
 			}
 			if len(raw) > maxUploadFieldSize {
-				return upload{}, fmt.Errorf("%s field longer than %d bytes", field, maxUploadFieldSize)
+				return u, fmt.Errorf("%s field longer than %d bytes", field, maxUploadFieldSize)
 			}
 			if field == "name" {
-				up.name = string(raw)
-			} else if up.family, err = registry.ParseFamily(string(raw)); err != nil {
-				return upload{}, err
+				name = string(raw)
+			} else if family, err = registry.ParseFamily(string(raw)); err != nil {
+				return u, err
 			}
 		default:
 			// A data part: metadata must already be known, because the
 			// decoder and its caps are family-specific and the body is
 			// consumed in order.
-			if up.name == "" || up.family == "" {
-				return upload{}, errors.New(`"name" and "family" fields must precede the data parts`)
+			if name == "" || family == "" {
+				return u, errors.New(`"name" and "family" fields must precede the data parts`)
 			}
-			if _, dup := parts[field]; dup {
-				return upload{}, fmt.Errorf("duplicate part %q", field)
+			if u == nil {
+				// Stage, not Create: this path historically validated names
+				// only at store time, so a malformed body fails before a
+				// malformed name.
+				if u, err = s.uploads.Stage(name, family); err != nil {
+					return nil, err
+				}
 			}
-			st, err := decodePart(&up, field, part)
-			if err != nil {
-				return upload{}, fmt.Errorf("part %q: %v", field, err)
+			if seen[field] {
+				return u, fmt.Errorf("duplicate part %q", field)
 			}
-			parts[field] = st
+			seen[field] = true
+			if _, err := u.AppendDecoded(field, part); err != nil {
+				return u, fmt.Errorf("part %q: %v", field, err)
+			}
 		}
 		part.Close()
 	}
-	if up.name == "" || up.family == "" {
-		return upload{}, errors.New(`upload needs "name" and "family" fields`)
+	if name == "" || family == "" {
+		return u, errors.New(`upload needs "name" and "family" fields`)
 	}
-	if err := finishUpload(&up, parts); err != nil {
-		return upload{}, err
+	if u == nil {
+		// Metadata but no data parts: commit on the empty session reports
+		// the family's missing-part error.
+		if u, err = s.uploads.Stage(name, family); err != nil {
+			return nil, err
+		}
 	}
-	return up, nil
+	return u, nil
 }
 
 // decodeRawUpload streams a non-multipart body as the single data part,
 // with name and family taken from the query string.
-func decodeRawUpload(r *http.Request) (upload, error) {
+func (s *Server) decodeRawUpload(r *http.Request) (*registry.UploadSession, error) {
 	q := r.URL.Query()
-	up := upload{name: q.Get("name")}
-	if up.name == "" {
-		return upload{}, errors.New("upload needs a name (?name=... or a multipart name field)")
+	name := q.Get("name")
+	if name == "" {
+		return nil, errors.New("upload needs a name (?name=... or a multipart name field)")
 	}
-	var err error
-	if up.family, err = registry.ParseFamily(q.Get("family")); err != nil {
-		return upload{}, err
-	}
-	if up.family == registry.MGF {
-		return upload{}, errors.New("mgf uploads need multipart/form-data with peptides and spectra parts")
-	}
-	st, err := decodePart(&up, "data", r.Body)
+	family, err := registry.ParseFamily(q.Get("family"))
 	if err != nil {
-		return upload{}, err
+		return nil, err
 	}
-	return up, finishUpload(&up, map[string]registry.Stats{"data": st})
+	if family == registry.MGF {
+		return nil, errors.New("mgf uploads need multipart/form-data with peptides and spectra parts")
+	}
+	u, err := s.uploads.Stage(name, family)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := u.AppendDecoded("data", r.Body); err != nil {
+		return u, err
+	}
+	return u, nil
 }

@@ -240,6 +240,41 @@ type DatasetList struct {
 	Datasets []DatasetInfo `json:"datasets"`
 }
 
+// UploadCreateRequest is POST /api/v2/uploads: open a resumable upload
+// session for a named dataset.
+type UploadCreateRequest struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+}
+
+// UploadPartInfo is one part's progress inside an upload session.
+type UploadPartInfo struct {
+	Field string `json:"field"`
+	// Size is how many bytes the server has durably spooled — the offset the
+	// next append must start at.
+	Size int64 `json:"size"`
+	// SHA256 is the running hex digest of the spooled bytes. A resuming
+	// client hashes its local prefix of the same length and compares before
+	// sending anything, so no verified byte is ever re-sent.
+	SHA256 string `json:"sha256"`
+}
+
+// UploadInfo is the v2 upload-session resource.
+type UploadInfo struct {
+	ID      string           `json:"id"`
+	Name    string           `json:"name"`
+	Family  string           `json:"family"`
+	Created time.Time        `json:"created"`
+	Parts   []UploadPartInfo `json:"parts"`
+}
+
+// UploadList is GET /api/v2/uploads: every open session, oldest first.
+// Sessions are process-local and bounded; committed or aborted sessions
+// disappear from the listing.
+type UploadList struct {
+	Uploads []UploadInfo `json:"uploads"`
+}
+
 // Job is the v2 job resource.
 type Job struct {
 	ID    int      `json:"id"`

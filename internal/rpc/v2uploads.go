@@ -1,0 +1,214 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"scan/internal/registry"
+)
+
+// The /api/v2/uploads handlers: resumable dataset uploads. A session is
+// opened with the dataset's name and family, parts are appended in offset-
+// verified chunks (PUT), and a commit promotes the session into the dataset
+// registry atomically. Interrupted appends keep every byte that arrived;
+// the session resource reports each part's size and running SHA-256 so a
+// resuming client verifies its prefix and continues without re-sending.
+//
+// Sessions are process-local: a daemon restart discards them (committed
+// datasets are what the durable registry preserves).
+
+// maxUploadCreateBody bounds the session-create JSON body.
+const maxUploadCreateBody = 4 << 10
+
+// uploadPartLimits returns the decode caps for one session part — the same
+// per-family caps the one-shot dataset POST enforces.
+func uploadPartLimits(family registry.Family, field string) registry.Limits {
+	switch {
+	case family == registry.FASTQ && field == "data":
+		return uploadLimits(maxUploadReads)
+	case family == registry.FASTQ && field == "reference",
+		family == registry.Reference && field == "data":
+		return uploadLimits(1)
+	case family == registry.MGF && field == "peptides":
+		return uploadLimits(maxUploadPeptides)
+	case family == registry.MGF && field == "spectra":
+		return uploadLimits(maxUploadSpectra)
+	case family == registry.TIFF && field == "data":
+		return uploadLimits(maxUploadFrames)
+	default:
+		return uploadLimits(maxUploadRows)
+	}
+}
+
+func uploadInfo(st registry.UploadStatus) UploadInfo {
+	info := UploadInfo{
+		ID:      st.ID,
+		Name:    st.Name,
+		Family:  string(st.Family),
+		Created: st.Created,
+		Parts:   []UploadPartInfo{},
+	}
+	for _, p := range st.Parts {
+		info.Parts = append(info.Parts, UploadPartInfo{Field: p.Field, Size: p.Size, SHA256: p.SHA256})
+	}
+	return info
+}
+
+// uploadsReady reports whether the session manager came up (its spool
+// directory could fail to create); when it didn't, requests get a 503
+// instead of a panic.
+func (s *Server) uploadsReady(w http.ResponseWriter) bool {
+	if s.uploads == nil {
+		writeV2Error(w, http.StatusServiceUnavailable, CodeUnavailable, "upload spool unavailable")
+		return false
+	}
+	return true
+}
+
+// handleV2Uploads routes the session collection: POST opens, GET lists.
+func (s *Server) handleV2Uploads(w http.ResponseWriter, r *http.Request) {
+	if !s.uploadsReady(w) {
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		var req UploadCreateRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadCreateBody)).Decode(&req); err != nil {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: %v", err)
+			return
+		}
+		family, err := registry.ParseFamily(req.Family)
+		if err != nil {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+			return
+		}
+		u, err := s.uploads.Create(req.Name, family)
+		switch {
+		case errors.Is(err, registry.ErrDuplicateName):
+			writeV2Error(w, http.StatusConflict, CodeConflict, "%v", err)
+		case errors.Is(err, registry.ErrTooManyUploads):
+			writeV2Error(w, http.StatusTooManyRequests, CodeUnavailable, "%v", err)
+		case err != nil:
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		default:
+			writeJSON(w, http.StatusCreated, uploadInfo(u.Status()))
+		}
+	case http.MethodGet:
+		list := UploadList{Uploads: []UploadInfo{}}
+		for _, st := range s.uploads.List() {
+			list.Uploads = append(list.Uploads, uploadInfo(st))
+		}
+		writeJSON(w, http.StatusOK, list)
+	default:
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// handleV2Upload routes one session: GET inspects, PUT appends a chunk,
+// DELETE aborts, POST /commit promotes.
+func (s *Server) handleV2Upload(w http.ResponseWriter, r *http.Request) {
+	if !s.uploadsReady(w) {
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v2/uploads/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "commit") {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "no such resource")
+		return
+	}
+	u, err := s.uploads.Get(id)
+	if err != nil {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "%v", err)
+		return
+	}
+	if sub == "commit" {
+		if r.Method != http.MethodPost {
+			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+			return
+		}
+		s.commitUpload(w, u)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, uploadInfo(u.Status()))
+	case http.MethodPut:
+		s.appendUpload(w, r, u)
+	case http.MethodDelete:
+		u.Abort()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET, PUT, DELETE or POST commit only")
+	}
+}
+
+// appendUpload spools one chunk: PUT /api/v2/uploads/{id}?part=F&offset=N.
+// The offset must equal the part's spooled size; a mismatch is a 409 whose
+// message carries the real offset, and the session GET reports it too. The
+// response is the part's new status — size and running hash — whether or not
+// the body arrived whole, so a client whose send died mid-chunk learns its
+// resume point from the same response path.
+func (s *Server) appendUpload(w http.ResponseWriter, r *http.Request, u *registry.UploadSession) {
+	q := r.URL.Query()
+	field := q.Get("part")
+	if field == "" {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "append needs a ?part= field name")
+		return
+	}
+	offset := int64(0)
+	if raw := q.Get("offset"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "bad offset %q", raw)
+			return
+		}
+		offset = v
+	}
+	_, err := u.Append(field, offset, r.Body)
+	var offErr *registry.OffsetError
+	switch {
+	case errors.As(err, &offErr):
+		writeV2Error(w, http.StatusConflict, CodeConflict, "%v", err)
+		return
+	case errors.Is(err, registry.ErrNoUpload):
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "%v", err)
+		return
+	case errors.Is(err, registry.ErrTooLarge):
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		return
+	case err != nil:
+		// A mid-body read error: the spooled prefix is kept. Report the
+		// failure; the part status rides along in the session resource.
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		return
+	}
+	for _, p := range u.Status().Parts {
+		if p.Field == field {
+			writeJSON(w, http.StatusOK, UploadPartInfo{Field: p.Field, Size: p.Size, SHA256: p.SHA256})
+			return
+		}
+	}
+	writeV2Error(w, http.StatusInternalServerError, CodeInternal, "part %q vanished", field)
+}
+
+// commitUpload promotes the session into the registry. Validation failures
+// (missing parts, undecodable payloads, name conflicts) leave the session
+// open for inspection or abort; success and post-validation failures end it.
+func (s *Server) commitUpload(w http.ResponseWriter, u *registry.UploadSession) {
+	meta, err := u.Commit()
+	switch {
+	case errors.Is(err, registry.ErrNoUpload):
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, "%v", err)
+	case errors.Is(err, registry.ErrDuplicateName):
+		writeV2Error(w, http.StatusConflict, CodeConflict, "%v", err)
+	case errors.Is(err, registry.ErrStoreFull):
+		writeV2Error(w, http.StatusInsufficientStorage, CodeUnavailable, "%v", err)
+	case err != nil:
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+	default:
+		writeJSON(w, http.StatusCreated, datasetInfo(meta))
+	}
+}
