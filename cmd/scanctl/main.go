@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	scanctl [-addr http://localhost:7390] status
+//	scanctl [-addr http://localhost:7390] [-api-key KEY] status
 //	scanctl workflows
 //	scanctl workers
 //	scanctl submit -ref 20000 -reads 4000 -snvs 12 -seed 7 [-wait]
@@ -68,6 +68,10 @@
 // engagement state and shard counts, plus the dispatch queue depth and the
 // coordinator's hire/redispatch metrics. An empty roster means jobs run on
 // the daemon's local pool.
+//
+// Against a daemon running with -tenants, pass the tenant's API key via
+// -api-key or the SCAN_API_KEY environment variable (docs/SERVING.md);
+// without it the daemon answers 401 on every /api/v2 request.
 package main
 
 import (
@@ -84,12 +88,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://localhost:7390", "scand base URL")
+	apiKey := flag.String("api-key", os.Getenv("SCAN_API_KEY"), "tenant API key for daemons running -tenants (env SCAN_API_KEY)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	client := rpc.NewClient(*addr)
+	var opts []rpc.ClientOption
+	if *apiKey != "" {
+		opts = append(opts, rpc.WithAPIKey(*apiKey))
+	}
+	client := rpc.NewClient(*addr, opts...)
 	ctx := context.Background()
 	var err error
 	switch args[0] {

@@ -7,6 +7,7 @@
 //
 //	scand [-addr :7390] [-pool N] [-executors N] [-retain N]
 //	      [-data-dir DIR] [-max-datasets N] [-max-dataset-mb N]
+//	      [-tenants FILE]
 //	      [-fleet-token T] [-fleet-scaling predictive] [-fleet-baseline N]
 //	      [-quiet]
 //	scand -role worker -join http://coordinator:7390 [-name NODE]
@@ -26,6 +27,12 @@
 // rejected, and the knowledge base's accumulated run telemetry is
 // WAL-logged and snapshotted under DIR/kb, replayed on the next start.
 // Without it every byte is heap-resident and dies with the process.
+//
+// -tenants names a JSON file of API-key tenants (docs/SERVING.md); the
+// SCAN_TENANTS environment variable carries the same JSON inline when no
+// flag is given. With tenants configured, /api/v2 requires a tenant key
+// and enforces per-tenant rate limits and quotas; without, v2 stays open
+// exactly as before (and /api/v1 is never authenticated either way).
 //
 // -pool sizes the local shard pool (it was called -workers before the
 // daemon grew remote workers; the old name still works, deprecated).
@@ -54,6 +61,7 @@ import (
 	"scan/internal/registry"
 	"scan/internal/rpc"
 	"scan/internal/scheduler"
+	"scan/internal/tenant"
 )
 
 func main() {
@@ -69,6 +77,7 @@ func main() {
 		role       = flag.String("role", "serve", `"serve" (coordinator daemon) or "worker" (join a fleet)`)
 		join       = flag.String("join", "", "coordinator base URL to join (worker role)")
 		name       = flag.String("name", "", "worker name on the roster (worker role; default hostname)")
+		tenantFile = flag.String("tenants", "", "JSON tenants file enabling v2 API-key admission (or inline JSON via SCAN_TENANTS)")
 		fleetToken = flag.String("fleet-token", "", "shared token for the fleet control and blob endpoints")
 		scaling    = flag.String("fleet-scaling", "always", `worker-hire policy: "always", "never" or "predictive"`)
 		baseline   = flag.Int("fleet-baseline", 1, "workers engaged without economic justification (predictive scaling)")
@@ -109,6 +118,11 @@ func main() {
 		log.Fatalf("scand: unknown -fleet-scaling %q (want always, never or predictive)", *scaling)
 	}
 
+	tenants, err := loadTenants(*tenantFile)
+	if err != nil {
+		log.Fatalf("scand: %v", err)
+	}
+
 	platform, err := core.OpenPlatform(core.Options{
 		Workers:  *pool,
 		DataDir:  *dataDir,
@@ -122,6 +136,7 @@ func main() {
 	server := rpc.NewServerOptions(platform, rpc.ServerOptions{
 		Executors: *executors,
 		Retention: *retain,
+		Tenants:   tenants,
 		Logf:      logf,
 		Fleet: fleet.NewCoordinator(fleet.Options{
 			Token:      *fleetToken,
@@ -145,10 +160,26 @@ func main() {
 	if *dataDir != "" {
 		log.Printf("scand: durable state under %s", *dataDir)
 	}
+	if tenants != nil {
+		log.Printf("scand: v2 admission enabled for %d tenants", len(tenants.Tenants()))
+	}
 	log.Printf("scand: listening on %s (%d pool, %d executors, %s scaling)", *addr, *pool, *executors, policy)
 	if err := httpServer.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("scand: %v", err)
 	}
+}
+
+// loadTenants resolves the tenant configuration: the -tenants file when
+// given, otherwise inline JSON from SCAN_TENANTS, otherwise nil (tenancy
+// off — the open-daemon default).
+func loadTenants(path string) (*tenant.Registry, error) {
+	if path != "" {
+		return tenant.Load(path)
+	}
+	if raw := os.Getenv("SCAN_TENANTS"); raw != "" {
+		return tenant.Parse([]byte(raw))
+	}
+	return nil, nil
 }
 
 // runWorker joins a coordinator's fleet and pulls shard work until

@@ -84,6 +84,11 @@ type Base struct {
 	fitMu   sync.Mutex
 	fitMemo map[fitKey]fitEntry
 
+	// Advice-cache observability: hits answered from a published memo
+	// (no profile ranking ran), misses that ranked profiles. Scraped by
+	// scand's /metrics; see CacheStats.
+	cacheHits, cacheMisses atomic.Uint64
+
 	// profileEpoch advances on every mutation that can change the
 	// materialized profile list — AddProfile, Import, ontology seeding —
 	// but NOT on run-log folds: RunLog individuals are typed scan:RunLog
@@ -347,6 +352,7 @@ func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
 	// the atomic epoch, so concurrent readers never serialize here.
 	if c := b.currentCache(); c != nil {
 		if adv, ok := c.memo[jobSize]; ok {
+			b.cacheHits.Add(1)
 			return adv, nil
 		}
 	}
@@ -357,12 +363,14 @@ func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
 		return Advice{}, err
 	}
 	if adv, ok := c.memo[jobSize]; ok {
+		b.cacheHits.Add(1)
 		return adv, nil
 	}
 	adv, err := adviseFromProfiles(c.profiles, jobSize)
 	if err != nil {
 		return Advice{}, err
 	}
+	b.cacheMisses.Add(1)
 	// Publish a copy with the memo extended (copy-on-write keeps readers
 	// race-free); a full memo starts over rather than growing unbounded.
 	next := &adviceCache{epoch: c.epoch, profiles: c.profiles,
@@ -375,6 +383,13 @@ func (b *Base) ShardAdvice(jobSize float64) (Advice, error) {
 	next.memo[jobSize] = adv
 	b.cache.Store(next)
 	return adv, nil
+}
+
+// CacheStats reports the advice cache's cumulative hit/miss counts: a hit
+// is a ShardAdvice answered from a published memo (no profile ranking), a
+// miss ran adviseFromProfiles. Monotonic; scraped by scand's /metrics.
+func (b *Base) CacheStats() (hits, misses uint64) {
+	return b.cacheHits.Load(), b.cacheMisses.Load()
 }
 
 // fitKey identifies one fitted stage model.

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+func TestCounterRendering(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("scan_http_requests_total", "HTTP requests served.", "route", "code")
+	reqs.With("/api/v2/jobs", "200").Add(3)
+	reqs.With("/api/v2/jobs", "429").Inc()
+	reqs.With("/healthz", "200").Inc()
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP scan_http_requests_total HTTP requests served.",
+		"# TYPE scan_http_requests_total counter",
+		`scan_http_requests_total{route="/api/v2/jobs",code="200"} 3`,
+		`scan_http_requests_total{route="/api/v2/jobs",code="429"} 1`,
+		`scan_http_requests_total{route="/healthz",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterSameChild(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("c_total", "h", "k")
+	a := v.With("x")
+	b := v.With("x")
+	if a != b {
+		t.Fatal("With with identical labels returned distinct children")
+	}
+	a.Add(-5) // negative deltas dropped
+	if a.Value() != 0 {
+		t.Fatalf("negative Add changed counter: %d", a.Value())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 7.0
+	r.GaugeFunc("scan_queue_depth", "Jobs waiting.", nil, func() []Sample { return Value0(depth) })
+	out := render(r)
+	if !strings.Contains(out, "# TYPE scan_queue_depth gauge") ||
+		!strings.Contains(out, "scan_queue_depth 7\n") {
+		t.Fatalf("gauge render wrong:\n%s", out)
+	}
+	depth = 9
+	if !strings.Contains(render(r), "scan_queue_depth 9\n") {
+		t.Fatal("gauge did not re-evaluate at scrape time")
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("scan_shard_seconds", "Shard wall time.", []float64{0.1, 1, 10}, "family")
+	child := h.With("genome")
+	child.Observe(0.05)
+	child.Observe(0.5)
+	child.Observe(0.5)
+	child.Observe(100) // beyond the last bound: only +Inf
+
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE scan_shard_seconds histogram",
+		`scan_shard_seconds_bucket{family="genome",le="0.1"} 1`,
+		`scan_shard_seconds_bucket{family="genome",le="1"} 3`,
+		`scan_shard_seconds_bucket{family="genome",le="10"} 3`,
+		`scan_shard_seconds_bucket{family="genome",le="+Inf"} 4`,
+		`scan_shard_seconds_sum{family="genome"} 101.05`,
+		`scan_shard_seconds_count{family="genome"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "h")
+	r.Counter("x_total", "h")
+}
+
+// TestConcurrentUse hammers every instrument from many goroutines while a
+// scraper renders — run under -race this is the package's thread-safety
+// proof.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "h", "tenant")
+	h := r.Histogram("lat_seconds", "h", nil, "family")
+	r.GaugeFunc("g", "h", nil, func() []Sample { return Value0(1) })
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tenant := string(rune('a' + id%3))
+			for i := 0; i < iters; i++ {
+				c.With(tenant).Inc()
+				h.With("genome").Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					_ = render(r)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for _, tenant := range []string{"a", "b", "c"} {
+		total += c.With(tenant).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := h.With("genome").Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

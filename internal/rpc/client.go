@@ -32,6 +32,9 @@ type Client struct {
 	// uploadChunk is the resumable-upload append size (0 means
 	// DefaultUploadChunk; see WithUploadChunkSize).
 	uploadChunk int64
+	// apiKey is sent as a Bearer token on every request when set (see
+	// WithAPIKey).
+	apiKey string
 }
 
 // ClientOption configures a Client.
@@ -48,6 +51,19 @@ func WithTimeout(d time.Duration) ClientOption {
 // uses a copy with the timeout stripped.
 func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
+}
+
+// WithAPIKey authenticates every request with the given tenant API key
+// ("Authorization: Bearer <key>"), for daemons running with -tenants.
+func WithAPIKey(key string) ClientOption {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// authorize attaches the client's API key, when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 }
 
 // NewClient returns a client for the given base URL (e.g.
@@ -104,6 +120,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -186,6 +203,7 @@ func (c *Client) Watch(ctx context.Context, id int, fn func(JobEvent)) (Job, err
 		return Job{}, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	c.authorize(req)
 	resp, err := c.stream.Do(req)
 	if err != nil {
 		return Job{}, err
@@ -277,6 +295,7 @@ func (c *Client) UploadDataset(ctx context.Context, name, family string, parts .
 		return DatasetInfo{}, err
 	}
 	req.Header.Set("Content-Type", mw.FormDataContentType())
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return DatasetInfo{}, err
@@ -398,6 +417,7 @@ func (c *Client) Export(ctx context.Context, format string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return "", err

@@ -77,6 +77,7 @@ func (c *Client) AppendUpload(ctx context.Context, id, field string, offset int6
 		return UploadPartInfo{}, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return UploadPartInfo{}, err

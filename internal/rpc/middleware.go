@@ -3,6 +3,7 @@ package rpc
 import (
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -33,6 +34,10 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer so http.ResponseController can reach
+// per-request deadline controls (the SSE handler's write timeout).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // middleware wraps the API mux with panic recovery and access logging. A
 // handler panic becomes a clean JSON 500 (in the envelope of whichever API
 // version was addressed) when the response has not started, and is logged
@@ -52,7 +57,14 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 					}
 				}
 			}
-			s.logf("rpc: %s %s -> %d (%s)", r.Method, r.URL.Path, sw.status,
+			status := sw.status
+			if status == 0 {
+				// Handler wrote nothing (e.g. a disconnected stream):
+				// net/http sends 200 on return.
+				status = http.StatusOK
+			}
+			s.metrics.httpRequests.With(routeLabel(r.URL.Path), strconv.Itoa(status)).Inc()
+			s.logf("rpc: %s %s -> %d (%s)", r.Method, r.URL.Path, status,
 				time.Since(start).Round(time.Millisecond))
 		}()
 		next.ServeHTTP(sw, r)

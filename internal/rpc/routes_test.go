@@ -134,6 +134,12 @@ func TestRouteContract(t *testing.T) {
 		{"POST", "/api/v2/uploads/up-404/commit", "", 404, envV2},
 		{"DELETE", "/api/v2/uploads/up-404", "", 404, envV2},
 		{"GET", "/api/v2/uploads/up-404/bogus", "", 404, envV2},
+
+		// operational telemetry (appended rows). /metrics is plain-text
+		// Prometheus exposition, never a JSON envelope.
+		{"GET", "/metrics", "", 200, envNone},
+		{"POST", "/metrics", "", 405, envNone},
+		{"PUT", "/metrics", "", 405, envNone},
 	}
 	for _, tc := range cases {
 		code, raw := rawRequest(t, c, tc.method, tc.path, tc.body)

@@ -17,6 +17,7 @@ import (
 	"scan/internal/network"
 	"scan/internal/proteome"
 	"scan/internal/registry"
+	"scan/internal/tenant"
 	"scan/internal/variant"
 	"scan/internal/workflow"
 )
@@ -48,7 +49,23 @@ type ServerOptions struct {
 	// durable (so commit promotes spools by rename, never copy), or a private
 	// temp directory otherwise.
 	UploadDir string
+	// Tenants, when non-nil, turns on multi-tenant admission for the v2
+	// jobs/datasets/uploads surface: API-key authentication, token-bucket
+	// rate limiting and per-tenant quotas (see internal/tenant and
+	// docs/SERVING.md). Nil keeps v2 unauthenticated — the default every
+	// pre-tenancy client relies on. /api/v1 is never authenticated.
+	Tenants *tenant.Registry
+	// WatchWriteTimeout bounds each SSE write to a Watch subscriber: a
+	// client that stalls past it has its stream severed (job execution and
+	// other subscribers are never blocked either way — the fan-out is
+	// pull-per-subscriber). 0 means DefaultWatchWriteTimeout; negative
+	// disables the deadline.
+	WatchWriteTimeout time.Duration
 }
+
+// DefaultWatchWriteTimeout is the default per-write deadline on SSE event
+// streams.
+const DefaultWatchWriteTimeout = 30 * time.Second
 
 // Server exposes a core.Platform over HTTP — /api/v1 (the original flat RPC
 // surface, kept wire-compatible) and /api/v2 (resource-oriented jobs with
@@ -61,7 +78,10 @@ type Server struct {
 	logf      func(format string, args ...any)
 	fleet     *fleet.Coordinator
 	uploads   *registry.UploadManager
-	uploadTmp string // private spool dir to remove on Close ("" if none)
+	uploadTmp string           // private spool dir to remove on Close ("" if none)
+	tenants   *tenant.Registry // nil: v2 admission disabled
+	watchWTO  time.Duration    // per-write SSE deadline (0: disabled)
+	metrics   *serverMetrics
 
 	mu     sync.Mutex
 	nextID int
@@ -72,6 +92,10 @@ type Server struct {
 	// records but must not rewrite history. Canceled jobs count as failed
 	// there — v1's state enum predates cancellation.
 	statDone, statFailed, statCanceled int
+	// uploadOwners maps open resumable-upload session IDs to the tenant
+	// that opened them (tenancy only; bounded by the manager's MaxSessions
+	// — recordUploadOwner prunes entries for dead sessions).
+	uploadOwners map[string]*tenant.State
 
 	queue chan int
 	wg    sync.WaitGroup
@@ -107,6 +131,10 @@ type jobSpec struct {
 	// and/or named reference). Pinned at submission; released exactly once,
 	// when the job reaches a state from which it can never run again.
 	pinned []string
+	// tenant holds the submitting tenant's admitted job slot (nil without
+	// tenancy). Released with the pins: exactly once, through unpinSpec on
+	// submission failure or releaseSpecLocked when the job ends.
+	tenant *tenant.State
 }
 
 func (s jobSpec) source() string {
@@ -177,16 +205,25 @@ func NewServerOptions(p *core.Platform, opts ServerOptions) *Server {
 			Blobs: p.Datasets().Blobs(),
 		})
 	}
+	switch {
+	case opts.WatchWriteTimeout == 0:
+		opts.WatchWriteTimeout = DefaultWatchWriteTimeout
+	case opts.WatchWriteTimeout < 0:
+		opts.WatchWriteTimeout = 0
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		platform:  p,
-		now:       time.Now,
-		retention: opts.Retention,
-		logf:      opts.Logf,
-		fleet:     opts.Fleet,
-		jobs:      make(map[int]*jobRecord),
-		queue:     make(chan int, 1024),
-		stop:      cancel,
+		platform:     p,
+		now:          time.Now,
+		retention:    opts.Retention,
+		logf:         opts.Logf,
+		fleet:        opts.Fleet,
+		tenants:      opts.Tenants,
+		watchWTO:     opts.WatchWriteTimeout,
+		jobs:         make(map[int]*jobRecord),
+		uploadOwners: make(map[string]*tenant.State),
+		queue:        make(chan int, 1024),
+		stop:         cancel,
 	}
 	// Resumable upload sessions spool next to the blob store when the
 	// platform is durable (commit then promotes by rename); a heap-only
@@ -212,6 +249,9 @@ func NewServerOptions(p *core.Platform, opts ServerOptions) *Server {
 		opts.Logf("rpc: upload spool unavailable: %v", err)
 	}
 	s.uploads = uploads
+	// The metric set closes over the fully-assembled server (fleet,
+	// uploads, tenants), so it is built last.
+	s.metrics = newServerMetrics(s)
 	for i := 0; i < opts.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor(ctx)
@@ -267,6 +307,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
 	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	// v1: the original flat RPC surface, pinned by compatibility tests.
 	mux.HandleFunc("/api/v1/status", s.handleStatus)
 	mux.HandleFunc("/api/v1/workflows", s.handleWorkflows)
@@ -275,13 +316,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/kb/query", s.handleQuery)
 	mux.HandleFunc("/api/v1/kb/profiles", s.handleProfiles)
 	mux.HandleFunc("/api/v1/kb/export", s.handleExport)
-	// v2: resource-oriented jobs, the dataset registry and resumable uploads.
-	mux.HandleFunc("/api/v2/jobs", s.handleV2Jobs)
-	mux.HandleFunc("/api/v2/jobs/", s.handleV2Job)
-	mux.HandleFunc("/api/v2/datasets", s.handleV2Datasets)
-	mux.HandleFunc("/api/v2/datasets/", s.handleV2Dataset)
-	mux.HandleFunc("/api/v2/uploads", s.handleV2Uploads)
-	mux.HandleFunc("/api/v2/uploads/", s.handleV2Upload)
+	// v2: resource-oriented jobs, the dataset registry and resumable
+	// uploads, behind tenant admission (inert without a tenants registry).
+	mux.HandleFunc("/api/v2/jobs", s.admit(s.handleV2Jobs))
+	mux.HandleFunc("/api/v2/jobs/", s.admit(s.handleV2Job))
+	mux.HandleFunc("/api/v2/datasets", s.admit(s.handleV2Datasets))
+	mux.HandleFunc("/api/v2/datasets/", s.admit(s.handleV2Dataset))
+	mux.HandleFunc("/api/v2/uploads", s.admit(s.handleV2Uploads))
+	mux.HandleFunc("/api/v2/uploads/", s.admit(s.handleV2Upload))
 	// Fleet: the worker roster, control plane and blob data plane
 	// (internal/fleet owns the handlers so in-process tests mount the
 	// identical surface).
@@ -300,11 +342,15 @@ var (
 	errQueueFull    = &APIError{Code: CodeUnavailable, Message: "job queue full"}
 )
 
-// unpinSpec releases the spec's registry pins (submission failures; the
-// success path releases through releaseSpecLocked when the job ends).
+// unpinSpec releases the spec's registry pins and its tenant's job slot
+// (submission failures; the success path releases through
+// releaseSpecLocked when the job ends).
 func (s *Server) unpinSpec(spec jobSpec) {
 	for _, id := range spec.pinned {
 		s.platform.Datasets().Unpin(id)
+	}
+	if spec.tenant != nil {
+		spec.tenant.ReleaseJob()
 	}
 }
 
@@ -317,6 +363,7 @@ func (s *Server) releaseSpecLocked(rec *jobRecord) {
 	rec.spec.dataset = nil
 	s.unpinSpec(rec.spec)
 	rec.spec.pinned = nil
+	rec.spec.tenant = nil
 }
 
 // enqueue adds a validated submission to the store and queue. On failure
@@ -347,6 +394,10 @@ func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 	if spec.dataset != nil {
 		datasetID = spec.dataset.id
 	}
+	tenantName := ""
+	if spec.tenant != nil {
+		tenantName = spec.tenant.Name()
+	}
 	rec := &jobRecord{
 		job: Job{
 			ID:        id,
@@ -355,6 +406,7 @@ func (s *Server) enqueue(spec jobSpec) (Job, *APIError) {
 			Workflow:  spec.workflow,
 			Source:    spec.source(),
 			Dataset:   datasetID,
+			Tenant:    tenantName,
 			Submitted: s.now(),
 		},
 		spec: spec,
@@ -442,14 +494,22 @@ func (s *Server) evictLocked() {
 // cancelJob implements DELETE /api/v2/jobs/{id}. Pending jobs are canceled
 // immediately; running jobs get their per-job context cancelled and reach
 // the canceled state asynchronously (status 202); cancellation of an
-// already-canceled job is idempotent; done/failed jobs conflict.
-func (s *Server) cancelJob(id int) (Job, int, *APIError) {
+// already-canceled job is idempotent; done/failed jobs conflict. With
+// tenancy enabled, a tenant may only cancel its own jobs; jobs submitted
+// without a tenant (v1, or pre-tenancy) stay cancellable by anyone.
+func (s *Server) cancelJob(id int, requester *tenant.State) (Job, int, *APIError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.jobs[id]
 	if !ok {
 		return Job{}, http.StatusNotFound,
 			&APIError{Code: CodeNotFound, Message: fmt.Sprintf("no job %d", id)}
+	}
+	if requester != nil && rec.job.Tenant != "" && rec.job.Tenant != requester.Name() {
+		return Job{}, http.StatusForbidden, &APIError{
+			Code:    CodeForbidden,
+			Message: fmt.Sprintf("job %d belongs to another tenant", id),
+		}
 	}
 	switch rec.job.State {
 	case StatePending:
@@ -628,10 +688,17 @@ func (s *Server) execute(ctx context.Context, id int, spec jobSpec) (JobResult, 
 		return JobResult{}, err
 	}
 	inputRecords := in.Records()
+	family := ""
+	if wf, err := s.platform.Catalogue().Get(spec.workflow); err == nil {
+		family = wf.Family
+	}
 	opts := workflow.RunOptions{
 		Caller:        variant.Config{MinDepth: 8, MinAltFraction: 0.6},
 		ShardRecords:  spec.shardRecords,
 		StageObserver: func(sr workflow.StageResult) { s.publishStage(id, sr) },
+		ShardObserver: func(tool string, records int, elapsed time.Duration) {
+			s.metrics.shardSeconds.With(family).Observe(elapsed.Seconds())
+		},
 	}
 	// Scatter to the fleet only when remote workers are actually registered:
 	// a workerless daemon keeps the engine's local pool and its pipelined

@@ -1,0 +1,421 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scan/internal/core"
+	"scan/internal/tenant"
+)
+
+// End-to-end coverage for the multi-tenant serving surface: API-key
+// authentication, token-bucket rate limiting, and the per-tenant quotas
+// (concurrent jobs, datasets, resident bytes), all enforced at the v2
+// admission layer while /api/v1 and the unauthenticated-default v2 stay
+// exactly as they were.
+
+const (
+	aliceKey   = "alice-key-1234567890"
+	malloryKey = "mallory-key-1234567890"
+)
+
+// tenantConfig is the test deployment: a compliant tenant with room to
+// work and a hostile one with tight quotas to slam into.
+func tenantConfig(t *testing.T) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.Parse([]byte(`{"tenants": [
+		{"name": "alice", "key": "` + aliceKey + `", "priority": "high",
+		 "rate_per_sec": 1000, "burst": 1000},
+		{"name": "mallory", "key": "` + malloryKey + `", "priority": "low",
+		 "rate_per_sec": 1000, "burst": 1000,
+		 "max_jobs": 1, "max_datasets": 1, "max_bytes": 4096}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// tenantTestServer starts a tenanted daemon over the given platform and
+// returns one client per key plus an unauthenticated client.
+func tenantTestServer(t *testing.T, p *core.Platform) (alice, mallory, anon *Client, s *Server) {
+	t.Helper()
+	s = NewServerOptions(p, ServerOptions{Executors: 2, Tenants: tenantConfig(t)})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return NewClient(ts.URL, WithAPIKey(aliceKey)),
+		NewClient(ts.URL, WithAPIKey(malloryKey)),
+		NewClient(ts.URL), s
+}
+
+// wantCode asserts an error is a v2 *APIError with the given code.
+func wantCode(t *testing.T, err error, code string) *APIError {
+	t.Helper()
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != code {
+		t.Fatalf("err = %v, want code %q", err, code)
+	}
+	return ae
+}
+
+// TestTenantAuthentication: every v2 request needs a configured key; v1,
+// /healthz and /metrics stay open.
+func TestTenantAuthentication(t *testing.T) {
+	alice, _, anon, _ := tenantTestServer(t, core.NewPlatform(core.Options{Workers: 2}))
+	ctx := context.Background()
+
+	_, err := anon.ListJobs(ctx, ListJobsOptions{})
+	wantCode(t, err, CodeUnauthenticated)
+	bad := NewClient(alice.base, WithAPIKey("alice-key-123456789X")) // near miss
+	_, err = bad.ListJobs(ctx, ListJobsOptions{})
+	wantCode(t, err, CodeUnauthenticated)
+
+	if _, err := alice.ListJobs(ctx, ListJobsOptions{}); err != nil {
+		t.Fatalf("authenticated list: %v", err)
+	}
+	// The X-API-Key header works for clients that cannot set Authorization.
+	req, _ := http.NewRequest(http.MethodGet, alice.base+"/api/v2/jobs", nil)
+	req.Header.Set("X-API-Key", aliceKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key request: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// v1 is compat-frozen: never authenticated, even on a tenanted daemon.
+	if _, err := anon.Status(ctx); err != nil {
+		t.Fatalf("v1 status without key: %v", err)
+	}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(alice.base + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestTenantRateLimit: a tenant over its token bucket gets a structured
+// 429 rate_limited with a Retry-After hint; another tenant is unaffected.
+func TestTenantRateLimit(t *testing.T) {
+	p := core.NewPlatform(core.Options{Workers: 1})
+	reg, err := tenant.Parse([]byte(`{"tenants": [
+		{"name": "throttled", "key": "throttled-key-0000", "rate_per_sec": 1, "burst": 2},
+		{"name": "alice", "key": "` + aliceKey + `", "rate_per_sec": 1000, "burst": 1000}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServerOptions(p, ServerOptions{Executors: 1, Tenants: reg})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	ctx := context.Background()
+	throttled := NewClient(ts.URL, WithAPIKey("throttled-key-0000"))
+	alice := NewClient(ts.URL, WithAPIKey(aliceKey))
+
+	for i := 0; i < 2; i++ {
+		if _, err := throttled.ListJobs(ctx, ListJobsOptions{}); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v2/jobs", nil)
+	req.Header.Set("Authorization", "Bearer throttled-key-0000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	var envelope v2ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeRateLimited {
+		t.Fatalf("code = %q, want %q", envelope.Error.Code, CodeRateLimited)
+	}
+	// The other tenant's bucket is untouched.
+	for i := 0; i < 10; i++ {
+		if _, err := alice.ListJobs(ctx, ListJobsOptions{}); err != nil {
+			t.Fatalf("alice request %d during mallory throttle: %v", i, err)
+		}
+	}
+}
+
+// familyRuns returns the four workload families' submissions, one per
+// family, with fixed seeds so results are reproducible across servers.
+func familyRuns() []SubmitJobRequest {
+	return []SubmitJobRequest{
+		{Synthetic: &SyntheticSpec{ReferenceLength: 2000, Reads: 120, SNVs: 4, Seed: 3}},
+		{Workflow: "proteome-maxquant", Proteome: &ProteomeSpec{Proteins: 15, Spectra: 300, Seed: 5}, ShardRecords: 100},
+		{Imaging: &ImagingSpec{Images: 2, Width: 96, Height: 96, CellsPerImage: 5, Seed: 7}},
+		{Network: &NetworkSpec{Genes: 60, Modules: 4, Seed: 9}, ShardRecords: 20},
+	}
+}
+
+// normalizeResult strips the wall-clock fields from a job result so two
+// runs of the same deterministic workload compare byte-identical.
+func normalizeResult(t *testing.T, r *JobResult) string {
+	t.Helper()
+	if r == nil {
+		t.Fatal("job has no result")
+	}
+	cp := *r
+	cp.ElapsedSec = 0
+	cp.Stages = append([]StageBreakdown(nil), r.Stages...)
+	for i := range cp.Stages {
+		cp.Stages[i].ElapsedSec = 0
+		cp.Stages[i].FirstShardStartSec = 0
+		cp.Stages[i].Overlap = 0
+	}
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// runFamilies submits every family workload through one client and returns
+// the normalized results in submission order.
+func runFamilies(ctx context.Context, t *testing.T, c *Client) []string {
+	t.Helper()
+	out := make([]string, 0, 4)
+	for i, req := range familyRuns() {
+		job, err := c.CreateJob(ctx, req)
+		if err != nil {
+			t.Fatalf("family %d submit: %v", i, err)
+		}
+		final, err := c.Watch(ctx, job.ID, nil)
+		if err != nil {
+			t.Fatalf("family %d watch: %v", i, err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("family %d state = %q (%+v)", i, final.State, final.Error)
+		}
+		out = append(out, normalizeResult(t, final.Result))
+	}
+	return out
+}
+
+// TestTwoTenantIsolation is the serving surface's core guarantee: a
+// hostile tenant slamming every quota gets nothing but structured 429/403
+// envelopes, while a compliant tenant running all four workload families
+// concurrently gets results byte-identical to an uncontended daemon.
+func TestTwoTenantIsolation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Baseline: the same four workloads on an untenanted daemon.
+	baseClient, _ := testServerOptions(t, core.NewPlatform(core.Options{Workers: 2}),
+		ServerOptions{Executors: 2})
+	baseline := runFamilies(ctx, t, baseClient)
+
+	// The tenanted daemon gets the blocking catalogue so the hostile
+	// tenant can pin its one job slot with a deterministically-running job.
+	bp, block := blockingPlatform(t)
+	alice, mallory, _, _ := tenantTestServer(t, bp)
+
+	// The hostile tenant hammers its quotas for the whole duration of the
+	// compliant tenant's runs.
+	hostileDone := make(chan struct{})
+	var hostileErr error
+	var hostileMu sync.Mutex
+	fail := func(format string, args ...any) {
+		hostileMu.Lock()
+		if hostileErr == nil {
+			hostileErr = fmt.Errorf(format, args...)
+		}
+		hostileMu.Unlock()
+	}
+	go func() {
+		defer close(hostileDone)
+		// Job quota: max_jobs 1. The blocking job holds the slot (and one
+		// of the two executors) until canceled; every further submission
+		// must bounce with quota_exceeded.
+		held, err := mallory.CreateJob(ctx, SubmitJobRequest{
+			Workflow: "block-forever", Synthetic: smallSynthetic(11)})
+		if err != nil {
+			fail("hostile first job: %v", err)
+			return
+		}
+		select {
+		case <-block.started: // the held job is now observably running
+		case <-ctx.Done():
+			fail("held job never started")
+			return
+		}
+		for i := 0; i < 5; i++ {
+			_, err := mallory.CreateJob(ctx, SubmitJobRequest{Synthetic: smallSynthetic(12)})
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.Code != CodeQuotaExceeded {
+				fail("over-quota submit %d: err = %v, want quota_exceeded", i, err)
+				return
+			}
+		}
+		// Dataset count quota: max_datasets 1.
+		if _, err := mallory.UploadDataset(ctx, "m-feat", "feature-table",
+			UploadPart{Field: "data", R: strings.NewReader("g1 2.5\ng2 1.5\n")}); err != nil {
+			fail("hostile first dataset: %v", err)
+			return
+		}
+		_, err = mallory.UploadDataset(ctx, "m-feat2", "feature-table",
+			UploadPart{Field: "data", R: strings.NewReader("g3 2.5\n")})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Code != CodeQuotaExceeded {
+			fail("over-count upload: err = %v, want quota_exceeded", err)
+			return
+		}
+		// Canceling the held job frees the slot exactly once: after the
+		// cancel lands, a fresh submission is admitted again.
+		if _, err := mallory.Cancel(ctx, held.ID); err != nil {
+			fail("cancel own job: %v", err)
+			return
+		}
+		if final, err := mallory.Watch(ctx, held.ID, nil); err != nil || final.State != StateCanceled {
+			fail("held job after cancel = %+v (%v), want canceled", final, err)
+			return
+		}
+		fresh, err := mallory.CreateJob(ctx, SubmitJobRequest{Synthetic: smallSynthetic(13)})
+		if err != nil {
+			fail("post-cancel submit: %v", err)
+			return
+		}
+		if final, err := mallory.Watch(ctx, fresh.ID, nil); err != nil || final.State != StateDone {
+			fail("post-cancel job = %+v (%v), want done", final, err)
+		}
+	}()
+
+	// The compliant tenant's four families run concurrently with the
+	// hostile traffic and must come out byte-identical to the baseline.
+	contended := runFamilies(ctx, t, alice)
+	<-hostileDone
+	hostileMu.Lock()
+	err := hostileErr
+	hostileMu.Unlock()
+	if err != nil {
+		t.Fatalf("hostile tenant: %v", err)
+	}
+	for i := range baseline {
+		if contended[i] != baseline[i] {
+			t.Errorf("family %d result diverged under hostile load:\n  baseline:  %s\n  contended: %s",
+				i, baseline[i], contended[i])
+		}
+	}
+}
+
+// TestTenantByteQuota: the byte quota is settled post-commit — an upload
+// whose decoded size busts it is deleted again and answers 429.
+func TestTenantByteQuota(t *testing.T) {
+	_, mallory, _, _ := tenantTestServer(t, core.NewPlatform(core.Options{Workers: 2}))
+	ctx := context.Background()
+
+	// A feature table of 400 rows (~7 KiB on the wire) busts mallory's
+	// 4096-byte quota.
+	var rows strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&rows, "gene%04d %f\n", i, float64(i)*1.5)
+	}
+	_, err := mallory.UploadDataset(ctx, "m-big", "feature-table",
+		UploadPart{Field: "data", R: strings.NewReader(rows.String())})
+	wantCode(t, err, CodeQuotaExceeded)
+	// The over-quota dataset did not survive, by listing or by name.
+	list, err := mallory.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("datasets after rejected upload = %+v, want none", list)
+	}
+	// And the tenant ledger holds no phantom bytes: a small upload fits.
+	if _, err := mallory.UploadDataset(ctx, "m-small", "feature-table",
+		UploadPart{Field: "data", R: strings.NewReader("g1 2.5\n")}); err != nil {
+		t.Fatalf("small upload after rejection: %v", err)
+	}
+}
+
+// TestTenantOwnership: with tenancy on, destruction is ownership-gated —
+// another tenant's datasets, jobs and upload sessions answer 403 — while
+// reads stay shared.
+func TestTenantOwnership(t *testing.T) {
+	bp, block := blockingPlatform(t)
+	alice, mallory, _, _ := tenantTestServer(t, bp)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	ds, err := alice.UploadDataset(ctx, "a-feat", "feature-table",
+		UploadPart{Field: "data", R: strings.NewReader("g1 2.5\ng2 1.5\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared reads: mallory can inspect and even run alice's dataset.
+	if _, err := mallory.Dataset(ctx, ds.ID); err != nil {
+		t.Fatalf("cross-tenant read: %v", err)
+	}
+	// Gated destruction: delete answers 403 and the dataset survives.
+	_, err = mallory.DeleteDataset(ctx, ds.ID)
+	wantCode(t, err, CodeForbidden)
+	_, err = mallory.DeleteDataset(ctx, "a-feat") // by name resolves to the same owner
+	wantCode(t, err, CodeForbidden)
+	if _, err := alice.Dataset(ctx, ds.ID); err != nil {
+		t.Fatalf("dataset gone after forbidden delete: %v", err)
+	}
+
+	// Jobs: mallory cannot cancel alice's (deterministically running) job.
+	job, err := alice.CreateJob(ctx, SubmitJobRequest{
+		Workflow: "block-forever", Synthetic: smallSynthetic(13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Tenant != "alice" {
+		t.Fatalf("job tenant = %q, want alice", job.Tenant)
+	}
+	<-block.started
+	_, err = mallory.Cancel(ctx, job.ID)
+	wantCode(t, err, CodeForbidden)
+	if _, err := alice.Cancel(ctx, job.ID); err != nil {
+		t.Fatalf("own cancel: %v", err)
+	}
+
+	// Upload sessions: only the opener may append, commit or abort.
+	up, err := alice.CreateUpload(ctx, "a-resume", "feature-table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mallory.AppendUpload(ctx, up.ID, "data", 0, strings.NewReader("g9 1.0\n"))
+	wantCode(t, err, CodeForbidden)
+	err = mallory.AbortUpload(ctx, up.ID)
+	wantCode(t, err, CodeForbidden)
+	_, err = mallory.CommitUpload(ctx, up.ID)
+	wantCode(t, err, CodeForbidden)
+	if _, err := alice.AppendUpload(ctx, up.ID, "data", 0, strings.NewReader("g9 1.0\n")); err != nil {
+		t.Fatalf("own append: %v", err)
+	}
+	if _, err := alice.CommitUpload(ctx, up.ID); err != nil {
+		t.Fatalf("own commit: %v", err)
+	}
+
+	// Finally alice cleans up her own dataset; the registry and her quota
+	// ledger both let go.
+	if _, err := alice.DeleteDataset(ctx, ds.ID); err != nil {
+		t.Fatalf("own delete: %v", err)
+	}
+}

@@ -67,6 +67,13 @@ func (s *Server) handleV2Dataset(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, datasetInfo(meta))
 	case http.MethodDelete:
+		// Resolve first for the canonical ID — ownership records are keyed
+		// by ID, but clients may delete by name.
+		if meta, _, err := s.platform.Datasets().Resolve(id); err == nil {
+			if !s.authorizeDatasetDelete(w, r, meta.ID) {
+				return
+			}
+		}
 		meta, err := s.platform.Datasets().Delete(id)
 		switch {
 		case errors.Is(err, registry.ErrNotFound):
@@ -77,6 +84,9 @@ func (s *Server) handleV2Dataset(w http.ResponseWriter, r *http.Request) {
 		case err != nil:
 			writeV2Error(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		default:
+			if st := requestTenant(r); st != nil {
+				st.ForgetDataset(meta.ID)
+			}
 			writeJSON(w, http.StatusOK, datasetInfo(meta))
 		}
 	default:
@@ -116,6 +126,12 @@ func (s *Server) handleV2DatasetUpload(w http.ResponseWriter, r *http.Request) {
 	if !s.uploadsReady(w) {
 		return
 	}
+	// The dataset-count quota is checkable before any bytes decode; the
+	// byte quota only after commit reveals the decoded size (settle below).
+	tn := requestTenant(r)
+	if !s.admitDatasetCount(w, tn) {
+		return
+	}
 	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var (
 		u   *registry.UploadSession
@@ -146,6 +162,9 @@ func (s *Server) handleV2DatasetUpload(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 	default:
+		if !s.settleDatasetQuota(w, tn, meta.ID, meta.Bytes) {
+			return
+		}
 		writeJSON(w, http.StatusCreated, datasetInfo(meta))
 	}
 }

@@ -3,10 +3,12 @@ package rpc
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"scan/internal/core"
 	"scan/internal/genomics"
@@ -62,6 +64,9 @@ func (s *Server) handleV2Submit(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusNotFound
 		}
 		writeJSON(w, status, v2ErrorResponse{Error: *apiErr})
+		return
+	}
+	if !s.admitJobQuota(w, r, &spec) {
 		return
 	}
 	job, apiErr := s.enqueue(spec)
@@ -401,7 +406,7 @@ func (s *Server) handleV2Job(w http.ResponseWriter, r *http.Request) {
 		case http.MethodGet:
 			s.handleV2Get(w, id)
 		case http.MethodDelete:
-			s.handleV2Cancel(w, id)
+			s.handleV2Cancel(w, r, id)
 		default:
 			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or DELETE only")
 		}
@@ -431,8 +436,8 @@ func (s *Server) handleV2Get(w http.ResponseWriter, id int) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-func (s *Server) handleV2Cancel(w http.ResponseWriter, id int) {
-	job, status, apiErr := s.cancelJob(id)
+func (s *Server) handleV2Cancel(w http.ResponseWriter, r *http.Request, id int) {
+	job, status, apiErr := s.cancelJob(id, requestTenant(r))
 	if apiErr != nil {
 		writeJSON(w, status, v2ErrorResponse{Error: *apiErr})
 		return
@@ -462,6 +467,13 @@ func (s *Server) handleV2Events(w http.ResponseWriter, r *http.Request, id int) 
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// Fan-out is pull-per-subscriber, so a stalled client never blocks job
+	// transitions or other watchers — it only parks this goroutine. The
+	// per-write deadline bounds that goroutine's lifetime: a client that
+	// stops reading for watchWTO gets its stream torn down instead of
+	// holding a connection (and its kernel buffers) forever. Recorders used
+	// in tests have no deadline support; that is fine, not fatal.
+	ctrl := http.NewResponseController(w)
 	next := 0
 	for {
 		s.mu.Lock()
@@ -473,7 +485,15 @@ func (s *Server) handleV2Events(w http.ResponseWriter, r *http.Request, id int) 
 			if err != nil {
 				return // cannot happen for these types; drop the stream
 			}
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			if s.watchWTO > 0 {
+				if err := ctrl.SetWriteDeadline(time.Now().Add(s.watchWTO)); err != nil &&
+					!errors.Is(err, http.ErrNotSupported) {
+					return
+				}
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
 			flusher.Flush()
 			if ev.Type == EventState && ev.State.Terminal() {
 				return

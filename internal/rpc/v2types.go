@@ -26,6 +26,12 @@ const (
 	CodeUnavailable      = "unavailable"
 	CodeInternal         = "internal"
 
+	// Admission codes (only issued with tenancy enabled; docs/SERVING.md).
+	CodeUnauthenticated = "unauthenticated"
+	CodeForbidden       = "forbidden"
+	CodeRateLimited     = "rate_limited"
+	CodeQuotaExceeded   = "quota_exceeded"
+
 	// Job-level codes.
 	CodeCanceled        = "canceled"
 	CodeShutdown        = "shutdown"
@@ -288,7 +294,10 @@ type Job struct {
 	Source   string `json:"source"`
 	// Dataset is the registered dataset id the job runs over, for
 	// source "dataset" jobs.
-	Dataset   string     `json:"dataset,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	// Tenant names the submitting tenant when the daemon runs with
+	// tenancy enabled; empty otherwise (and for v1 submissions).
+	Tenant    string     `json:"tenant,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`

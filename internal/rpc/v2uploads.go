@@ -85,6 +85,11 @@ func (s *Server) handleV2Uploads(w http.ResponseWriter, r *http.Request) {
 			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 			return
 		}
+		// The session will become a dataset; check the count quota at open
+		// so a tenant at its limit learns immediately, not at commit.
+		if !s.admitDatasetCount(w, requestTenant(r)) {
+			return
+		}
 		u, err := s.uploads.Create(req.Name, family)
 		switch {
 		case errors.Is(err, registry.ErrDuplicateName):
@@ -94,6 +99,7 @@ func (s *Server) handleV2Uploads(w http.ResponseWriter, r *http.Request) {
 		case err != nil:
 			writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 		default:
+			s.recordUploadOwner(u.Status().ID, requestTenant(r))
 			writeJSON(w, http.StatusCreated, uploadInfo(u.Status()))
 		}
 	case http.MethodGet:
@@ -129,16 +135,26 @@ func (s *Server) handleV2Upload(w http.ResponseWriter, r *http.Request) {
 			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 			return
 		}
-		s.commitUpload(w, u)
+		if !s.authorizeUpload(w, r, u.Status().ID) {
+			return
+		}
+		s.commitUpload(w, r, u)
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, uploadInfo(u.Status()))
 	case http.MethodPut:
+		if !s.authorizeUpload(w, r, u.Status().ID) {
+			return
+		}
 		s.appendUpload(w, r, u)
 	case http.MethodDelete:
+		if !s.authorizeUpload(w, r, u.Status().ID) {
+			return
+		}
 		u.Abort()
+		s.forgetUploadOwner(u.Status().ID)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET, PUT, DELETE or POST commit only")
@@ -197,7 +213,8 @@ func (s *Server) appendUpload(w http.ResponseWriter, r *http.Request, u *registr
 // commitUpload promotes the session into the registry. Validation failures
 // (missing parts, undecodable payloads, name conflicts) leave the session
 // open for inspection or abort; success and post-validation failures end it.
-func (s *Server) commitUpload(w http.ResponseWriter, u *registry.UploadSession) {
+func (s *Server) commitUpload(w http.ResponseWriter, r *http.Request, u *registry.UploadSession) {
+	id := u.Status().ID
 	meta, err := u.Commit()
 	switch {
 	case errors.Is(err, registry.ErrNoUpload):
@@ -209,6 +226,10 @@ func (s *Server) commitUpload(w http.ResponseWriter, u *registry.UploadSession) 
 	case err != nil:
 		writeV2Error(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 	default:
+		s.forgetUploadOwner(id)
+		if !s.settleDatasetQuota(w, requestTenant(r), meta.ID, meta.Bytes) {
+			return
+		}
 		writeJSON(w, http.StatusCreated, datasetInfo(meta))
 	}
 }

@@ -101,6 +101,13 @@ type RunOptions struct {
 	// buffering out-of-order stage completions — so it must not block on
 	// the run it is observing.
 	StageObserver func(StageResult)
+	// ShardObserver, when non-nil, is invoked for every completed shard
+	// with the stage's tool name, the records the shard processed and its
+	// wall time — the same observation LogShard feeds the knowledge base.
+	// It runs on the shard's worker goroutine (local pool or fleet result
+	// path), possibly concurrently across shards, so it must be cheap and
+	// thread-safe: scand points it at per-family latency histograms.
+	ShardObserver func(tool string, records int, elapsed time.Duration)
 	// Barrier disables pipelined shard streaming for this run: every stage
 	// executes through StageExecutor.Execute with a full barrier between
 	// stages (the pre-pipelining engine). This is the reference scheduler
@@ -428,6 +435,9 @@ queue:
 // ignored.
 func (env *StageEnv) LogShard(records int, elapsed time.Duration) {
 	env.records.Add(int64(records))
+	if env.opts.ShardObserver != nil {
+		env.opts.ShardObserver(env.stage.Tool, records, elapsed)
+	}
 	if env.engine.kb == nil {
 		return
 	}

@@ -63,6 +63,7 @@ func (e *Engine) PrepareStageShards(workflow string, stageIdx int, in *Dataset, 
 	}
 	opts.ShardPool = nil
 	opts.StageObserver = nil
+	opts.ShardObserver = nil
 	sr := StageResult{Stage: st.Name, Tool: st.Tool}
 	env := &StageEnv{engine: e, stage: st, index: stageIdx, opts: opts, result: &sr}
 	stream, ok, err := sx.Stream(env, in)
